@@ -1,0 +1,121 @@
+//! Open-request inter-arrival analysis — figure 11 and §8.1.
+//!
+//! "Figure 11 displays inter-arrival times of open requests arriving at
+//! the file system: 40 % of the requests arrive within 1 millisecond of a
+//! previous request, while 90 % arrives within 30 milliseconds." The
+//! figure splits opens that lead to I/O from opens for control, which the
+//! instance table tells us after the fact.
+
+use std::collections::HashMap;
+
+use crate::cdf::Cdf;
+use crate::schema::TraceSet;
+
+/// Inter-arrival CDFs (milliseconds).
+pub struct OpenArrivals {
+    /// All open requests.
+    pub all: Cdf,
+    /// Opens whose session transferred data.
+    pub for_io: Cdf,
+    /// Opens used for control/directory work only.
+    pub for_control: Cdf,
+    /// Fraction of 1-second intervals with at least one open (§8.1:
+    /// "only up to 24 % of the 1-second intervals of a user's session
+    /// have open requests recorded for them").
+    pub active_second_fraction: f64,
+}
+
+/// Computes figure 11 from the instance table (per machine, then merged:
+/// inter-arrivals only make sense within one machine's request stream).
+pub fn open_arrivals(ts: &TraceSet) -> OpenArrivals {
+    let mut all = Vec::new();
+    let mut for_io = Vec::new();
+    let mut for_control = Vec::new();
+    let mut by_machine: HashMap<u32, Vec<(u64, bool)>> = HashMap::new();
+    for inst in &ts.instances {
+        by_machine
+            .entry(inst.machine)
+            .or_default()
+            .push((inst.open_start_ticks, inst.is_data()));
+    }
+    let mut active_seconds: u64 = 0;
+    let mut total_seconds: u64 = 0;
+    for (_, mut opens) in by_machine {
+        opens.sort_unstable();
+        // Overall gaps.
+        for w in opens.windows(2) {
+            all.push((w[1].0 - w[0].0) as f64 / 10_000.0);
+        }
+        // Per-class gaps, measured within each class's own stream.
+        for data in [true, false] {
+            let stream: Vec<u64> = opens
+                .iter()
+                .filter(|(_, d)| *d == data)
+                .map(|(t, _)| *t)
+                .collect();
+            let out = if data { &mut for_io } else { &mut for_control };
+            for w in stream.windows(2) {
+                out.push((w[1] - w[0]) as f64 / 10_000.0);
+            }
+        }
+        // Active-second accounting.
+        if let (Some(first), Some(last)) = (opens.first(), opens.last()) {
+            let lo = first.0 / 10_000_000;
+            let hi = last.0 / 10_000_000;
+            total_seconds += hi - lo + 1;
+            let mut secs: Vec<u64> = opens.iter().map(|(t, _)| t / 10_000_000).collect();
+            secs.dedup();
+            let mut unique = secs;
+            unique.sort_unstable();
+            unique.dedup();
+            active_seconds += unique.len() as u64;
+        }
+    }
+    OpenArrivals {
+        all: Cdf::from_samples(all),
+        for_io: Cdf::from_samples(for_io),
+        for_control: Cdf::from_samples(for_control),
+        active_second_fraction: if total_seconds == 0 {
+            0.0
+        } else {
+            active_seconds as f64 / total_seconds as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn arrivals_have_both_classes() {
+        let ts = synthetic_trace_set(400, 3);
+        let a = open_arrivals(&ts);
+        assert!(a.all.len() > 100);
+        assert!(!a.for_io.is_empty());
+        assert!(!a.for_control.is_empty());
+        assert!(a.all.len() >= a.for_io.len().max(a.for_control.len()));
+    }
+
+    #[test]
+    fn burstiness_leaves_most_seconds_idle() {
+        let ts = synthetic_trace_set(400, 4);
+        let a = open_arrivals(&ts);
+        assert!(
+            a.active_second_fraction < 0.9,
+            "got {}",
+            a.active_second_fraction
+        );
+        assert!(a.active_second_fraction > 0.0);
+    }
+
+    #[test]
+    fn gaps_are_heavy_tailed() {
+        let ts = synthetic_trace_set(500, 5);
+        let a = open_arrivals(&ts);
+        let median = a.all.median().unwrap();
+        let p99 = a.all.quantile(0.99).unwrap();
+        assert!(p99 > median * 10.0, "median {median} p99 {p99}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Request latency and size by access path — figures 13 and 14, §10.
+//!
+//! The four major request classes: FastIO read, FastIO write, IRP read,
+//! IRP write (non-paging application requests). Figure 13 plots their
+//! completion-latency CDFs — FastIO resolves in the cache in microseconds
+//! while IRPs pay packet overhead and possibly a disk access. Figure 14
+//! plots the request-size CDFs — FastIO requests skew smaller, because
+//! multi-operation readers use targeted buffers (§10).
+
+use crate::cdf::Cdf;
+use crate::schema::TraceSet;
+
+/// The per-class latency and size CDFs.
+pub struct PathLatencies {
+    /// FastIO read latency (microseconds).
+    pub fastio_read_latency: Cdf,
+    /// FastIO write latency.
+    pub fastio_write_latency: Cdf,
+    /// IRP read latency (non-paging).
+    pub irp_read_latency: Cdf,
+    /// IRP write latency (non-paging).
+    pub irp_write_latency: Cdf,
+    /// FastIO read request sizes (bytes).
+    pub fastio_read_size: Cdf,
+    /// FastIO write sizes.
+    pub fastio_write_size: Cdf,
+    /// IRP read sizes.
+    pub irp_read_size: Cdf,
+    /// IRP write sizes.
+    pub irp_write_size: Cdf,
+    /// Fraction of reads on the FastIO path (§10: 59 %).
+    pub fastio_read_fraction: f64,
+    /// Fraction of writes on the FastIO path (§10: 96 %).
+    pub fastio_write_fraction: f64,
+}
+
+/// Computes the figure-13/14 CDFs from non-paging data records.
+pub fn path_latencies(ts: &TraceSet) -> PathLatencies {
+    let mut frl = Vec::new();
+    let mut fwl = Vec::new();
+    let mut irl = Vec::new();
+    let mut iwl = Vec::new();
+    let mut frs = Vec::new();
+    let mut fws = Vec::new();
+    let mut irs = Vec::new();
+    let mut iws = Vec::new();
+    for (_, rec) in ts.data_records() {
+        if rec.status.is_error() {
+            continue;
+        }
+        let lat_us = rec.latency_ticks() as f64 / 10.0;
+        let size = rec.length as f64;
+        match (rec.kind().is_fastio(), rec.kind().is_read()) {
+            (true, true) => {
+                frl.push(lat_us);
+                frs.push(size);
+            }
+            (true, false) => {
+                fwl.push(lat_us);
+                fws.push(size);
+            }
+            (false, true) => {
+                irl.push(lat_us);
+                irs.push(size);
+            }
+            (false, false) => {
+                iwl.push(lat_us);
+                iws.push(size);
+            }
+        }
+    }
+    let reads = frl.len() + irl.len();
+    let writes = fwl.len() + iwl.len();
+    PathLatencies {
+        fastio_read_fraction: if reads == 0 {
+            0.0
+        } else {
+            frl.len() as f64 / reads as f64
+        },
+        fastio_write_fraction: if writes == 0 {
+            0.0
+        } else {
+            fwl.len() as f64 / writes as f64
+        },
+        fastio_read_latency: Cdf::from_samples(frl),
+        fastio_write_latency: Cdf::from_samples(fwl),
+        irp_read_latency: Cdf::from_samples(irl),
+        irp_write_latency: Cdf::from_samples(iwl),
+        fastio_read_size: Cdf::from_samples(frs),
+        fastio_write_size: Cdf::from_samples(fws),
+        irp_read_size: Cdf::from_samples(irs),
+        irp_write_size: Cdf::from_samples(iws),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn fastio_is_faster_than_irp() {
+        let ts = synthetic_trace_set(500, 31);
+        let p = path_latencies(&ts);
+        let f = p.fastio_read_latency.median().unwrap();
+        let i = p.irp_read_latency.median().unwrap();
+        assert!(f < i, "FastIO median {f}us vs IRP {i}us");
+    }
+
+    #[test]
+    fn write_path_is_mostly_fastio() {
+        let ts = synthetic_trace_set(500, 32);
+        let p = path_latencies(&ts);
+        assert!(
+            p.fastio_write_fraction > 0.7,
+            "§10: ≈96 % of writes ride FastIO, got {}",
+            p.fastio_write_fraction
+        );
+        assert!(p.fastio_read_fraction > 0.3);
+        assert!(p.fastio_read_fraction < 1.0);
+    }
+}

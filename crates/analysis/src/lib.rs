@@ -1,0 +1,52 @@
+//! The analysis pipeline of the NT 4.0 usage study (§4–§10 of the paper).
+//!
+//! The study poured 190 million trace records into a star-schema data
+//! warehouse with two fact tables — the raw **trace** table and the
+//! per-open **instance** table — and drove every figure and table from
+//! them. This crate is that pipeline:
+//!
+//! * [`schema`] — builds the fact tables from collected trace records.
+//! * [`stats`] / [`cdf`] — descriptive statistics and empirical CDFs
+//!   (every figure in the paper is a CDF or a distribution plot).
+//! * [`activity`] — table 2's user-activity intervals, with the BSD and
+//!   Sprite baselines for comparison.
+//! * [`patterns`] — table 3's access-pattern classification.
+//! * [`runs`] — figures 1–2, sequential run lengths.
+//! * [`sizes`] — figures 3–4, file-size distributions by opens and bytes.
+//! * [`sessions`] — figures 5 and 12, open durations.
+//! * [`lifetimes`] — figures 6–7, the die-young new files.
+//! * [`arrivals`] — figure 11, open inter-arrival times.
+//! * [`burstiness`] — figure 8, arrivals at three time scales vs Poisson.
+//! * [`tails`] — figures 9–10, QQ plots, LLCD slope and Hill estimator.
+//! * [`latency`] — figures 13–14, latency/size by request class.
+//! * [`ops`] — §8's operational characteristics.
+//! * [`paging`] — §9.2's paging-I/O burst analysis.
+//! * [`content`] — §5's file-system content analysis over snapshots.
+//! * [`dimensions`] — §4's dimension tables and drill-down cubes.
+//! * [`processes`] — §7's per-process activity characteristics.
+//! * [`profile`] — benchmark-configuration fitting (the §1 goal of
+//!   feeding realistic file-system benchmarks).
+
+pub mod activity;
+pub mod arrivals;
+pub mod burstiness;
+pub mod cdf;
+pub mod content;
+pub mod dimensions;
+pub mod latency;
+pub mod lifetimes;
+pub mod ops;
+pub mod paging;
+pub mod patterns;
+pub mod processes;
+pub mod profile;
+pub mod runs;
+pub mod schema;
+pub mod sessions;
+pub mod sizes;
+pub mod stats;
+pub mod tails;
+
+pub use cdf::Cdf;
+pub use schema::{Instance, TraceSet, UsageClass};
+pub use stats::{correlation, describe, Descriptives};

@@ -1,0 +1,146 @@
+//! Paging-I/O burst analysis — §9.2 and the follow-up traces.
+//!
+//! "What is important to us is the bursts of write requests triggered by
+//! activity of the lazy-writer threads. In general, when the bursts
+//! occur, they are in groups of 2–8 requests, with sizes of one or more
+//! pages up to 65 Kbytes." The paper also mentions running extra traces
+//! for "burst behavior of paging I/O"; this module measures both
+//! directions.
+
+use std::collections::HashMap;
+
+use crate::cdf::Cdf;
+use crate::schema::TraceSet;
+
+/// One burst of consecutive paging requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Burst {
+    /// Requests in the burst.
+    pub requests: u32,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Largest single request in the burst.
+    pub max_request: u64,
+}
+
+/// The paging-burst analysis.
+pub struct PagingBursts {
+    /// Lazy-writer (paging write) bursts.
+    pub write_bursts: Vec<Burst>,
+    /// Paging read bursts (demand + read-ahead trains).
+    pub read_bursts: Vec<Burst>,
+    /// Burst sizes in requests, as a CDF (writes).
+    pub write_burst_requests: Cdf,
+    /// Request sizes within write bursts, bytes.
+    pub write_request_sizes: Cdf,
+}
+
+/// Groups paging requests into bursts: requests on the same machine less
+/// than `gap_ticks` apart belong to one burst (the lazy writer emits its
+/// group within one scan, so 100 ms comfortably separates scans).
+pub fn paging_bursts(ts: &TraceSet, gap_ticks: u64) -> PagingBursts {
+    let mut writes_by_machine: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+    let mut reads_by_machine: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+    for (m, rec) in &ts.records {
+        if !rec.is_paging() {
+            continue;
+        }
+        let out = if rec.kind().is_write() {
+            &mut writes_by_machine
+        } else {
+            &mut reads_by_machine
+        };
+        out.entry(*m)
+            .or_default()
+            .push((rec.start_ticks, rec.length));
+    }
+    let collect = |per: HashMap<u32, Vec<(u64, u64)>>| {
+        let mut bursts = Vec::new();
+        for (_, mut reqs) in per {
+            reqs.sort_unstable();
+            let mut current: Option<(u64, Burst)> = None;
+            for (t, len) in reqs {
+                match current.as_mut() {
+                    Some((last, burst)) if t.saturating_sub(*last) <= gap_ticks => {
+                        burst.requests += 1;
+                        burst.bytes += len;
+                        burst.max_request = burst.max_request.max(len);
+                        *last = t;
+                    }
+                    _ => {
+                        if let Some((_, b)) = current.take() {
+                            bursts.push(b);
+                        }
+                        current = Some((
+                            t,
+                            Burst {
+                                requests: 1,
+                                bytes: len,
+                                max_request: len,
+                            },
+                        ));
+                    }
+                }
+            }
+            if let Some((_, b)) = current {
+                bursts.push(b);
+            }
+        }
+        bursts
+    };
+    let write_bursts = collect(writes_by_machine);
+    let read_bursts = collect(reads_by_machine);
+    PagingBursts {
+        write_burst_requests: Cdf::from_samples(write_bursts.iter().map(|b| b.requests as f64)),
+        write_request_sizes: Cdf::from_samples(
+            ts.records
+                .iter()
+                .filter(|(_, r)| r.is_paging() && r.kind().is_write())
+                .map(|(_, r)| r.length as f64),
+        ),
+        write_bursts,
+        read_bursts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn bursts_are_grouped_and_bounded() {
+        let ts = synthetic_trace_set(700, 101);
+        // 100 ms burst gap.
+        let b = paging_bursts(&ts, 1_000_000);
+        assert!(!b.write_bursts.is_empty(), "lazy writer produced bursts");
+        // §9.2: individual lazy-write requests cap at 64 KB.
+        for burst in &b.write_bursts {
+            assert!(burst.max_request <= 65_536, "got {}", burst.max_request);
+            assert!(burst.requests >= 1);
+            assert!(burst.bytes >= burst.max_request);
+        }
+        // The request-size CDF caps at the burst limit too.
+        if let Some((_, max)) = b.write_request_sizes.range() {
+            assert!(max <= 65_536.0);
+        }
+    }
+
+    #[test]
+    fn a_wider_gap_merges_bursts() {
+        let ts = synthetic_trace_set(700, 102);
+        let narrow = paging_bursts(&ts, 1_000_000);
+        let wide = paging_bursts(&ts, 100_000_000);
+        assert!(wide.write_bursts.len() <= narrow.write_bursts.len());
+        let narrow_total: u64 = narrow.write_bursts.iter().map(|b| b.bytes).sum();
+        let wide_total: u64 = wide.write_bursts.iter().map(|b| b.bytes).sum();
+        assert_eq!(narrow_total, wide_total, "grouping conserves bytes");
+    }
+
+    #[test]
+    fn read_bursts_exist_from_readahead_trains() {
+        let ts = synthetic_trace_set(700, 103);
+        let b = paging_bursts(&ts, 1_000_000);
+        assert!(!b.read_bursts.is_empty());
+    }
+}

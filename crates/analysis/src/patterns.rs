@@ -1,0 +1,197 @@
+//! Access-pattern classification — table 3.
+//!
+//! Rows: read-only / write-only / read-write usage. Columns: whole-file /
+//! other-sequential / random transfer. Cells report the percentage of
+//! accesses and of bytes, with per-machine min/max ranges — the ranges
+//! being, per §7, the truly important numbers.
+
+use std::collections::HashMap;
+
+use crate::schema::{TraceSet, TransferPattern, UsageClass};
+
+/// One table-3 cell: mean percentage plus the per-machine range.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cell {
+    /// Percentage over all machines pooled.
+    pub mean: f64,
+    /// Minimum per-machine percentage.
+    pub min: f64,
+    /// Maximum per-machine percentage.
+    pub max: f64,
+}
+
+/// One row of table 3 (a usage class).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Row {
+    /// Share of data sessions in this class (accesses %).
+    pub share_accesses: Cell,
+    /// Share of transferred bytes in this class.
+    pub share_bytes: Cell,
+    /// Whole-file transfers within the class, by accesses.
+    pub whole_accesses: Cell,
+    /// Other-sequential, by accesses.
+    pub seq_accesses: Cell,
+    /// Random, by accesses.
+    pub random_accesses: Cell,
+    /// Whole-file, by bytes.
+    pub whole_bytes: Cell,
+    /// Other-sequential, by bytes.
+    pub seq_bytes: Cell,
+    /// Random, by bytes.
+    pub random_bytes: Cell,
+}
+
+/// The full table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccessPatternTable {
+    /// Read-only row.
+    pub read_only: Row,
+    /// Write-only row.
+    pub write_only: Row,
+    /// Read-write row.
+    pub read_write: Row,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Tally {
+    // [class][pattern] → (sessions, bytes)
+    counts: [[u64; 3]; 3],
+    bytes: [[u64; 3]; 3],
+}
+
+fn class_idx(c: UsageClass) -> usize {
+    match c {
+        UsageClass::ReadOnly => 0,
+        UsageClass::WriteOnly => 1,
+        UsageClass::ReadWrite => 2,
+    }
+}
+
+fn pattern_idx(p: TransferPattern) -> usize {
+    match p {
+        TransferPattern::WholeFile => 0,
+        TransferPattern::OtherSequential => 1,
+        TransferPattern::Random => 2,
+    }
+}
+
+impl Tally {
+    fn class_sessions(&self, c: usize) -> u64 {
+        self.counts[c].iter().sum()
+    }
+
+    fn class_bytes(&self, c: usize) -> u64 {
+        self.bytes[c].iter().sum()
+    }
+
+    fn total_sessions(&self) -> u64 {
+        (0..3).map(|c| self.class_sessions(c)).sum()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        (0..3).map(|c| self.class_bytes(c)).sum()
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Computes table 3 from the instance table.
+pub fn access_patterns(ts: &TraceSet) -> AccessPatternTable {
+    let mut pooled = Tally::default();
+    let mut per_machine: HashMap<u32, Tally> = HashMap::new();
+    for inst in &ts.instances {
+        let (Some(class), Some(pattern)) = (inst.usage_class(), inst.transfer_pattern()) else {
+            continue;
+        };
+        let (c, p) = (class_idx(class), pattern_idx(pattern));
+        for tally in [&mut pooled, per_machine.entry(inst.machine).or_default()] {
+            tally.counts[c][p] += 1;
+            tally.bytes[c][p] += inst.bytes();
+        }
+    }
+    let machines: Vec<&Tally> = per_machine.values().collect();
+    let cell = |f: &dyn Fn(&Tally) -> f64| {
+        let mean = f(&pooled);
+        let vals: Vec<f64> = machines.iter().map(|t| f(t)).collect();
+        Cell {
+            mean,
+            min: vals.iter().copied().fold(f64::INFINITY, f64::min).min(mean),
+            max: vals.iter().copied().fold(0.0, f64::max).max(mean),
+        }
+    };
+    let row = |c: usize| Row {
+        share_accesses: cell(&|t| pct(t.class_sessions(c), t.total_sessions())),
+        share_bytes: cell(&|t| pct(t.class_bytes(c), t.total_bytes())),
+        whole_accesses: cell(&|t| pct(t.counts[c][0], t.class_sessions(c))),
+        seq_accesses: cell(&|t| pct(t.counts[c][1], t.class_sessions(c))),
+        random_accesses: cell(&|t| pct(t.counts[c][2], t.class_sessions(c))),
+        whole_bytes: cell(&|t| pct(t.bytes[c][0], t.class_bytes(c))),
+        seq_bytes: cell(&|t| pct(t.bytes[c][1], t.class_bytes(c))),
+        random_bytes: cell(&|t| pct(t.bytes[c][2], t.class_bytes(c))),
+    };
+    AccessPatternTable {
+        read_only: row(0),
+        write_only: row(1),
+        read_write: row(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn shares_sum_to_100() {
+        let ts = synthetic_trace_set(600, 41);
+        let t = access_patterns(&ts);
+        let total = t.read_only.share_accesses.mean
+            + t.write_only.share_accesses.mean
+            + t.read_write.share_accesses.mean;
+        assert!((total - 100.0).abs() < 1e-6, "got {total}");
+        let per_class = t.read_only.whole_accesses.mean
+            + t.read_only.seq_accesses.mean
+            + t.read_only.random_accesses.mean;
+        assert!((per_class - 100.0).abs() < 1e-6, "row sums: {per_class}");
+    }
+
+    #[test]
+    fn read_only_dominates_and_is_mostly_sequential() {
+        let ts = synthetic_trace_set(800, 42);
+        let t = access_patterns(&ts);
+        assert!(
+            t.read_only.share_accesses.mean > t.read_write.share_accesses.mean,
+            "read-only sessions dominate"
+        );
+        assert!(
+            t.read_only.whole_accesses.mean + t.read_only.seq_accesses.mean > 50.0,
+            "sequential access dominates reads"
+        );
+    }
+
+    #[test]
+    fn read_write_skews_random() {
+        let ts = synthetic_trace_set(800, 43);
+        let t = access_patterns(&ts);
+        assert!(
+            t.read_write.random_accesses.mean > t.read_only.random_accesses.mean,
+            "table 3: R/W sessions are the random ones"
+        );
+    }
+
+    #[test]
+    fn ranges_bracket_means() {
+        let ts = synthetic_trace_set(600, 44);
+        let t = access_patterns(&ts);
+        for row in [t.read_only, t.write_only, t.read_write] {
+            assert!(row.share_accesses.min <= row.share_accesses.mean + 1e-9);
+            assert!(row.share_accesses.max >= row.share_accesses.mean - 1e-9);
+        }
+    }
+}

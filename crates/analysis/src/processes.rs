@@ -1,0 +1,170 @@
+//! Per-process activity — the §7 observation that file-system traffic is
+//! process-controlled.
+//!
+//! "More than 92 % of the file accesses in our traces were from processes
+//! that take no direct user input … process lifetime, the number of
+//! dynamic loadable libraries accessed, the number of files open per
+//! process, and spacing of file accesses, all obey the characteristics of
+//! heavy-tail distributions."
+
+use std::collections::HashMap;
+
+use crate::schema::TraceSet;
+use crate::tails::hill_alpha;
+
+/// Aggregates for one (machine, process) pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProcessStats {
+    /// Open attempts issued.
+    pub opens: u64,
+    /// Data sessions.
+    pub data_sessions: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Distinct files touched (by FCB).
+    pub distinct_files: u64,
+    /// First activity (ticks).
+    pub first_ticks: u64,
+    /// Last activity (ticks).
+    pub last_ticks: u64,
+    /// Maximum concurrently-open sessions observed.
+    pub max_concurrent_opens: u32,
+}
+
+impl ProcessStats {
+    /// Observable activity span — the trace-visible process lifetime.
+    pub fn span_ticks(&self) -> u64 {
+        self.last_ticks.saturating_sub(self.first_ticks)
+    }
+}
+
+/// The §7 process analysis.
+pub struct ProcessAnalysis {
+    /// Stats per (machine, process id).
+    pub per_process: HashMap<(u32, u32), ProcessStats>,
+    /// Hill α of process activity spans.
+    pub span_alpha: f64,
+    /// Hill α of files-open-per-process counts.
+    pub files_alpha: f64,
+    /// Fraction of open attempts made by the busiest decile of processes.
+    pub top_decile_share: f64,
+}
+
+/// Computes per-process statistics from the instance table.
+pub fn process_analysis(ts: &TraceSet) -> ProcessAnalysis {
+    let mut per_process: HashMap<(u32, u32), ProcessStats> = HashMap::new();
+    let mut files: HashMap<(u32, u32), std::collections::HashSet<u64>> = HashMap::new();
+    // Sweep for concurrency: per process, order open/close boundaries.
+    let mut boundaries: HashMap<(u32, u32), Vec<(u64, i32)>> = HashMap::new();
+
+    for inst in &ts.instances {
+        let key = (inst.machine, inst.process);
+        let s = per_process.entry(key).or_insert(ProcessStats {
+            first_ticks: u64::MAX,
+            ..ProcessStats::default()
+        });
+        s.opens += 1;
+        if inst.is_data() {
+            s.data_sessions += 1;
+        }
+        s.bytes += inst.bytes();
+        s.first_ticks = s.first_ticks.min(inst.open_start_ticks);
+        s.last_ticks = s
+            .last_ticks
+            .max(inst.cleanup_ticks.unwrap_or(inst.open_end_ticks));
+        if inst.opened() {
+            files.entry(key).or_default().insert(inst.fcb);
+            let b = boundaries.entry(key).or_default();
+            b.push((inst.open_start_ticks, 1));
+            if let Some(c) = inst.cleanup_ticks {
+                b.push((c, -1));
+            }
+        }
+    }
+    for (key, set) in files {
+        if let Some(s) = per_process.get_mut(&key) {
+            s.distinct_files = set.len() as u64;
+        }
+    }
+    for (key, mut b) in boundaries {
+        b.sort_unstable();
+        let mut cur = 0i32;
+        let mut max = 0i32;
+        for (_, d) in b {
+            cur += d;
+            max = max.max(cur);
+        }
+        if let Some(s) = per_process.get_mut(&key) {
+            s.max_concurrent_opens = max.max(0) as u32;
+        }
+    }
+
+    let spans: Vec<f64> = per_process
+        .values()
+        .map(|s| s.span_ticks() as f64)
+        .filter(|&x| x > 0.0)
+        .collect();
+    let file_counts: Vec<f64> = per_process
+        .values()
+        .map(|s| s.distinct_files as f64)
+        .filter(|&x| x > 0.0)
+        .collect();
+
+    let mut opens: Vec<u64> = per_process.values().map(|s| s.opens).collect();
+    opens.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = opens.iter().sum();
+    let top = (opens.len().div_ceil(10)).max(1);
+    let top_share = if total == 0 {
+        0.0
+    } else {
+        opens.iter().take(top).sum::<u64>() as f64 / total as f64
+    };
+
+    ProcessAnalysis {
+        span_alpha: hill_alpha(&spans),
+        files_alpha: hill_alpha(&file_counts),
+        top_decile_share: top_share,
+        per_process,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn per_process_totals_conserve() {
+        let ts = synthetic_trace_set(500, 95);
+        let a = process_analysis(&ts);
+        let opens: u64 = a.per_process.values().map(|s| s.opens).sum();
+        assert_eq!(opens as usize, ts.instances.len());
+        assert!(a.per_process.len() >= 2, "multiple processes");
+        for s in a.per_process.values() {
+            assert!(s.last_ticks >= s.first_ticks);
+            assert!(s.distinct_files <= s.opens);
+        }
+    }
+
+    #[test]
+    fn concurrency_detected() {
+        let ts = synthetic_trace_set(500, 96);
+        let a = process_analysis(&ts);
+        let max = a
+            .per_process
+            .values()
+            .map(|s| s.max_concurrent_opens)
+            .max()
+            .unwrap_or(0);
+        assert!(max >= 1);
+    }
+
+    #[test]
+    fn concentration_is_reported() {
+        let ts = synthetic_trace_set(500, 97);
+        let a = process_analysis(&ts);
+        assert!(a.top_decile_share > 0.0 && a.top_decile_share <= 1.0);
+        assert!(a.span_alpha >= 0.0);
+        assert!(a.files_alpha >= 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Workload-profile extraction — "configuration information for
+//! realistic file system benchmarks" (§1).
+//!
+//! §7's modelling conclusion is that benchmarks must draw their input
+//! parameters from the *correct (heavy-tailed) distributions*. This
+//! module fits a [`WorkloadProfile`] from any trace: empirical
+//! inverse-CDF samplers for the key variables plus the categorical
+//! shares, which a generator (see `nt_study::synthetic`) can replay to
+//! produce traffic with the same statistical shape.
+
+use rand::Rng;
+
+use crate::schema::{TraceSet, UsageClass};
+use crate::tails::hill_alpha;
+
+/// An empirical distribution stored as a quantile table; sampling is
+/// inverse-CDF with linear interpolation, which preserves the tail as
+/// far as the data saw it.
+#[derive(Clone, Debug)]
+pub struct EmpiricalDist {
+    // 0-, 1/(n-1)-, …, 1-quantiles.
+    quantiles: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// Fits a table of `resolution` quantiles (at least 2) from samples.
+    /// Returns `None` when there are no finite samples.
+    pub fn fit(samples: &[f64], resolution: usize) -> Option<EmpiricalDist> {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let resolution = resolution.max(2);
+        let n = sorted.len();
+        let quantiles = (0..resolution)
+            .map(|i| {
+                let idx = (i as f64 / (resolution - 1) as f64) * (n - 1) as f64;
+                let lo = idx.floor() as usize;
+                let hi = idx.ceil() as usize;
+                let frac = idx - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            })
+            .collect();
+        Some(EmpiricalDist { quantiles })
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let pos = u * (self.quantiles.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.quantiles[lo] * (1.0 - frac) + self.quantiles[hi] * frac
+    }
+
+    /// The fitted `q`-quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.quantiles.len() - 1) as f64;
+        self.quantiles[pos.round() as usize]
+    }
+
+    /// Median of the table.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// The fitted benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadProfile {
+    /// Open-request inter-arrival gaps, in ticks.
+    pub interarrival_ticks: EmpiricalDist,
+    /// Hill α of the inter-arrival tail (documentation of tail weight).
+    pub interarrival_alpha: f64,
+    /// Fraction of opens that perform only control work.
+    pub control_fraction: f64,
+    /// Fraction of opens that fail.
+    pub open_failure_fraction: f64,
+    /// Among data sessions: (read-only, write-only, read-write) shares.
+    pub class_shares: (f64, f64, f64),
+    /// Reads per read-carrying session.
+    pub reads_per_session: EmpiricalDist,
+    /// Writes per write-carrying session.
+    pub writes_per_session: EmpiricalDist,
+    /// Read request sizes (bytes).
+    pub read_sizes: EmpiricalDist,
+    /// Write request sizes (bytes).
+    pub write_sizes: EmpiricalDist,
+    /// Sizes of the files data sessions touch (bytes).
+    pub file_sizes: EmpiricalDist,
+    /// Fraction of read sessions that are fully sequential.
+    pub sequential_read_fraction: f64,
+}
+
+/// Fits a profile from the fact tables. Returns `None` when the trace is
+/// too small to characterise (no opens or no data sessions).
+pub fn fit_profile(ts: &TraceSet) -> Option<WorkloadProfile> {
+    // Inter-arrivals per machine, pooled.
+    let mut gaps = Vec::new();
+    {
+        use std::collections::HashMap;
+        let mut per: HashMap<u32, Vec<u64>> = HashMap::new();
+        for inst in &ts.instances {
+            per.entry(inst.machine)
+                .or_default()
+                .push(inst.open_start_ticks);
+        }
+        for (_, mut opens) in per {
+            opens.sort_unstable();
+            for w in opens.windows(2) {
+                let g = (w[1] - w[0]) as f64;
+                if g > 0.0 {
+                    gaps.push(g);
+                }
+            }
+        }
+    }
+    let interarrival_ticks = EmpiricalDist::fit(&gaps, 512)?;
+
+    let opened: Vec<_> = ts.instances.iter().filter(|i| i.opened()).collect();
+    let total = ts.instances.len();
+    if total == 0 || opened.is_empty() {
+        return None;
+    }
+    let data: Vec<_> = opened.iter().filter(|i| i.is_data()).collect();
+    if data.is_empty() {
+        return None;
+    }
+    let (mut ro, mut wo, mut rw) = (0u64, 0u64, 0u64);
+    let mut seq_reads = 0u64;
+    let mut read_counts = Vec::new();
+    let mut write_counts = Vec::new();
+    let mut file_sizes = Vec::new();
+    for i in &data {
+        match i.usage_class() {
+            Some(UsageClass::ReadOnly) => ro += 1,
+            Some(UsageClass::WriteOnly) => wo += 1,
+            Some(UsageClass::ReadWrite) => rw += 1,
+            None => {}
+        }
+        if i.reads > 0 {
+            read_counts.push(i.reads as f64);
+            if i.transfer_pattern()
+                .map(|p| p != crate::schema::TransferPattern::Random)
+                .unwrap_or(false)
+            {
+                seq_reads += 1;
+            }
+        }
+        if i.writes > 0 {
+            write_counts.push(i.writes as f64);
+        }
+        file_sizes.push(i.file_size.max(1) as f64);
+    }
+    let read_sessions = data.iter().filter(|i| i.reads > 0).count() as u64;
+
+    let mut read_sizes = Vec::new();
+    let mut write_sizes = Vec::new();
+    for (_, rec) in ts.data_records() {
+        if rec.status.is_error() {
+            continue;
+        }
+        if rec.kind().is_read() {
+            read_sizes.push(rec.length as f64);
+        } else {
+            write_sizes.push(rec.length as f64);
+        }
+    }
+
+    let dsum = (ro + wo + rw).max(1) as f64;
+    Some(WorkloadProfile {
+        interarrival_alpha: hill_alpha(&gaps),
+        interarrival_ticks,
+        control_fraction: opened.iter().filter(|i| !i.is_data()).count() as f64
+            / opened.len() as f64,
+        open_failure_fraction: (total - opened.len()) as f64 / total as f64,
+        class_shares: (ro as f64 / dsum, wo as f64 / dsum, rw as f64 / dsum),
+        reads_per_session: EmpiricalDist::fit(&read_counts, 256)
+            .unwrap_or(EmpiricalDist::fit(&[1.0], 2).expect("constant fits")),
+        writes_per_session: EmpiricalDist::fit(&write_counts, 256)
+            .unwrap_or(EmpiricalDist::fit(&[1.0], 2).expect("constant fits")),
+        read_sizes: EmpiricalDist::fit(&read_sizes, 256)
+            .unwrap_or(EmpiricalDist::fit(&[4096.0], 2).expect("constant fits")),
+        write_sizes: EmpiricalDist::fit(&write_sizes, 256)
+            .unwrap_or(EmpiricalDist::fit(&[4096.0], 2).expect("constant fits")),
+        file_sizes: EmpiricalDist::fit(&file_sizes, 256)?,
+        sequential_read_fraction: if read_sessions == 0 {
+            0.0
+        } else {
+            seq_reads as f64 / read_sessions as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_dist_round_trips_quantiles() {
+        let samples: Vec<f64> = (1..=1_000).map(|i| i as f64).collect();
+        let d = EmpiricalDist::fit(&samples, 128).unwrap();
+        assert!((d.median() - 500.0).abs() < 20.0);
+        assert!((d.quantile(0.9) - 900.0).abs() < 25.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let drawn: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = drawn.iter().sum::<f64>() / drawn.len() as f64;
+        assert!((mean - 500.5).abs() < 20.0, "mean {mean}");
+        assert!(drawn.iter().all(|&x| (1.0..=1_000.0).contains(&x)));
+    }
+
+    #[test]
+    fn empirical_dist_preserves_heavy_tails() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let u: f64 = rand::Rng::gen_range(&mut rng, f64::MIN_POSITIVE..1.0);
+                1.0 / u.powf(1.0 / 1.3)
+            })
+            .collect();
+        let d = EmpiricalDist::fit(&samples, 1024).unwrap();
+        let drawn: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let alpha = crate::tails::hill_alpha(&drawn);
+        assert!(
+            (0.9..1.9).contains(&alpha),
+            "refit alpha {alpha} should stay near 1.3"
+        );
+    }
+
+    #[test]
+    fn fit_profile_from_synthetic_trace() {
+        let ts = synthetic_trace_set(600, 77);
+        let p = fit_profile(&ts).expect("trace is large enough");
+        assert!(p.control_fraction > 0.1 && p.control_fraction < 0.9);
+        assert!(p.open_failure_fraction > 0.0 && p.open_failure_fraction < 0.5);
+        let (ro, wo, rw) = p.class_shares;
+        assert!((ro + wo + rw - 1.0).abs() < 1e-9);
+        assert!(p.read_sizes.median() > 0.0);
+        assert!(p.file_sizes.quantile(0.9) >= p.file_sizes.median());
+        assert!(p.sequential_read_fraction > 0.3);
+        assert!(p.interarrival_alpha > 0.0);
+    }
+
+    #[test]
+    fn fit_profile_rejects_empty_traces() {
+        let ts = crate::schema::TraceSet::build(Vec::<(
+            u32,
+            Vec<nt_trace::TraceRecord>,
+            Vec<nt_trace::NameRecord>,
+        )>::new());
+        assert!(fit_profile(&ts).is_none());
+    }
+}

@@ -1,0 +1,309 @@
+//! Heavy-tail diagnostics — figures 9 and 10 and §7.
+//!
+//! Three instruments, exactly the paper's:
+//!
+//! * **QQ comparison** (figure 9) of the sample against a fitted Normal
+//!   and a fitted Pareto — the Normal bends away, the Pareto tracks.
+//! * **LLCD plot** (figure 10): log10 `P[X > x]` against log10 `x`; a
+//!   straight tail is power-law behaviour, and the least-squares slope of
+//!   the upper tail estimates α (the study found 1.2 on the arrival
+//!   sample).
+//! * The **Hill estimator** over the top-k order statistics, "a reliable
+//!   estimator for α" per the paper's footnote; values between 1.2 and
+//!   1.7 across usage variables indicated infinite variance.
+
+use crate::stats::least_squares;
+
+/// A point series for plotting.
+pub type Series = Vec<(f64, f64)>;
+
+/// QQ plot data: sample quantiles vs theoretical quantiles.
+pub struct QqPlot {
+    /// (theoretical, observed) pairs against a fitted Normal.
+    pub against_normal: Series,
+    /// (theoretical, observed) pairs against a fitted Pareto.
+    pub against_pareto: Series,
+    /// Mean absolute relative deviation from the Normal line.
+    pub normal_deviation: f64,
+    /// Mean absolute relative deviation from the Pareto line.
+    pub pareto_deviation: f64,
+}
+
+fn normal_quantile(p: f64) -> f64 {
+    // Acklam's rational approximation of the inverse normal CDF.
+    debug_assert!((0.0..1.0).contains(&p));
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Builds figure 9 from a sample: QQ against a moment-fitted Normal and a
+/// tail-fitted Pareto.
+pub fn qq_plot(sample: &[f64], points: usize) -> QqPlot {
+    let mut sorted: Vec<f64> = sample.iter().copied().filter(|x| x.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    if n < 10 {
+        return QqPlot {
+            against_normal: Vec::new(),
+            against_pareto: Vec::new(),
+            normal_deviation: 0.0,
+            pareto_deviation: 0.0,
+        };
+    }
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let sd = (sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+    // Pareto fit: xm = a low quantile, alpha from the Hill estimator.
+    let xm = sorted[n / 10].max(1e-9);
+    let alpha = hill_estimator(&sorted, n / 10).max(0.2);
+
+    let points = points.max(4);
+    let mut against_normal = Vec::with_capacity(points);
+    let mut against_pareto = Vec::with_capacity(points);
+    let mut ndev = 0.0;
+    let mut pdev = 0.0;
+    let mut used = 0;
+    for i in 0..points {
+        let p = (i as f64 + 0.5) / points as f64;
+        let observed = sorted[((p * n as f64) as usize).min(n - 1)];
+        let qn = mean + sd * normal_quantile(p);
+        let qp = xm / (1.0 - p).powf(1.0 / alpha);
+        against_normal.push((qn, observed));
+        against_pareto.push((qp, observed));
+        let scale = observed.abs().max(1e-9);
+        ndev += (observed - qn).abs() / scale;
+        pdev += (observed - qp).abs() / scale;
+        used += 1;
+    }
+    QqPlot {
+        against_normal,
+        against_pareto,
+        normal_deviation: ndev / used as f64,
+        pareto_deviation: pdev / used as f64,
+    }
+}
+
+/// LLCD data: `(log10 x, log10 P[X > x])` over the whole sample, plus the
+/// fitted slope of the upper tail. `-slope` estimates α.
+pub struct Llcd {
+    /// The plotted points.
+    pub points: Series,
+    /// Least-squares slope of the upper-tail points.
+    pub tail_slope: f64,
+    /// The α estimate (`-tail_slope`).
+    pub alpha: f64,
+}
+
+/// Builds figure 10 from a sample. `tail_fraction` selects how much of
+/// the upper tail the slope is fitted on (the paper fits the plotted
+/// tail; 0.1 reproduces that).
+pub fn llcd(sample: &[f64], tail_fraction: f64) -> Llcd {
+    let mut sorted: Vec<f64> = sample
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    if n < 10 {
+        return Llcd {
+            points: Vec::new(),
+            tail_slope: 0.0,
+            alpha: 0.0,
+        };
+    }
+    // Thin to at most ~2000 plotted points.
+    let step = (n / 2_000).max(1);
+    let mut points = Vec::new();
+    for i in (0..n - 1).step_by(step) {
+        let x = sorted[i];
+        let p_gt = (n - 1 - i) as f64 / n as f64;
+        if p_gt > 0.0 {
+            points.push((x.log10(), p_gt.log10()));
+        }
+    }
+    let k = ((n as f64 * tail_fraction) as usize).clamp(5, n - 1);
+    let tail: Vec<(f64, f64)> = (n - k..n - 1)
+        .map(|i| {
+            let p_gt = (n - 1 - i) as f64 / n as f64;
+            (sorted[i].log10(), p_gt.log10())
+        })
+        .collect();
+    let xs: Vec<f64> = tail.iter().map(|(x, _)| *x).collect();
+    let ys: Vec<f64> = tail.iter().map(|(_, y)| *y).collect();
+    let slope = least_squares(&xs, &ys).map(|(_, b)| b).unwrap_or(0.0);
+    Llcd {
+        points,
+        tail_slope: slope,
+        alpha: -slope,
+    }
+}
+
+/// The Hill estimator of the tail index α over the top `k` order
+/// statistics.
+pub fn hill_estimator(sorted_ascending: &[f64], k: usize) -> f64 {
+    let n = sorted_ascending.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let k = k.clamp(2, n - 1);
+    let xk = sorted_ascending[n - 1 - k].max(1e-12);
+    let mut acc = 0.0;
+    for i in 0..k {
+        acc += (sorted_ascending[n - 1 - i].max(1e-12) / xk).ln();
+    }
+    if acc <= 0.0 {
+        return 0.0;
+    }
+    k as f64 / acc
+}
+
+/// Convenience: Hill α of an unsorted sample using the top 10 %.
+pub fn hill_alpha(sample: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = sample
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let k = (sorted.len() / 10).max(2);
+    hill_estimator(&sorted, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pareto_sample(alpha: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                1.0 / u.powf(1.0 / alpha)
+            })
+            .collect()
+    }
+
+    fn normal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                100.0 + 15.0 * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-3);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hill_recovers_alpha() {
+        for &alpha in &[1.2, 1.7, 2.5] {
+            let mut s = pareto_sample(alpha, 60_000, 7);
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let est = hill_estimator(&s, 6_000);
+            assert!((est - alpha).abs() < 0.15, "alpha {alpha} estimated {est}");
+        }
+    }
+
+    #[test]
+    fn llcd_slope_matches_alpha() {
+        let s = pareto_sample(1.3, 50_000, 11);
+        let l = llcd(&s, 0.1);
+        assert!(
+            (l.alpha - 1.3).abs() < 0.25,
+            "slope-derived alpha {}",
+            l.alpha
+        );
+        assert!(!l.points.is_empty());
+        // LLCD of Pareto data is near-linear: compare first/last tail
+        // segment slopes crudely via global fit residual sign; a normal
+        // sample instead drops off sharply (larger |alpha| from the fit).
+        let nrm = llcd(&normal_sample(50_000, 12), 0.1);
+        assert!(
+            nrm.alpha > l.alpha * 2.0,
+            "normal tail decays much faster: {} vs {}",
+            nrm.alpha,
+            l.alpha
+        );
+    }
+
+    #[test]
+    fn qq_prefers_pareto_for_heavy_tails() {
+        let s = pareto_sample(1.4, 20_000, 13);
+        let qq = qq_plot(&s, 100);
+        assert!(
+            qq.pareto_deviation < qq.normal_deviation,
+            "pareto {} vs normal {}",
+            qq.pareto_deviation,
+            qq.normal_deviation
+        );
+    }
+
+    #[test]
+    fn qq_prefers_normal_for_gaussian_data() {
+        let s = normal_sample(20_000, 14);
+        let qq = qq_plot(&s, 100);
+        assert!(
+            qq.normal_deviation < qq.pareto_deviation,
+            "normal {} vs pareto {}",
+            qq.normal_deviation,
+            qq.pareto_deviation
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(hill_estimator(&[], 5), 0.0);
+        assert_eq!(llcd(&[1.0, 2.0], 0.1).alpha, 0.0);
+        let qq = qq_plot(&[1.0; 5], 10);
+        assert!(qq.against_normal.is_empty());
+    }
+}

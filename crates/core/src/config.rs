@@ -1,0 +1,171 @@
+//! Deployment configuration (§2 of the paper).
+
+use nt_sim::SimDuration;
+use nt_workload::UsageCategory;
+
+/// One traced workstation.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// The §2 usage category; decides hardware, disks and workload mix.
+    pub category: UsageCategory,
+    /// The user's name (profile directory, share name).
+    pub user: String,
+}
+
+impl MachineSpec {
+    /// A machine of the given category for the numbered user.
+    pub fn new(category: UsageCategory, index: usize) -> Self {
+        let prefix = match category {
+            UsageCategory::WalkUp => "walkup",
+            UsageCategory::Pool => "pool",
+            UsageCategory::Personal => "user",
+            UsageCategory::Administrative => "admin",
+            UsageCategory::Scientific => "sci",
+        };
+        MachineSpec {
+            category,
+            user: format!("{prefix}{index:02}"),
+        }
+    }
+}
+
+/// The whole deployment.
+#[derive(Clone, Debug)]
+pub struct StudyConfig {
+    /// Master seed; every machine derives an independent stream.
+    pub seed: u64,
+    /// The traced machines.
+    pub machines: Vec<MachineSpec>,
+    /// Tracing period.
+    pub duration: SimDuration,
+    /// Interval between file-system snapshots (§3.1: daily at 4 a.m.;
+    /// scaled runs snapshot more often so diffs exist).
+    pub snapshot_interval: SimDuration,
+    /// Target number of initial files per local volume (§5: 24k–45k; the
+    /// scaled presets use less to keep test runtimes sane).
+    pub files_per_volume: usize,
+    /// Approximate WWW-cache population per profile.
+    pub web_cache_files: usize,
+    /// Ablation: force every data request down the IRP path (§10).
+    pub disable_fastio: bool,
+    /// Ablation: disable read-ahead (§9.1).
+    pub disable_readahead: bool,
+    /// Ablation: force write-through caching (§9.2).
+    pub force_write_through: bool,
+    /// Mean time between collection-server connection losses per machine
+    /// (§3: "If a trace agent loses contact with the collection servers
+    /// it will suspend the local operation until the connection is
+    /// re-established"). `None` disables failure injection.
+    pub agent_disconnect_mean: Option<nt_sim::SimDuration>,
+}
+
+impl StudyConfig {
+    /// The paper's deployment shape: 45 machines across the five
+    /// categories, four weeks of tracing, daily snapshots. This is the
+    /// full-fidelity preset; expect a long run and a large trace.
+    pub fn paper_scale(seed: u64) -> Self {
+        let mut machines = Vec::new();
+        // §2: walk-up pool plus group, personal, administrative and
+        // scientific machines; the exact split is not published, so the
+        // deployment spreads 45 machines across the categories with the
+        // office population dominating.
+        for i in 0..10 {
+            machines.push(MachineSpec::new(UsageCategory::WalkUp, i));
+        }
+        for i in 0..12 {
+            machines.push(MachineSpec::new(UsageCategory::Pool, i));
+        }
+        for i in 0..14 {
+            machines.push(MachineSpec::new(UsageCategory::Personal, i));
+        }
+        for i in 0..5 {
+            machines.push(MachineSpec::new(UsageCategory::Administrative, i));
+        }
+        for i in 0..4 {
+            machines.push(MachineSpec::new(UsageCategory::Scientific, i));
+        }
+        StudyConfig {
+            seed,
+            machines,
+            duration: SimDuration::from_secs(28 * 86_400),
+            snapshot_interval: SimDuration::from_secs(86_400),
+            files_per_volume: 28_000,
+            web_cache_files: 4_000,
+            disable_fastio: false,
+            disable_readahead: false,
+            force_write_through: false,
+            agent_disconnect_mean: None,
+        }
+    }
+
+    /// The default evaluation preset: the full 45-machine fleet for one
+    /// simulated hour — enough for every distribution to populate while
+    /// keeping the harness fast.
+    pub fn evaluation(seed: u64) -> Self {
+        let mut c = Self::paper_scale(seed);
+        c.duration = SimDuration::from_secs(3_600);
+        c.snapshot_interval = SimDuration::from_secs(1_200);
+        c.files_per_volume = 6_000;
+        c.web_cache_files = 800;
+        c
+    }
+
+    /// A tiny preset for unit tests and doc tests: one machine per
+    /// category, a few minutes of tracing.
+    pub fn smoke_test(seed: u64) -> Self {
+        StudyConfig {
+            seed,
+            machines: UsageCategory::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| MachineSpec::new(c, i))
+                .collect(),
+            duration: SimDuration::from_secs(300),
+            snapshot_interval: SimDuration::from_secs(120),
+            files_per_volume: 1_200,
+            web_cache_files: 150,
+            disable_fastio: false,
+            disable_readahead: false,
+            force_write_through: false,
+            agent_disconnect_mean: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_has_45_machines() {
+        let c = StudyConfig::paper_scale(1);
+        assert_eq!(c.machines.len(), 45);
+        assert_eq!(c.duration.as_secs(), 28 * 86_400);
+        let sci = c
+            .machines
+            .iter()
+            .filter(|m| m.category == UsageCategory::Scientific)
+            .count();
+        assert_eq!(sci, 4);
+    }
+
+    #[test]
+    fn presets_scale_down_consistently() {
+        let e = StudyConfig::evaluation(1);
+        assert_eq!(e.machines.len(), 45);
+        assert!(e.duration.as_secs() <= 3_600);
+        let s = StudyConfig::smoke_test(1);
+        assert_eq!(s.machines.len(), 5);
+        assert!(s.files_per_volume < e.files_per_volume);
+    }
+
+    #[test]
+    fn user_names_are_unique() {
+        let c = StudyConfig::paper_scale(1);
+        let mut names: Vec<&str> = c.machines.iter().map(|m| m.user.as_str()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,34 @@
+//! Orchestration of the Windows NT 4.0 file-system usage study.
+//!
+//! This crate is the study itself: it stands up a fleet of simulated
+//! workstations (each the full `nt-io` stack with the `nt-trace` filter
+//! driver attached), drives them with the `nt-workload` user models for a
+//! configured tracing period, collects the trace streams and daily
+//! snapshots the way §3 of the paper describes, and renders every table
+//! and figure of the evaluation through `nt-analysis`.
+//!
+//! # Examples
+//!
+//! ```
+//! use nt_study::{Study, StudyConfig};
+//!
+//! // A small deployment: one machine per usage category, short period.
+//! let config = StudyConfig::smoke_test(42);
+//! let data = Study::run(&config);
+//! assert!(data.trace_set.records.len() > 100);
+//! let table2 = nt_study::report::table2(&data);
+//! assert!(table2.contains("10-minute"));
+//! ```
+
+pub mod config;
+pub mod replay;
+pub mod report;
+pub mod run;
+pub mod study;
+pub mod synthetic;
+
+pub use config::{MachineSpec, StudyConfig};
+pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
+pub use run::MachineRun;
+pub use study::{MachineOutput, Study, StudyData};
+pub use synthetic::SyntheticBench;

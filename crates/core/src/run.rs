@@ -1,0 +1,388 @@
+//! Driving one traced workstation through the study period.
+
+use nt_fs::VolumeConfig;
+use nt_io::{DiskParams, Machine, MachineConfig, ProcessId};
+use nt_sim::{rng_for, Engine, SimDuration, SimRng, SimTime};
+use nt_trace::{MachineId, RecordSink, Snapshot, SnapshotWalker, TraceFilter};
+use nt_workload::{
+    plan::{run_plan, run_plan_keep_open},
+    users::WorkingSet,
+    ContentBuilder, ContentPlan, UsageCategory, UserModel,
+};
+use rand::Rng;
+
+use crate::config::{MachineSpec, StudyConfig};
+
+/// One workstation mid-flight: the machine, its user model and the
+/// bookkeeping the §3 agent performs.
+pub struct MachineRun {
+    /// The collection-server identity of this machine.
+    pub id: MachineId,
+    /// The usage category (drives analysis breakdowns).
+    pub category: UsageCategory,
+    machine: Machine<TraceFilter>,
+    user: UserModel,
+    rng: SimRng,
+    /// Snapshots taken so far.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl MachineRun {
+    /// Builds the machine for a spec: volumes, §5-like initial content,
+    /// working set, user model, filter driver.
+    pub fn build(config: &StudyConfig, index: usize, spec: &MachineSpec) -> Self {
+        let id = MachineId(index as u32);
+        let mut rng = rng_for(config.seed, &[index as u64]);
+        let mut machine_config = MachineConfig {
+            seed: rng.gen(),
+            ..MachineConfig::default()
+        };
+        machine_config.disable_fastio = config.disable_fastio;
+        machine_config.cache.readahead_enabled = !config.disable_readahead;
+        machine_config.cache.force_write_through = config.force_write_through;
+        let mut machine = Machine::new(machine_config, TraceFilter::new(id));
+
+        // §2 hardware: scientific machines have 9–18 GB SCSI disks,
+        // everyone else 2–6 GB IDE.
+        let (capacity, disk) = match spec.category {
+            UsageCategory::Scientific => (rng.gen_range(9..=18u64) << 30, DiskParams::local_scsi()),
+            _ => (rng.gen_range(2..=6u64) << 30, DiskParams::local_ide()),
+        };
+        // §2/§3.1: the fleet mixed FAT and NTFS; FAT volumes do not
+        // maintain creation or last-access times, which the §5 analysis
+        // has to cope with.
+        let use_fat = !matches!(spec.category, UsageCategory::Scientific) && rng.gen_bool(0.25);
+        let volume_config = if use_fat {
+            VolumeConfig::local_fat(capacity)
+        } else {
+            VolumeConfig::local_ntfs(capacity)
+        };
+        let local = machine.add_local_volume('C', volume_config, disk);
+        let share = machine.add_share(
+            "fileserv",
+            &format!("{}$", spec.user),
+            VolumeConfig::local_ntfs(2 << 30),
+            DiskParams::network_share(),
+        );
+
+        // Initial content.
+        let mut plan = match spec.category {
+            UsageCategory::Pool => ContentPlan::developer(&spec.user),
+            _ => ContentPlan::desktop(&spec.user),
+        };
+        plan.target_files = config.files_per_volume;
+        plan.web_cache_files = config.web_cache_files;
+        {
+            let vol = machine
+                .namespace_mut()
+                .volume_mut(local)
+                .expect("local volume exists");
+            ContentBuilder::build(vol, &plan, SimTime::ZERO, &mut rng)
+                .expect("initial content fits the volume");
+        }
+        // Scientific machines get their large data sets.
+        if spec.category == UsageCategory::Scientific {
+            let vol = machine
+                .namespace_mut()
+                .volume_mut(local)
+                .expect("local volume exists");
+            let root = vol.root();
+            let data = vol.mkdir(root, "data", SimTime::ZERO).expect("fresh dir");
+            for i in 0..6 {
+                let f = vol
+                    .create_file(data, &format!("run{i}.mat"), SimTime::ZERO)
+                    .expect("fresh file");
+                // §6.1: 100–300 MB simulation files.
+                let size = rng.gen_range(100..300u64) << 20;
+                vol.set_file_size(f, size, SimTime::ZERO)
+                    .expect("capacity reserved for data sets");
+            }
+        }
+        // The user's share holds some documents.
+        {
+            let vol = machine
+                .namespace_mut()
+                .volume_mut(share)
+                .expect("share volume exists");
+            let plan = ContentPlan::user_share(150);
+            ContentBuilder::build(vol, &plan, SimTime::ZERO, &mut rng).expect("share content fits");
+        }
+
+        let ws = {
+            let vol = machine.namespace().volume(local).expect("local volume");
+            WorkingSet::sample(local, vol, 1_500)
+        };
+        let user = UserModel::new(spec.category, &spec.user, local, Some(share), ws);
+        MachineRun {
+            id,
+            category: spec.category,
+            machine,
+            user,
+            rng,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Takes a §3.1 snapshot of every volume.
+    pub fn take_snapshot(&mut self, now: SimTime) {
+        self.snapshots.extend(SnapshotWalker::walk_namespace(
+            self.machine.namespace(),
+            now,
+        ));
+    }
+
+    /// Runs the machine for the configured duration, shipping trace
+    /// buffers into `server`, and returns the end-of-run metrics.
+    pub fn simulate<S: RecordSink + 'static>(&mut self, config: &StudyConfig, server: &mut S) {
+        let end = SimTime::ZERO + config.duration;
+        self.take_snapshot(SimTime::ZERO);
+
+        // Logon: winlogon syncs the profile (§5), then the loadwc-style
+        // services open their session-long handles (§8.1 — the far tail
+        // of figure 12).
+        let mut now = SimTime::from_millis(self.rng.gen_range(10..2_000));
+        let logon = self.user.logon_plan(&mut self.rng);
+        now = run_plan(&mut self.machine, ProcessId(1), &logon, now).end;
+        let persistent_targets: Vec<_> = self.user.ws.docs.iter().take(10).cloned().collect();
+        let service_plan = nt_workload::apps::persistent_service_open(
+            self.user.local,
+            &persistent_targets,
+            &mut self.rng,
+        );
+        let (sstats, mut persistent_handles) =
+            run_plan_keep_open(&mut self.machine, ProcessId(7), &service_plan, now);
+        now = sstats.end;
+
+        // The shell keeps the profile directory open and watched for the
+        // whole session (explorer's change notifications).
+        let profile_dir =
+            nt_fs::NtPath::parse(&nt_workload::filetypes::paths::profile_of(&self.user.user));
+        let (reply, shell_handle) = self.machine.create(
+            ProcessId(2),
+            self.user.local,
+            &profile_dir,
+            nt_io::AccessMode::Control,
+            nt_io::Disposition::Open,
+            nt_io::CreateOptions {
+                directory: true,
+                ..nt_io::CreateOptions::default()
+            },
+            now,
+        );
+        now = reply.end;
+        if let Some(h) = shell_handle {
+            now = self.machine.watch_directory(h, now).end;
+            persistent_handles.push(h);
+        }
+
+        // The tracing period proper runs on the discrete-event engine:
+        // sessions, lazy-writer scans, agent shipping, snapshots and the
+        // §3.4 server noise are all timed events over this world.
+        struct World<'a, S: RecordSink> {
+            run: &'a mut MachineRun,
+            server: &'a mut S,
+            end: SimTime,
+            snapshot_interval: SimDuration,
+            disconnect_mean: Option<SimDuration>,
+            shell_watch: Option<nt_io::HandleId>,
+            // §7: applications start, live a heavy-tailed lifetime, exit.
+            live: Vec<(ProcessId, SimTime)>,
+            next_pid: u32,
+        }
+        fn lazy_tick<S: RecordSink + 'static>(
+            w: &mut World<'_, S>,
+            eng: &mut Engine<World<'_, S>>,
+        ) {
+            w.run.machine.lazy_tick(eng.now());
+            if eng.now() < w.end {
+                eng.schedule_in(SimDuration::from_secs(1), lazy_tick);
+            }
+        }
+        fn ship<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
+            w.run.machine.observer_mut().ship(w.server);
+            if eng.now() < w.end {
+                eng.schedule_in(SimDuration::from_secs(30), ship);
+            }
+        }
+        fn snapshot<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
+            let at = eng.now();
+            w.run.take_snapshot(at);
+            if at < w.end {
+                eng.schedule_in(w.snapshot_interval, snapshot);
+            }
+        }
+        fn server_noise<S: RecordSink + 'static>(
+            w: &mut World<'_, S>,
+            eng: &mut Engine<World<'_, S>>,
+        ) {
+            if !w.run.user.ws.docs.is_empty() {
+                let pick = w.run.rng.gen_range(0..w.run.user.ws.docs.len());
+                let target = w.run.user.ws.docs[pick].clone();
+                let plan = nt_workload::apps::cifs_server_session(&target, &mut w.run.rng);
+                // ProcessId(0) is the system process serving remotes.
+                run_plan(&mut w.run.machine, ProcessId(0), &plan, eng.now());
+            }
+            if eng.now() < w.end {
+                let gap = SimDuration::from_secs(w.run.rng.gen_range(120..900));
+                eng.schedule_in(gap, server_noise);
+            }
+        }
+        fn rearm_watch<S: RecordSink + 'static>(
+            w: &mut World<'_, S>,
+            eng: &mut Engine<World<'_, S>>,
+        ) {
+            if let Some(h) = w.shell_watch {
+                // Re-arm the shell's change notification (no-op when the
+                // previous one is still pending).
+                w.run.machine.watch_directory(h, eng.now());
+            }
+            if eng.now() < w.end {
+                eng.schedule_in(SimDuration::from_secs(20), rearm_watch);
+            }
+        }
+
+        fn disconnect<S: RecordSink + 'static>(
+            w: &mut World<'_, S>,
+            eng: &mut Engine<World<'_, S>>,
+        ) {
+            use nt_trace::AgentState;
+            // The connection drops; the agent suspends local tracing
+            // until it is re-established a few seconds later (§3).
+            w.run
+                .machine
+                .observer_mut()
+                .set_state(AgentState::Suspended);
+            let outage = SimDuration::from_secs(w.run.rng.gen_range(2..20));
+            eng.schedule_in(outage, |w: &mut World<'_, S>, eng| {
+                w.run
+                    .machine
+                    .observer_mut()
+                    .set_state(nt_trace::AgentState::Connected);
+                if let Some(mean) = w.disconnect_mean {
+                    let gap = nt_workload::dist::heavy_gap(&mut w.run.rng, mean, 1.5);
+                    if eng.now() + gap < w.end {
+                        eng.schedule_in(gap, disconnect);
+                    }
+                }
+            });
+        }
+
+        fn session<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
+            let now = eng.now();
+            let plan = w.run.user.next_plan(&mut w.run.rng);
+            // Retire exited processes; launch a new one when few remain
+            // or occasionally anyway (application churn).
+            w.live.retain(|(_, exit)| *exit > now);
+            if w.live.len() < 2 || w.run.rng.gen_bool(0.04) {
+                let lifetime =
+                    nt_workload::dist::heavy_gap(&mut w.run.rng, SimDuration::from_secs(45), 1.2);
+                w.live.push((ProcessId(w.next_pid), now + lifetime));
+                w.next_pid += 1;
+            }
+            let process = w.live[w.run.rng.gen_range(0..w.live.len())].0;
+            let stats = run_plan(&mut w.run.machine, process, &plan, now);
+            let gap = w.run.user.session_gap(&mut w.run.rng);
+            let next = stats.end.max(now) + gap;
+            if next < w.end {
+                eng.schedule_at(next, session);
+            }
+        }
+
+        {
+            let mut engine: Engine<World<'_, S>> = Engine::new();
+            engine.schedule_at(SimTime::from_secs(1).max(now), lazy_tick);
+            engine.schedule_at(SimTime::from_secs(30).max(now), ship);
+            engine.schedule_at(
+                (SimTime::ZERO + config.snapshot_interval).max(now),
+                snapshot,
+            );
+            engine.schedule_at(
+                now + SimDuration::from_secs(self.rng.gen_range(60..400)),
+                server_noise,
+            );
+            engine.schedule_at(now, session);
+            engine.schedule_in(SimDuration::from_secs(20), rearm_watch);
+            if let Some(mean) = config.agent_disconnect_mean {
+                let first = nt_workload::dist::heavy_gap(&mut self.rng, mean, 1.5);
+                engine.schedule_at(now + first, disconnect);
+            }
+            let mut world = World {
+                run: self,
+                server,
+                end,
+                snapshot_interval: config.snapshot_interval,
+                disconnect_mean: config.agent_disconnect_mean,
+                shell_watch: shell_handle,
+                live: Vec::new(),
+                next_pid: 8,
+            };
+            engine.run_until(&mut world, end);
+        }
+
+        // Logoff: the services release their session-long handles.
+        let mut t = end;
+        for h in persistent_handles {
+            t = self.machine.close(h, t).end;
+        }
+        // Drain: the lazy writer finishes every deferred close before the
+        // agent's final flush (big dirty development files can take a
+        // while at one burst per scan).
+        let mut s = 0;
+        while (self.machine.deferred_closes() > 0 || s < 5) && s < 2_000 {
+            s += 1;
+            self.machine.lazy_tick(end + SimDuration::from_secs(s));
+        }
+        self.machine.pump(end + SimDuration::from_secs(s + 10));
+        self.take_snapshot(end);
+        self.machine.observer_mut().final_flush(server);
+    }
+
+    /// The machine's I/O counters.
+    pub fn io_metrics(&self) -> nt_io::IoMetrics {
+        self.machine.metrics()
+    }
+
+    /// The machine's cache counters (§9).
+    pub fn cache_metrics(&self) -> nt_cache::CacheMetrics {
+        self.machine.cache_metrics()
+    }
+
+    /// The machine's VM counters (§3.3).
+    pub fn vm_metrics(&self) -> nt_vm::VmMetrics {
+        self.machine.vm_metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_trace::CollectionServer;
+
+    #[test]
+    fn one_machine_runs_and_ships() {
+        let config = StudyConfig::smoke_test(7);
+        let mut run = MachineRun::build(&config, 0, &config.machines[0]);
+        let mut server = CollectionServer::new();
+        run.simulate(&config, &mut server);
+        assert!(server.total_records() > 100, "records shipped");
+        assert!(run.snapshots.len() >= 4, "initial + periodic + final");
+        let m = run.io_metrics();
+        assert!(m.opens > 10);
+        assert!(m.bytes_read + m.bytes_written > 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let config = StudyConfig::smoke_test(9);
+        let count = |seed: u64| {
+            let mut c = config.clone();
+            c.seed = seed;
+            let mut run = MachineRun::build(&c, 0, &c.machines[0]);
+            let mut server = CollectionServer::new();
+            run.simulate(&c, &mut server);
+            server.total_records()
+        };
+        assert_eq!(count(9), count(9), "same seed, same trace");
+        assert_ne!(count(9), count(10), "different seed, different trace");
+    }
+}

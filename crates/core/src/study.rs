@@ -1,0 +1,154 @@
+//! Running the whole deployment and collecting the study data.
+
+use nt_analysis::TraceSet;
+use nt_trace::{CollectorPool, MachineId, Snapshot};
+use nt_workload::UsageCategory;
+
+use crate::config::StudyConfig;
+use crate::run::MachineRun;
+
+/// End-of-run artefacts of one machine.
+pub struct MachineOutput {
+    /// Collection-server identity.
+    pub id: MachineId,
+    /// Usage category.
+    pub category: UsageCategory,
+    /// §3.1 snapshots, in time order (interleaved across volumes).
+    pub snapshots: Vec<Snapshot>,
+    /// I/O counters.
+    pub io: nt_io::IoMetrics,
+    /// Cache counters (§9).
+    pub cache: nt_cache::CacheMetrics,
+    /// VM counters (§3.3).
+    pub vm: nt_vm::VmMetrics,
+}
+
+/// Everything the analysis stage consumes.
+pub struct StudyData {
+    /// The configuration that produced the data.
+    pub config: StudyConfig,
+    /// The fact tables built from every machine's records.
+    pub trace_set: TraceSet,
+    /// Per-machine artefacts.
+    pub machines: Vec<MachineOutput>,
+    /// Total records collected (pre-analysis, §4's head-count).
+    pub total_records: usize,
+    /// Compressed footprint at the collection server, bytes.
+    pub stored_bytes: usize,
+}
+
+/// The study driver.
+pub struct Study;
+
+impl Study {
+    /// Runs every machine of the deployment and builds the fact tables.
+    ///
+    /// Machines are independent (separate engines, separate RNG streams)
+    /// and run on worker threads; their agents stream trace buffers over
+    /// channels to a pool of three collection-server threads — the §3
+    /// topology — whose stores are merged before analysis.
+    pub fn run(config: &StudyConfig) -> StudyData {
+        let n = config.machines.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n.max(1));
+        let pool = CollectorPool::start(3);
+
+        let mut machines: Vec<MachineOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in partition(n, workers) {
+                let config = &*config;
+                let pool = &pool;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for index in chunk {
+                        let spec = &config.machines[index];
+                        let mut run = MachineRun::build(config, index, spec);
+                        let mut sink = pool.handle_for(run.id);
+                        run.simulate(config, &mut sink);
+                        out.push(MachineOutput {
+                            id: run.id,
+                            category: run.category,
+                            snapshots: std::mem::take(&mut run.snapshots),
+                            io: run.io_metrics(),
+                            cache: run.cache_metrics(),
+                            vm: run.vm_metrics(),
+                        });
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("machine worker panicked"))
+                .collect()
+        });
+        machines.sort_by_key(|m| m.id);
+
+        let server = pool.finish();
+        let total_records = server.total_records();
+        let stored_bytes = server.stored_bytes();
+        let streams: Vec<(u32, Vec<nt_trace::TraceRecord>, Vec<nt_trace::NameRecord>)> = machines
+            .iter()
+            .map(|m| {
+                (
+                    m.id.0,
+                    server.records_for(m.id),
+                    server.names_for(m.id).into_iter().cloned().collect(),
+                )
+            })
+            .collect();
+        StudyData {
+            config: config.clone(),
+            trace_set: TraceSet::build(streams),
+            machines,
+            total_records,
+            stored_bytes,
+        }
+    }
+}
+
+/// Splits `0..n` into `workers` near-equal index chunks.
+fn partition(n: usize, workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1);
+    let mut chunks = vec![Vec::new(); workers.min(n.max(1))];
+    let k = chunks.len();
+    for i in 0..n {
+        chunks[i % k].push(i);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for (n, w) in [(10, 3), (3, 8), (0, 4), (45, 16)] {
+            let chunks = partition(n, w);
+            let mut all: Vec<usize> = chunks.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn smoke_study_produces_everything() {
+        let config = StudyConfig::smoke_test(3);
+        let data = Study::run(&config);
+        assert_eq!(data.machines.len(), 5);
+        assert!(data.total_records > 500, "got {}", data.total_records);
+        assert!(data.stored_bytes > 0);
+        assert!(!data.trace_set.instances.is_empty());
+        // Every machine contributed.
+        for m in &data.machines {
+            assert!(m.io.opens > 0, "machine {:?} was idle", m.id);
+            assert!(!m.snapshots.is_empty());
+        }
+        // Records span multiple machines.
+        assert_eq!(data.trace_set.machines().len(), 5);
+    }
+}

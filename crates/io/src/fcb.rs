@@ -1,0 +1,189 @@
+//! The file control block table.
+//!
+//! Every open of the same on-disk file shares one FCB; the cache manager
+//! and VM manager key their per-file state by [`FcbId`]. The table also
+//! tracks handle counts so the machine knows when the last cleanup has
+//! happened and delete-pending files can actually disappear (§8.1).
+
+use std::collections::HashMap;
+
+use nt_fs::{NodeId, VolumeId};
+
+use crate::types::FcbId;
+
+/// Per-FCB bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Fcb {
+    /// The file's identity.
+    pub volume: VolumeId,
+    /// The namespace node.
+    pub node: NodeId,
+    /// Open handles (post-cleanup handles excluded).
+    pub handle_count: u32,
+    /// File objects not yet closed (cleanup done, close IRP pending).
+    pub object_count: u32,
+    /// Delete requested; takes effect when the last handle cleans up.
+    pub delete_pending: bool,
+    /// Any handle ever wrote through this FCB.
+    pub written: bool,
+}
+
+/// The FCB table of one machine.
+#[derive(Default)]
+pub struct FcbTable {
+    by_file: HashMap<(VolumeId, NodeId), FcbId>,
+    fcbs: HashMap<FcbId, Fcb>,
+    next: u64,
+}
+
+impl FcbTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FcbTable::default()
+    }
+
+    /// Number of live FCBs.
+    pub fn len(&self) -> usize {
+        self.fcbs.len()
+    }
+
+    /// True when no FCBs are live.
+    pub fn is_empty(&self) -> bool {
+        self.fcbs.is_empty()
+    }
+
+    /// Returns the FCB for a file, creating one on first open.
+    pub fn open(&mut self, volume: VolumeId, node: NodeId) -> FcbId {
+        let key = (volume, node);
+        if let Some(&id) = self.by_file.get(&key) {
+            let fcb = self.fcbs.get_mut(&id).expect("indexed FCB exists");
+            fcb.handle_count += 1;
+            fcb.object_count += 1;
+            return id;
+        }
+        let id = FcbId(self.next);
+        self.next += 1;
+        self.by_file.insert(key, id);
+        self.fcbs.insert(
+            id,
+            Fcb {
+                volume,
+                node,
+                handle_count: 1,
+                object_count: 1,
+                delete_pending: false,
+                written: false,
+            },
+        );
+        id
+    }
+
+    /// Looks up a live FCB.
+    pub fn get(&self, id: FcbId) -> Option<&Fcb> {
+        self.fcbs.get(&id)
+    }
+
+    /// Mutable access to a live FCB.
+    pub fn get_mut(&mut self, id: FcbId) -> Option<&mut Fcb> {
+        self.fcbs.get_mut(&id)
+    }
+
+    /// Finds the FCB currently associated with a file, if any.
+    pub fn find(&self, volume: VolumeId, node: NodeId) -> Option<FcbId> {
+        self.by_file.get(&(volume, node)).copied()
+    }
+
+    /// Handle cleanup: decrements the handle count. Returns `true` when
+    /// this was the last handle (the point where delete-pending files are
+    /// removed and the cache starts tearing down).
+    pub fn cleanup(&mut self, id: FcbId) -> bool {
+        let fcb = self.fcbs.get_mut(&id).expect("cleanup of a live FCB");
+        debug_assert!(fcb.handle_count > 0);
+        fcb.handle_count -= 1;
+        fcb.handle_count == 0
+    }
+
+    /// Final close of one file object. When the last object goes away the
+    /// FCB is reclaimed; returns `true` in that case.
+    pub fn close(&mut self, id: FcbId) -> bool {
+        let Some(fcb) = self.fcbs.get_mut(&id) else {
+            return false;
+        };
+        debug_assert!(fcb.object_count > 0);
+        fcb.object_count -= 1;
+        if fcb.object_count == 0 && fcb.handle_count == 0 {
+            let key = (fcb.volume, fcb.node);
+            self.fcbs.remove(&id);
+            self.by_file.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forcibly drops an FCB (file deleted underneath).
+    pub fn drop_fcb(&mut self, id: FcbId) {
+        if let Some(fcb) = self.fcbs.remove(&id) {
+            self.by_file.remove(&(fcb.volume, fcb.node));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_fs::{Volume, VolumeConfig};
+    use nt_sim::SimTime;
+
+    fn some_node() -> (VolumeId, NodeId) {
+        let mut v = Volume::new(VolumeConfig::local_ntfs(1 << 20));
+        let n = v.create_file(v.root(), "f", SimTime::ZERO).unwrap();
+        (VolumeId(0), n)
+    }
+
+    #[test]
+    fn opens_of_same_file_share_an_fcb() {
+        let (vol, node) = some_node();
+        let mut t = FcbTable::new();
+        let a = t.open(vol, node);
+        let b = t.open(vol, node);
+        assert_eq!(a, b);
+        assert_eq!(t.get(a).unwrap().handle_count, 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lifecycle_cleanup_then_close() {
+        let (vol, node) = some_node();
+        let mut t = FcbTable::new();
+        let id = t.open(vol, node);
+        assert!(t.cleanup(id), "last handle");
+        assert!(t.get(id).is_some(), "FCB survives until close");
+        assert!(t.close(id), "last object reclaims the FCB");
+        assert!(t.get(id).is_none());
+        assert!(t.find(vol, node).is_none());
+    }
+
+    #[test]
+    fn two_handles_interleaved() {
+        let (vol, node) = some_node();
+        let mut t = FcbTable::new();
+        let id = t.open(vol, node);
+        t.open(vol, node);
+        assert!(!t.cleanup(id), "one handle remains");
+        assert!(!t.close(id));
+        assert!(t.cleanup(id));
+        assert!(t.close(id), "now the FCB dies");
+    }
+
+    #[test]
+    fn new_fcb_after_reclaim() {
+        let (vol, node) = some_node();
+        let mut t = FcbTable::new();
+        let a = t.open(vol, node);
+        t.cleanup(a);
+        t.close(a);
+        let b = t.open(vol, node);
+        assert_ne!(a, b, "a reopened file gets a fresh FCB id");
+    }
+}

@@ -1,0 +1,254 @@
+//! Service-time model for the four major request classes of figure 13.
+//!
+//! The study's latency CDFs (figures 13/14) separate FastIO reads/writes
+//! (cache copies: single-digit microseconds) from IRP reads/writes (packet
+//! overhead plus, on a miss, a disk access: hundreds of microseconds to
+//! tens of milliseconds). The parameters below model the study's hardware
+//! — 200 MHz P6 workstations, local IDE disks, 100 Mbit switched Ethernet
+//! to the file servers — and each volume keeps a FIFO disk queue so
+//! bursts see queueing delay, which the heavy-tailed arrival process
+//! amplifies (§7).
+
+use nt_sim::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Disk/service parameters for one volume.
+#[derive(Clone, Debug)]
+pub struct DiskParams {
+    /// Fixed positioning cost per disk access (seek + rotation), lower
+    /// bound, in microseconds.
+    pub seek_min_us: u64,
+    /// Upper bound of the positioning cost in microseconds.
+    pub seek_max_us: u64,
+    /// Sequential transfer rate in bytes per microsecond (≈ MB/s).
+    pub transfer_bytes_per_us: u64,
+    /// Extra per-request network round-trip for redirector volumes, in
+    /// microseconds (0 for local disks).
+    pub network_rtt_us: u64,
+}
+
+impl DiskParams {
+    /// A 1998-era local IDE disk (§2: 2–6 GB IDE on the desktops).
+    pub fn local_ide() -> Self {
+        DiskParams {
+            seek_min_us: 2_000,
+            seek_max_us: 14_000,
+            transfer_bytes_per_us: 8,
+            network_rtt_us: 0,
+        }
+    }
+
+    /// An Ultra-2 SCSI disk (§2: the scientific machines).
+    pub fn local_scsi() -> Self {
+        DiskParams {
+            seek_min_us: 1_000,
+            seek_max_us: 9_000,
+            transfer_bytes_per_us: 18,
+            network_rtt_us: 0,
+        }
+    }
+
+    /// A CIFS share over 100 Mbit switched Ethernet (§2). The server's own
+    /// cache absorbs most seeks, so the positioning cost is lower but every
+    /// request pays a round trip.
+    pub fn network_share() -> Self {
+        DiskParams {
+            seek_min_us: 500,
+            seek_max_us: 8_000,
+            transfer_bytes_per_us: 10,
+            network_rtt_us: 900,
+        }
+    }
+}
+
+/// CPU-side service parameters, shared by all volumes of a machine.
+#[derive(Clone, Debug)]
+pub struct LatencyParams {
+    /// Fixed cost of a FastIO call that is resolved in the cache, in
+    /// 100 ns ticks.
+    pub fastio_base_ticks: u64,
+    /// Fixed cost of building, dispatching and completing an IRP, in
+    /// 100 ns ticks.
+    pub irp_base_ticks: u64,
+    /// Cache copy throughput in bytes per 100 ns tick.
+    pub copy_bytes_per_tick: u64,
+    /// Cost of a metadata-only operation (query/set information,
+    /// directory entry fetch, control op) resolved from cached metadata,
+    /// in 100 ns ticks.
+    pub metadata_ticks: u64,
+}
+
+impl Default for LatencyParams {
+    fn default() -> Self {
+        LatencyParams {
+            // ~2 us procedural call + copy.
+            fastio_base_ticks: 20,
+            // ~30 us packet path.
+            irp_base_ticks: 300,
+            // ~80 MB/s memcpy on a 200 MHz P6: 8 bytes per 100 ns.
+            copy_bytes_per_tick: 8,
+            // ~12 us for cached metadata.
+            metadata_ticks: 120,
+        }
+    }
+}
+
+/// The machine-wide latency model plus per-volume disk queues.
+pub struct LatencyModel {
+    params: LatencyParams,
+    disks: Vec<DiskParams>,
+    /// Per-volume time at which the disk becomes idle (FIFO queue).
+    free_at: Vec<SimTime>,
+}
+
+impl LatencyModel {
+    /// Creates a model with the given CPU parameters and per-volume disks.
+    pub fn new(params: LatencyParams, disks: Vec<DiskParams>) -> Self {
+        let free_at = vec![SimTime::ZERO; disks.len()];
+        LatencyModel {
+            params,
+            disks,
+            free_at,
+        }
+    }
+
+    /// Registers one more volume, returning its index.
+    pub fn add_volume(&mut self, disk: DiskParams) -> usize {
+        self.disks.push(disk);
+        self.free_at.push(SimTime::ZERO);
+        self.disks.len() - 1
+    }
+
+    /// The CPU-side parameters.
+    pub fn params(&self) -> &LatencyParams {
+        &self.params
+    }
+
+    /// Service time of a FastIO cache copy of `bytes`.
+    pub fn fastio_copy(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ticks(
+            self.params.fastio_base_ticks + bytes / self.params.copy_bytes_per_tick.max(1),
+        )
+    }
+
+    /// Service time of an IRP that is satisfied without disk I/O
+    /// (cache-resident data or cached metadata) copying `bytes`.
+    pub fn irp_cached(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_ticks(
+            self.params.irp_base_ticks + bytes / self.params.copy_bytes_per_tick.max(1),
+        )
+    }
+
+    /// Service time of a metadata operation (control, query, directory).
+    pub fn metadata_op(&self) -> SimDuration {
+        SimDuration::from_ticks(self.params.irp_base_ticks + self.params.metadata_ticks)
+    }
+
+    /// FastIO metadata query (QueryBasicInfo etc.).
+    pub fn fastio_metadata(&self) -> SimDuration {
+        SimDuration::from_ticks(self.params.fastio_base_ticks + self.params.metadata_ticks / 4)
+    }
+
+    /// Completion time of a disk transfer of `bytes` on `volume` issued at
+    /// `now`: IRP overhead, FIFO queueing behind earlier transfers, a
+    /// sampled positioning cost and the sequential transfer.
+    ///
+    /// Advances the volume's queue; returns the absolute completion time.
+    pub fn disk_io(
+        &mut self,
+        volume: usize,
+        bytes: u64,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimTime {
+        let disk = &self.disks[volume.min(self.disks.len().saturating_sub(1))];
+        let seek_us = if disk.seek_max_us > disk.seek_min_us {
+            rng.gen_range(disk.seek_min_us..=disk.seek_max_us)
+        } else {
+            disk.seek_min_us
+        };
+        let service = SimDuration::from_micros(
+            disk.network_rtt_us + seek_us + bytes / disk.transfer_bytes_per_us.max(1),
+        );
+        let start =
+            self.free_at[volume].max(now + SimDuration::from_ticks(self.params.irp_base_ticks));
+        let done = start + service;
+        self.free_at[volume] = done;
+        done
+    }
+
+    /// Time at which a volume's disk queue drains (for tests/metrics).
+    pub fn queue_free_at(&self, volume: usize) -> SimTime {
+        self.free_at[volume]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(
+            LatencyParams::default(),
+            vec![DiskParams::local_ide(), DiskParams::network_share()],
+        )
+    }
+
+    #[test]
+    fn fastio_is_much_cheaper_than_irp() {
+        let m = model();
+        assert!(m.fastio_copy(4096) < m.irp_cached(4096));
+        assert!(m.fastio_copy(0).ticks() >= m.params().fastio_base_ticks);
+    }
+
+    #[test]
+    fn copies_scale_with_size() {
+        let m = model();
+        assert!(m.fastio_copy(65_536) > m.fastio_copy(512));
+        assert!(m.irp_cached(65_536) > m.irp_cached(512));
+    }
+
+    #[test]
+    fn disk_io_queues_fifo() {
+        let mut m = model();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let now = SimTime::from_secs(1);
+        let d1 = m.disk_io(0, 65_536, now, &mut rng);
+        let d2 = m.disk_io(0, 65_536, now, &mut rng);
+        assert!(d2 > d1, "second transfer waits for the first");
+        assert_eq!(m.queue_free_at(0), d2);
+        // The other volume's queue is independent.
+        let d3 = m.disk_io(1, 4_096, now, &mut rng);
+        assert!(d3 < d2 + SimDuration::from_secs(1));
+        assert!(m.queue_free_at(1) == d3);
+    }
+
+    #[test]
+    fn disk_latency_in_plausible_range() {
+        let mut m = model();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let now = SimTime::from_secs(5);
+        let done = m.disk_io(0, 4_096, now, &mut rng);
+        let lat = done.saturating_since(now);
+        assert!(lat >= SimDuration::from_millis(2), "got {lat}");
+        assert!(lat <= SimDuration::from_millis(20), "got {lat}");
+    }
+
+    #[test]
+    fn network_share_pays_rtt() {
+        let mut m = LatencyModel::new(
+            LatencyParams::default(),
+            vec![DiskParams {
+                seek_min_us: 0,
+                seek_max_us: 0,
+                transfer_bytes_per_us: 1_000,
+                network_rtt_us: 900,
+            }],
+        );
+        let mut rng = SmallRng::seed_from_u64(7);
+        let done = m.disk_io(0, 0, SimTime::ZERO, &mut rng);
+        assert!(done.saturating_since(SimTime::ZERO) >= SimDuration::from_micros(900));
+    }
+}

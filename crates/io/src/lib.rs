@@ -1,0 +1,47 @@
+//! The Windows NT I/O subsystem model.
+//!
+//! §3.2 of the paper describes the two access paths every file-system
+//! request takes: the packet-based **IRP** path, in which the I/O manager
+//! hands an I/O request packet down a chain of layered drivers, and the
+//! undocumented procedural **FastIO** path, in which the I/O manager
+//! invokes a method table that leads straight to the cache manager (§10).
+//! The study's tracer was a *filter driver* inserted into those chains.
+//!
+//! This crate assembles the whole stack the paper instruments:
+//!
+//! * [`Machine`] — one traced workstation: volumes (`nt-fs`), the cache
+//!   manager (`nt-cache`), the VM manager (`nt-vm`), FCB and handle
+//!   tables, per-volume disk models, and the I/O manager dispatch logic
+//!   (FastIO attempt, IRP fallback, paging I/O, two-stage close).
+//! * [`IoObserver`] — the filter-driver attachment point: every IRP and
+//!   FastIO call is reported with dual 100 ns timestamps, exactly the
+//!   payload of the study's trace records (§3.2).
+//! * [`LatencyModel`] — service-time model for cache copies, IRP
+//!   overhead, local IDE/SCSI disks and redirector round-trips, producing
+//!   the figure-13 latency split between the four major request types.
+//!
+//! The crate is deliberately synchronous: each operation computes its
+//! completion time and returns it, while background work (read-ahead
+//! completions, lazy-writer bursts, deferred closes) is tracked internally
+//! and applied by an explicit [`Machine::pump`] at the next operation or
+//! lazy-writer tick.
+
+pub mod fcb;
+pub mod latency;
+pub mod machine;
+pub mod observer;
+pub mod request;
+pub mod sharing;
+pub mod status;
+pub mod types;
+
+pub use fcb::{Fcb, FcbTable};
+pub use latency::{DiskParams, LatencyModel, LatencyParams};
+pub use machine::{IoMetrics, Machine, MachineConfig, OpReply};
+pub use observer::{IoObserver, NullObserver};
+pub use request::{EventKind, FastIoKind, IoEvent, MajorFunction, SetInfoKind};
+pub use sharing::{LockTable, ShareRegistry};
+pub use status::NtStatus;
+pub use types::{
+    AccessMode, CreateOptions, Disposition, FcbId, FileObjectId, HandleId, ProcessId, ShareMode,
+};

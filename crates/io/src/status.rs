@@ -1,0 +1,103 @@
+//! NTSTATUS result codes (the subset the study's trace records carry).
+
+use nt_fs::FsError;
+use std::fmt;
+
+/// Completion status of an I/O request, as recorded in each trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NtStatus {
+    /// STATUS_SUCCESS.
+    Success,
+    /// STATUS_OBJECT_NAME_NOT_FOUND — §8.4: 52 % of failed opens.
+    ObjectNameNotFound,
+    /// STATUS_OBJECT_PATH_NOT_FOUND — a missing intermediate directory.
+    ObjectPathNotFound,
+    /// STATUS_OBJECT_NAME_COLLISION — §8.4: 31 % of failed opens.
+    ObjectNameCollision,
+    /// STATUS_END_OF_FILE — §8.4: the only read error seen (0.2 %).
+    EndOfFile,
+    /// STATUS_DISK_FULL.
+    DiskFull,
+    /// STATUS_ACCESS_DENIED.
+    AccessDenied,
+    /// STATUS_SHARING_VIOLATION.
+    SharingViolation,
+    /// STATUS_DELETE_PENDING.
+    DeletePending,
+    /// STATUS_DIRECTORY_NOT_EMPTY.
+    DirectoryNotEmpty,
+    /// STATUS_NOT_A_DIRECTORY.
+    NotADirectory,
+    /// STATUS_FILE_IS_A_DIRECTORY.
+    FileIsADirectory,
+    /// STATUS_INVALID_PARAMETER — failed control operations (§8.4).
+    InvalidParameter,
+    /// STATUS_INVALID_HANDLE.
+    InvalidHandle,
+    /// STATUS_NO_MORE_FILES — directory enumeration exhausted.
+    NoMoreFiles,
+    /// STATUS_INVALID_DEVICE_REQUEST — unsupported control code.
+    InvalidDeviceRequest,
+    /// STATUS_FILE_LOCK_CONFLICT — a byte-range lock blocks the request.
+    FileLockConflict,
+}
+
+impl NtStatus {
+    /// True for STATUS_SUCCESS and informational terminators that are not
+    /// failures (NoMoreFiles ends an enumeration normally).
+    pub fn is_success(self) -> bool {
+        matches!(self, NtStatus::Success | NtStatus::NoMoreFiles)
+    }
+
+    /// True for genuine failures (what §8.4 counts as errors).
+    pub fn is_error(self) -> bool {
+        !self.is_success()
+    }
+}
+
+impl From<FsError> for NtStatus {
+    fn from(e: FsError) -> NtStatus {
+        match e {
+            FsError::NotFound => NtStatus::ObjectNameNotFound,
+            FsError::AlreadyExists => NtStatus::ObjectNameCollision,
+            FsError::NotADirectory => NtStatus::NotADirectory,
+            FsError::IsADirectory => NtStatus::FileIsADirectory,
+            FsError::DirectoryNotEmpty => NtStatus::DirectoryNotEmpty,
+            FsError::VolumeFull => NtStatus::DiskFull,
+            FsError::StaleNode => NtStatus::InvalidHandle,
+            FsError::InvalidOperation => NtStatus::InvalidParameter,
+        }
+    }
+}
+
+impl fmt::Display for NtStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_classification() {
+        assert!(NtStatus::Success.is_success());
+        assert!(NtStatus::NoMoreFiles.is_success());
+        assert!(NtStatus::EndOfFile.is_error());
+        assert!(NtStatus::ObjectNameNotFound.is_error());
+    }
+
+    #[test]
+    fn fs_error_mapping() {
+        assert_eq!(
+            NtStatus::from(FsError::NotFound),
+            NtStatus::ObjectNameNotFound
+        );
+        assert_eq!(
+            NtStatus::from(FsError::AlreadyExists),
+            NtStatus::ObjectNameCollision
+        );
+        assert_eq!(NtStatus::from(FsError::VolumeFull), NtStatus::DiskFull);
+    }
+}

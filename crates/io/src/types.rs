@@ -1,0 +1,175 @@
+//! Identifiers and open-time parameters.
+
+/// A process on the traced machine. The workload layer assigns ids and
+/// keeps the id → image-name mapping; trace records carry only the id,
+/// exactly like the study's records (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// A kernel file object. One is created per open (even a failed one gets
+/// an id in the trace so the create record can be attributed).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FileObjectId(pub u64);
+
+/// A user-visible handle returned by a successful create.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HandleId(pub u64);
+
+/// The per-file stream control block identity: all opens of the same file
+/// share one FCB, which is the key the cache and VM managers use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FcbId(pub u64);
+
+/// Requested access, reduced to the classes the analysis distinguishes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessMode {
+    /// GENERIC_READ.
+    Read,
+    /// GENERIC_WRITE.
+    Write,
+    /// GENERIC_READ | GENERIC_WRITE.
+    ReadWrite,
+    /// Attribute/control access only (FILE_READ_ATTRIBUTES etc.) — the
+    /// open-for-control sessions that dominate §8.3.
+    Control,
+    /// DELETE access for an open-to-delete.
+    Delete,
+}
+
+impl AccessMode {
+    /// True when data reads are permitted.
+    pub fn can_read(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    /// True when data writes are permitted.
+    pub fn can_write(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+}
+
+/// Share mode (kept for completeness; the single-user workloads of the
+/// study rarely conflict).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ShareMode {
+    /// FILE_SHARE_READ.
+    pub read: bool,
+    /// FILE_SHARE_WRITE.
+    pub write: bool,
+    /// FILE_SHARE_DELETE.
+    pub delete: bool,
+}
+
+impl ShareMode {
+    /// Share-everything, the common library default.
+    pub fn all() -> Self {
+        ShareMode {
+            read: true,
+            write: true,
+            delete: true,
+        }
+    }
+}
+
+/// NT create disposition (what to do about existence).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Disposition {
+    /// FILE_OPEN: fail if the file does not exist.
+    Open,
+    /// FILE_CREATE: fail if the file exists.
+    Create,
+    /// FILE_OPEN_IF: open, or create when missing.
+    OpenIf,
+    /// FILE_OVERWRITE: truncate existing, fail when missing — one of the
+    /// §6.3 "delete by overwrite" paths.
+    Overwrite,
+    /// FILE_OVERWRITE_IF: truncate existing or create.
+    OverwriteIf,
+    /// FILE_SUPERSEDE: replace the file outright.
+    Supersede,
+}
+
+impl Disposition {
+    /// True when an existing file's data is destroyed by the open.
+    pub fn truncates(self) -> bool {
+        matches!(
+            self,
+            Disposition::Overwrite | Disposition::OverwriteIf | Disposition::Supersede
+        )
+    }
+
+    /// True when the disposition may create the file.
+    pub fn may_create(self) -> bool {
+        matches!(
+            self,
+            Disposition::Create
+                | Disposition::OpenIf
+                | Disposition::OverwriteIf
+                | Disposition::Supersede
+        )
+    }
+}
+
+/// Open-time options and attributes the study found performance-relevant
+/// (table 1: "access attributes … can improve access performance
+/// significantly but are underutilized").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CreateOptions {
+    /// FILE_SEQUENTIAL_ONLY — doubles read-ahead (§9.1).
+    pub sequential_only: bool,
+    /// FILE_WRITE_THROUGH — disables write caching (§9.2).
+    pub write_through: bool,
+    /// FILE_NO_INTERMEDIATE_BUFFERING — disables read caching entirely;
+    /// §9: used for only 0.2 % of files, all requests take the IRP path.
+    pub no_intermediate_buffering: bool,
+    /// FILE_DELETE_ON_CLOSE.
+    pub delete_on_close: bool,
+    /// FILE_ATTRIBUTE_TEMPORARY on the created file (§6.3: 1 % of
+    /// new-file deletions).
+    pub temporary: bool,
+    /// FILE_DIRECTORY_FILE — the open targets a directory.
+    pub directory: bool,
+    /// Share mode the opener grants to others; the common library
+    /// default is share-everything, and restrictive modes produce the
+    /// sharing-violation open failures.
+    pub share: ShareMode,
+}
+
+impl Default for CreateOptions {
+    fn default() -> Self {
+        CreateOptions {
+            sequential_only: false,
+            write_through: false,
+            no_intermediate_buffering: false,
+            delete_on_close: false,
+            temporary: false,
+            directory: false,
+            share: ShareMode::all(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_mode_classes() {
+        assert!(AccessMode::Read.can_read());
+        assert!(!AccessMode::Read.can_write());
+        assert!(AccessMode::ReadWrite.can_read() && AccessMode::ReadWrite.can_write());
+        assert!(!AccessMode::Control.can_read());
+        assert!(!AccessMode::Delete.can_write());
+    }
+
+    #[test]
+    fn disposition_properties() {
+        assert!(Disposition::Overwrite.truncates());
+        assert!(Disposition::Supersede.truncates());
+        assert!(!Disposition::Open.truncates());
+        assert!(Disposition::OverwriteIf.may_create());
+        assert!(!Disposition::Overwrite.may_create());
+        assert!(!Disposition::Open.may_create());
+        assert!(Disposition::Create.may_create());
+    }
+}

@@ -1,0 +1,335 @@
+//! The event heap that drives all simulated machines.
+//!
+//! An [`Engine`] owns a priority queue of timed events. Each event is a
+//! boxed closure that receives mutable access to both the world state `W`
+//! and the engine itself, so firing an event may schedule further events —
+//! the pattern used by the cache manager's lazy-writer scans, read-ahead
+//! completions, and the workload generator's application scripts.
+//!
+//! Events at equal timestamps fire in scheduling order (a strict FIFO tie
+//! break), which keeps runs bit-for-bit reproducible for a given seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    cancelled_slot: usize,
+    action: BoxedEvent<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with the lowest sequence number breaking ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event engine over world state `W`.
+///
+/// The engine is deliberately single-threaded: the study's scale (tens of
+/// machines, millions of events) is easily within one core, and a serial
+/// heap keeps the trace record ordering deterministic. Multi-machine
+/// parallelism is achieved by running independent engines on worker threads
+/// (see `nt-study`), never by sharing one engine.
+pub struct Engine<W> {
+    now: SimTime,
+    heap: BinaryHeap<Entry<W>>,
+    next_seq: u64,
+    // Cancellation is lazy: a cancelled event stays in the heap and is
+    // dropped when popped. `cancelled` is a bitmap indexed by seq-relative
+    // slot; compacted whenever the heap drains.
+    cancelled: Vec<bool>,
+    fired: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+            fired: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending (including lazily-cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `action` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to
+    /// `now` so the clock never runs backwards, and debug builds assert.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.cancelled.len();
+        self.cancelled.push(false);
+        self.heap.push(Entry {
+            at,
+            seq,
+            cancelled_slot: slot,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `action` to fire `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a pending event. Returns `true` when the event had not yet
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let base = self.next_seq - self.cancelled.len() as u64;
+        match id.0.checked_sub(base) {
+            Some(off) if (off as usize) < self.cancelled.len() => {
+                let slot = off as usize;
+                let was = self.cancelled[slot];
+                self.cancelled[slot] = true;
+                !was
+            }
+            // Already fired (slot compacted away) or never existed.
+            _ => false,
+        }
+    }
+
+    fn slot_cancelled(&self, entry_seq: u64, slot_hint: usize) -> bool {
+        let base = self.next_seq - self.cancelled.len() as u64;
+        match entry_seq.checked_sub(base) {
+            Some(off) if (off as usize) < self.cancelled.len() => self.cancelled[off as usize],
+            _ => {
+                // The slot table was compacted; fall back to the hint, which
+                // is only valid before any compaction. Compaction happens
+                // only when the heap is empty, so a live entry always
+                // resolves through the base offset above.
+                let _ = slot_hint;
+                false
+            }
+        }
+    }
+
+    /// Fires the single earliest pending event, advancing the clock.
+    ///
+    /// Returns `false` when no events remain.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(entry) = self.heap.pop() else {
+                self.compact();
+                return false;
+            };
+            debug_assert!(entry.at >= self.now);
+            if self.slot_cancelled(entry.seq, entry.cancelled_slot) {
+                continue;
+            }
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.action)(world, self);
+            if self.heap.is_empty() {
+                self.compact();
+            }
+            return true;
+        }
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`. Events at exactly `horizon` do fire. On return the clock
+    /// rests at the last fired event (or `horizon` if nothing fired later).
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) {
+        loop {
+            // Skip over cancelled heads without firing them.
+            while let Some(head) = self.heap.peek() {
+                if self.slot_cancelled(head.seq, head.cancelled_slot) {
+                    self.heap.pop();
+                } else {
+                    break;
+                }
+            }
+            match self.heap.peek() {
+                Some(head) if head.at <= horizon => {
+                    self.step(world);
+                }
+                _ => {
+                    self.now = self.now.max(horizon);
+                    if self.heap.is_empty() {
+                        self.compact();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        // With the heap empty every outstanding slot is dead; reset the
+        // table so `cancelled` cannot grow without bound over a long run.
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::from_millis(30), |w, _| w.push(3));
+        eng.schedule_at(SimTime::from_millis(10), |w, _| w.push(1));
+        eng.schedule_at(SimTime::from_millis(20), |w, _| w.push(2));
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(eng.now(), SimTime::from_millis(30));
+        assert_eq!(eng.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_millis(5), move |w, _| w.push(i));
+        }
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.schedule_in(SimDuration::from_millis(1), |w, eng| {
+            w.push(eng.now().as_millis());
+            eng.schedule_in(SimDuration::from_millis(2), |w, eng| {
+                w.push(eng.now().as_millis());
+            });
+        });
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        assert_eq!(seen, vec![1, 3]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        for ms in [5u64, 10, 15, 20] {
+            eng.schedule_at(SimTime::from_millis(ms), move |w, _| w.push(ms));
+        }
+        let mut seen = Vec::new();
+        eng.run_until(&mut seen, SimTime::from_millis(15));
+        assert_eq!(seen, vec![5, 10, 15]);
+        assert_eq!(eng.now(), SimTime::from_millis(15));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut seen);
+        assert_eq!(seen, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.run_until(&mut (), SimTime::from_secs(9));
+        assert_eq!(eng.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let _a = eng.schedule_at(SimTime::from_millis(1), |w, _| w.push(1));
+        let b = eng.schedule_at(SimTime::from_millis(2), |w, _| w.push(2));
+        let c = eng.schedule_at(SimTime::from_millis(3), |w, _| w.push(3));
+        assert!(eng.cancel(b));
+        assert!(!eng.cancel(b), "double cancel reports false");
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        assert_eq!(seen, vec![1, 3]);
+        assert!(!eng.cancel(c), "cancel after firing reports false");
+    }
+
+    #[test]
+    fn cancelled_head_does_not_block_run_until() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let a = eng.schedule_at(SimTime::from_millis(1), |w, _| w.push(1));
+        eng.schedule_at(SimTime::from_millis(2), |w, _| w.push(2));
+        eng.cancel(a);
+        let mut seen = Vec::new();
+        eng.run_until(&mut seen, SimTime::from_millis(5));
+        assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn compaction_keeps_ids_working() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_at(SimTime::from_millis(1), |w, _| w.push(1));
+        let mut seen = Vec::new();
+        eng.run(&mut seen);
+        // Heap drained, slots compacted; new events must still be
+        // schedulable and cancellable.
+        let id = eng.schedule_in(SimDuration::from_millis(1), |w, _| w.push(2));
+        assert!(eng.cancel(id));
+        eng.run(&mut seen);
+        assert_eq!(seen, vec![1]);
+    }
+}

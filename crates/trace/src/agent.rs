@@ -1,0 +1,246 @@
+//! The per-machine trace agent and its filter driver (§3).
+//!
+//! "On each system a trace agent is installed that provides an access
+//! point for remote control of the tracing process. The trace agent is
+//! responsible for taking the periodic snapshots and for directing the
+//! stream of trace events towards the collection servers. … If a trace
+//! agent loses contact with the collection servers it will suspend the
+//! local operation until the connection is re-established."
+
+use nt_io::observer::FileObjectInfo;
+use nt_io::{IoEvent, IoObserver};
+
+use crate::buffer::TripleBuffer;
+use crate::collector::MachineId;
+use crate::pool::RecordSink;
+use crate::record::{NameRecord, TraceRecord};
+
+/// Connection state of an agent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AgentState {
+    /// Streaming to a collection server.
+    Connected,
+    /// Lost contact; local tracing is suspended and events are not
+    /// recorded (the paper's agents stop rather than spill to disk).
+    Suspended,
+}
+
+/// The filter driver: an [`IoObserver`] converting every request into a
+/// [`TraceRecord`] in the triple-buffered store.
+pub struct TraceFilter {
+    machine: MachineId,
+    buffer: TripleBuffer,
+    names: Vec<NameRecord>,
+    state: AgentState,
+    /// Buffers filled and awaiting shipping (observable to tests).
+    fills: u64,
+}
+
+impl TraceFilter {
+    /// A connected filter for one machine.
+    pub fn new(machine: MachineId) -> Self {
+        TraceFilter {
+            machine,
+            buffer: TripleBuffer::new(),
+            names: Vec::new(),
+            state: AgentState::Connected,
+            fills: 0,
+        }
+    }
+
+    /// The machine this filter instruments.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> AgentState {
+        self.state
+    }
+
+    /// Simulates losing / regaining the collection-server connection.
+    pub fn set_state(&mut self, state: AgentState) {
+        self.state = state;
+    }
+
+    /// Records accepted so far.
+    pub fn recorded(&self) -> u64 {
+        self.buffer.recorded()
+    }
+
+    /// True when the buffers ever overflowed (§3.2: never in the study).
+    pub fn overflowed(&self) -> bool {
+        self.buffer.overflowed()
+    }
+
+    /// Times a buffer filled.
+    pub fn buffer_fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Ships all queued full buffers and name records to the sink — a
+    /// local [`crate::CollectionServer`] or a [`crate::CollectorHandle`]
+    /// streaming to the pool.
+    pub fn ship<S: RecordSink>(&mut self, sink: &mut S) {
+        for batch in self.buffer.take_queued() {
+            sink.ingest(self.machine, &batch);
+        }
+        for name in self.names.drain(..) {
+            sink.ingest_name(self.machine, name);
+        }
+    }
+
+    /// Ships everything including the active partial buffer (period end).
+    pub fn final_flush<S: RecordSink>(&mut self, sink: &mut S) {
+        let rest = self.buffer.drain_all();
+        sink.ingest(self.machine, &rest);
+        for name in self.names.drain(..) {
+            sink.ingest_name(self.machine, name);
+        }
+    }
+}
+
+impl IoObserver for TraceFilter {
+    fn file_object(&mut self, info: &FileObjectInfo) {
+        if self.state == AgentState::Suspended {
+            return;
+        }
+        self.names.push(NameRecord {
+            file_object: info.id.0,
+            volume: info.volume,
+            process: info.process.0,
+            path: info.path.clone(),
+            at_ticks: info.at.ticks(),
+        });
+    }
+
+    fn event(&mut self, event: &IoEvent) {
+        if self.state == AgentState::Suspended {
+            return;
+        }
+        if self.buffer.push(TraceRecord::from_event(event)) {
+            self.fills += 1;
+        }
+    }
+}
+
+/// The agent: filter plus shipping cadence bookkeeping. In the simulated
+/// deployment the orchestrator calls [`TraceAgent::on_tick`] periodically
+/// (the real agent shipped whenever a buffer filled, with the same
+/// effect on the server's contents).
+pub struct TraceAgent {
+    /// The machine's filter driver.
+    pub filter: TraceFilter,
+}
+
+impl TraceAgent {
+    /// Creates an agent with a connected filter.
+    pub fn new(machine: MachineId) -> Self {
+        TraceAgent {
+            filter: TraceFilter::new(machine),
+        }
+    }
+
+    /// Periodic shipping opportunity: moves full buffers to the server.
+    pub fn on_tick<S: RecordSink>(&mut self, sink: &mut S) {
+        if self.filter.state() == AgentState::Connected {
+            self.filter.ship(sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::CollectionServer;
+    use nt_io::FcbId;
+    use nt_io::{EventKind, FileObjectId, MajorFunction, NtStatus, ProcessId};
+    use nt_sim::SimTime;
+
+    fn event(i: u64) -> IoEvent {
+        IoEvent {
+            kind: EventKind::Irp(MajorFunction::Read),
+            file_object: FileObjectId(i),
+            fcb: FcbId(0),
+            process: ProcessId(1),
+            volume: 0,
+            local: true,
+            paging_io: false,
+            readahead: false,
+            offset: 0,
+            length: 512,
+            transferred: 512,
+            file_size: 4096,
+            byte_offset: 0,
+            status: NtStatus::Success,
+            start: SimTime::from_ticks(i * 100),
+            end: SimTime::from_ticks(i * 100 + 30),
+            access: None,
+            disposition: None,
+            options: None,
+            set_info: None,
+            created: false,
+        }
+    }
+
+    #[test]
+    fn filter_records_and_ships() {
+        let mut f = TraceFilter::new(MachineId(3));
+        let mut srv = CollectionServer::new();
+        for i in 0..5_000u64 {
+            f.event(&event(i));
+        }
+        assert_eq!(f.recorded(), 5_000);
+        assert_eq!(f.buffer_fills(), 1);
+        f.ship(&mut srv);
+        assert_eq!(srv.total_records(), 3_000, "one full buffer shipped");
+        f.final_flush(&mut srv);
+        assert_eq!(srv.total_records(), 5_000);
+        let back = srv.records_for(MachineId(3));
+        assert_eq!(back.len(), 5_000);
+        assert_eq!(back[0].file_object, 0);
+        assert_eq!(back[4_999].file_object, 4_999);
+    }
+
+    #[test]
+    fn suspended_agent_records_nothing() {
+        let mut f = TraceFilter::new(MachineId(1));
+        f.set_state(AgentState::Suspended);
+        f.event(&event(1));
+        assert_eq!(f.recorded(), 0);
+        f.set_state(AgentState::Connected);
+        f.event(&event(2));
+        assert_eq!(f.recorded(), 1);
+    }
+
+    #[test]
+    fn name_records_ship_with_buffers() {
+        let mut f = TraceFilter::new(MachineId(1));
+        let mut srv = CollectionServer::new();
+        f.file_object(&FileObjectInfo {
+            id: FileObjectId(77),
+            volume: 0,
+            path: r"\boot.ini".into(),
+            process: ProcessId(4),
+            at: SimTime::ZERO,
+        });
+        f.ship(&mut srv);
+        let names = srv.names_for(MachineId(1));
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].file_object, 77);
+    }
+
+    #[test]
+    fn agent_tick_ships_when_connected() {
+        let mut agent = TraceAgent::new(MachineId(9));
+        let mut srv = CollectionServer::new();
+        for i in 0..3_100u64 {
+            agent.filter.event(&event(i));
+        }
+        agent.on_tick(&mut srv);
+        assert_eq!(srv.total_records(), 3_000);
+        agent.filter.set_state(AgentState::Suspended);
+        agent.on_tick(&mut srv);
+        assert_eq!(srv.total_records(), 3_000, "suspended agents do not ship");
+    }
+}

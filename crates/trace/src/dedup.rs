@@ -1,0 +1,191 @@
+//! Filtering cache-manager-induced paging duplicates (§3.3).
+//!
+//! "When tracing file systems one can ignore a large portion of the paging
+//! requests, as they represent duplicate actions: a request arrives from a
+//! process and triggers a page fault in the file cache, which triggers a
+//! paging request from the VM manager. However, if we do ignore paging
+//! requests we would miss all paging that is related to executable and
+//! dynamic loadable library loading, and other use of memory mapped files.
+//! We decided to record all paging requests and filter out the cache
+//! manager induced duplicates during the analysis process."
+//!
+//! The filter keeps every non-paging record, and keeps a paging record
+//! only when it is *not* explained by cached application I/O on the same
+//! FCB: a paging read is a duplicate when it was issued inside the service
+//! window of a non-paging read on that FCB (demand fill or read-ahead),
+//! and a paging write is a duplicate when a non-paging write preceded it
+//! on that FCB (lazy-writer and flush output).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::record::TraceRecord;
+
+/// Returns the records that survive duplicate filtering, preserving order.
+pub fn filter_paging_duplicates(records: &[TraceRecord]) -> Vec<TraceRecord> {
+    // Pass 1: index non-paging data activity per FCB.
+    let mut read_windows: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut wrote_before: HashMap<u64, u64> = HashMap::new();
+    let mut fcbs_with_nonpaging: HashSet<u64> = HashSet::new();
+    for rec in records {
+        if rec.is_paging() {
+            continue;
+        }
+        if rec.kind().is_read() {
+            // Read-ahead fires from inside the read's window but its disk
+            // completion may land later; extend the window generously.
+            read_windows
+                .entry(rec.fcb)
+                .or_default()
+                .push((rec.start_ticks, rec.end_ticks.max(rec.start_ticks) + 1));
+            fcbs_with_nonpaging.insert(rec.fcb);
+        } else if rec.kind().is_write() {
+            let e = wrote_before.entry(rec.fcb).or_insert(u64::MAX);
+            *e = (*e).min(rec.start_ticks);
+            fcbs_with_nonpaging.insert(rec.fcb);
+        }
+    }
+
+    records
+        .iter()
+        .filter(|rec| {
+            if !rec.is_paging() {
+                return true;
+            }
+            if rec.kind().is_read() {
+                // Read-ahead is always cache-induced.
+                if rec.is_readahead() {
+                    return false;
+                }
+                if let Some(windows) = read_windows.get(&rec.fcb) {
+                    if windows
+                        .iter()
+                        .any(|&(s, e)| rec.start_ticks >= s && rec.start_ticks < e)
+                    {
+                        return false;
+                    }
+                }
+                true
+            } else if rec.kind().is_write() {
+                match wrote_before.get(&rec.fcb) {
+                    Some(&first_write) => rec.start_ticks < first_write,
+                    None => true,
+                }
+            } else {
+                true
+            }
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_io::{EventKind, FastIoKind, MajorFunction, NtStatus};
+
+    fn rec(
+        kind: EventKind,
+        fcb: u64,
+        paging: bool,
+        readahead: bool,
+        start: u64,
+        end: u64,
+    ) -> TraceRecord {
+        TraceRecord {
+            code: kind.code(),
+            flags: (paging as u8) | ((readahead as u8) << 1),
+            status: NtStatus::Success,
+            set_info: None,
+            access: None,
+            disposition: None,
+            options: None,
+            file_object: 1,
+            fcb,
+            process: 1,
+            volume: 0,
+            offset: 0,
+            length: 4096,
+            transferred: 4096,
+            file_size: 1 << 20,
+            byte_offset: 0,
+            start_ticks: start,
+            end_ticks: end,
+        }
+    }
+
+    const IRP_READ: EventKind = EventKind::Irp(MajorFunction::Read);
+    const IRP_WRITE: EventKind = EventKind::Irp(MajorFunction::Write);
+    const FAST_READ: EventKind = EventKind::FastIo(FastIoKind::Read);
+
+    #[test]
+    fn demand_fill_inside_read_window_is_dropped() {
+        let records = vec![
+            rec(IRP_READ, 7, false, false, 1_000, 90_000),
+            rec(IRP_READ, 7, true, false, 1_000, 80_000), // demand fill
+        ];
+        let kept = filter_paging_duplicates(&records);
+        assert_eq!(kept.len(), 1);
+        assert!(!kept[0].is_paging());
+    }
+
+    #[test]
+    fn readahead_always_dropped() {
+        let records = vec![
+            rec(FAST_READ, 7, false, false, 1_000, 2_000),
+            rec(IRP_READ, 7, true, true, 1_500, 99_000),
+        ];
+        let kept = filter_paging_duplicates(&records);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn image_load_paging_reads_survive() {
+        // No non-paging activity on this FCB: the exe/dll load case.
+        let records = vec![
+            rec(IRP_READ, 9, true, false, 5_000, 95_000),
+            rec(IRP_READ, 9, true, false, 6_000, 96_000),
+        ];
+        let kept = filter_paging_duplicates(&records);
+        assert_eq!(kept.len(), 2, "§3.3: mapped-file paging must be kept");
+    }
+
+    #[test]
+    fn lazy_writes_after_cached_writes_are_dropped() {
+        let records = vec![
+            rec(IRP_WRITE, 4, false, false, 1_000, 1_400),
+            rec(IRP_WRITE, 4, true, false, 11_000_000, 11_080_000), // lazy
+        ];
+        let kept = filter_paging_duplicates(&records);
+        assert_eq!(kept.len(), 1);
+        assert!(!kept[0].is_paging());
+    }
+
+    #[test]
+    fn mapped_writes_with_no_cached_write_survive() {
+        let records = vec![rec(IRP_WRITE, 5, true, false, 1_000, 2_000)];
+        let kept = filter_paging_duplicates(&records);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn paging_on_other_fcbs_untouched() {
+        let records = vec![
+            rec(IRP_READ, 1, false, false, 1_000, 50_000),
+            rec(IRP_READ, 2, true, false, 2_000, 60_000),
+        ];
+        let kept = filter_paging_duplicates(&records);
+        assert_eq!(kept.len(), 2, "window on fcb 1 must not hide fcb 2");
+    }
+
+    #[test]
+    fn order_preserved() {
+        let records = vec![
+            rec(IRP_READ, 1, false, false, 1_000, 2_000),
+            rec(IRP_READ, 2, true, false, 3_000, 4_000),
+            rec(FAST_READ, 1, false, false, 5_000, 6_000),
+        ];
+        let kept = filter_paging_duplicates(&records);
+        let starts: Vec<u64> = kept.iter().map(|r| r.start_ticks).collect();
+        assert_eq!(starts, vec![1_000, 3_000, 5_000]);
+    }
+}

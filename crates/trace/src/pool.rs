@@ -1,0 +1,199 @@
+//! The collection-server pool.
+//!
+//! §3: "The collection servers are three dedicated file servers that take
+//! the incoming event streams and store them in compressed formats for
+//! later retrieval." [`CollectorPool`] runs one thread per server; trace
+//! agents ship full buffers through a channel to the server their machine
+//! is assigned to, and the pool merges the three stores at shutdown.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+use crate::collector::{CollectionServer, MachineId};
+use crate::record::{NameRecord, TraceRecord};
+
+/// Anything a trace agent can ship records into — a local store or a
+/// channel to a remote collection server.
+pub trait RecordSink {
+    /// Stores one shipped buffer.
+    fn ingest(&mut self, machine: MachineId, records: &[TraceRecord]);
+
+    /// Stores one file-object name record.
+    fn ingest_name(&mut self, machine: MachineId, name: NameRecord);
+}
+
+impl RecordSink for CollectionServer {
+    fn ingest(&mut self, machine: MachineId, records: &[TraceRecord]) {
+        CollectionServer::ingest(self, machine, records);
+    }
+
+    fn ingest_name(&mut self, machine: MachineId, name: NameRecord) {
+        CollectionServer::ingest_name(self, machine, name);
+    }
+}
+
+enum Shipment {
+    Batch(MachineId, Vec<TraceRecord>),
+    Name(MachineId, NameRecord),
+}
+
+/// A per-machine handle that ships to the assigned collection server.
+#[derive(Clone)]
+pub struct CollectorHandle {
+    tx: Sender<Shipment>,
+}
+
+impl RecordSink for CollectorHandle {
+    fn ingest(&mut self, machine: MachineId, records: &[TraceRecord]) {
+        if !records.is_empty() {
+            // A closed pool drops the shipment, like an agent whose
+            // server went away (§3: the agent would suspend).
+            let _ = self.tx.send(Shipment::Batch(machine, records.to_vec()));
+        }
+    }
+
+    fn ingest_name(&mut self, machine: MachineId, name: NameRecord) {
+        let _ = self.tx.send(Shipment::Name(machine, name));
+    }
+}
+
+/// The pool of collection servers.
+pub struct CollectorPool {
+    senders: Vec<Sender<Shipment>>,
+    handles: Vec<JoinHandle<CollectionServer>>,
+}
+
+impl CollectorPool {
+    /// Starts `servers` collection-server threads (the study ran three).
+    pub fn start(servers: usize) -> Self {
+        let servers = servers.max(1);
+        let mut senders = Vec::with_capacity(servers);
+        let mut handles = Vec::with_capacity(servers);
+        for _ in 0..servers {
+            let (tx, rx) = unbounded::<Shipment>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                let mut store = CollectionServer::new();
+                while let Ok(shipment) = rx.recv() {
+                    match shipment {
+                        Shipment::Batch(m, records) => store.ingest(m, &records),
+                        Shipment::Name(m, name) => store.ingest_name(m, name),
+                    }
+                }
+                store
+            }));
+        }
+        CollectorPool { senders, handles }
+    }
+
+    /// The handle a machine's agent should ship through; machines hash to
+    /// servers for a stable assignment.
+    pub fn handle_for(&self, machine: MachineId) -> CollectorHandle {
+        let idx = machine.0 as usize % self.senders.len();
+        CollectorHandle {
+            tx: self.senders[idx].clone(),
+        }
+    }
+
+    /// Closes the streams, joins the servers and merges their stores.
+    ///
+    /// Every [`CollectorHandle`] must have been dropped first — a live
+    /// handle keeps its server's channel open and `finish` would wait for
+    /// it (the agents disconnect before the servers shut down, §3).
+    pub fn finish(self) -> CollectionServer {
+        drop(self.senders);
+        let mut merged = CollectionServer::new();
+        for h in self.handles {
+            let store = h.join().expect("collection server thread panicked");
+            merged.merge(store);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_io::{EventKind, MajorFunction, NtStatus};
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord {
+            code: EventKind::Irp(MajorFunction::Read).code(),
+            flags: 0,
+            status: NtStatus::Success,
+            set_info: None,
+            access: None,
+            disposition: None,
+            options: None,
+            file_object: i,
+            fcb: 0,
+            process: 0,
+            volume: 0,
+            offset: 0,
+            length: 512,
+            transferred: 512,
+            file_size: 0,
+            byte_offset: 0,
+            start_ticks: i * 1000,
+            end_ticks: i * 1000 + 10,
+        }
+    }
+
+    #[test]
+    fn pool_collects_from_concurrent_agents() {
+        let pool = CollectorPool::start(3);
+        std::thread::scope(|scope| {
+            for m in 0..9u32 {
+                let mut handle = pool.handle_for(MachineId(m));
+                scope.spawn(move || {
+                    for batch in 0..4u64 {
+                        let records: Vec<TraceRecord> =
+                            (0..50).map(|i| rec(batch * 50 + i)).collect();
+                        handle.ingest(MachineId(m), &records);
+                    }
+                    handle.ingest_name(
+                        MachineId(m),
+                        NameRecord {
+                            file_object: m as u64,
+                            volume: 0,
+                            process: 0,
+                            path: format!(r"\m{m}.txt"),
+                            at_ticks: 0,
+                        },
+                    );
+                });
+            }
+        });
+        let merged = pool.finish();
+        assert_eq!(merged.total_records(), 9 * 4 * 50);
+        assert_eq!(merged.machines().len(), 9);
+        for m in 0..9u32 {
+            assert_eq!(merged.records_for(MachineId(m)).len(), 200);
+            assert_eq!(merged.names_for(MachineId(m)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn machine_assignment_is_stable() {
+        let pool = CollectorPool::start(3);
+        let a = pool.handle_for(MachineId(4));
+        let b = pool.handle_for(MachineId(4));
+        assert!(a.tx.same_channel(&b.tx), "same machine, same server");
+        let c = pool.handle_for(MachineId(5));
+        assert!(!a.tx.same_channel(&c.tx), "different machine, other server");
+        // Handles keep their server's channel open; drop them before the
+        // pool shuts down.
+        drop((a, b, c));
+        pool.finish();
+    }
+
+    #[test]
+    fn empty_batches_are_not_shipped() {
+        let pool = CollectorPool::start(1);
+        let mut h = pool.handle_for(MachineId(0));
+        h.ingest(MachineId(0), &[]);
+        drop(h);
+        let merged = pool.finish();
+        assert_eq!(merged.total_records(), 0);
+    }
+}

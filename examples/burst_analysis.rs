@@ -1,0 +1,87 @@
+//! The §7 heavy-tail analysis on a single busy machine: arrivals at three
+//! time scales vs a Poisson synthesis (figure 8), the QQ comparison
+//! (figure 9) and the LLCD tail fit (figure 10).
+//!
+//! ```text
+//! cargo run --release --example burst_analysis
+//! ```
+
+use nt_analysis::{burstiness, tails, TraceSet};
+use nt_study::{MachineRun, StudyConfig};
+use nt_trace::CollectionServer;
+
+fn main() {
+    // One pool (development) machine, 30 simulated minutes.
+    let mut config = StudyConfig::smoke_test(11);
+    config.duration = nt_sim::SimDuration::from_secs(1_800);
+    let spec = config.machines[1].clone(); // the Pool machine
+    let mut run = MachineRun::build(&config, 1, &spec);
+    let mut server = CollectionServer::new();
+    run.simulate(&config, &mut server);
+
+    let records = server.records_for(run.id);
+    let names = server.names_for(run.id).into_iter().cloned().collect();
+    println!(
+        "machine {:?} ({:?}): {} records",
+        run.id,
+        run.category,
+        records.len()
+    );
+    let ts = TraceSet::build(vec![(run.id.0, records, names)]);
+
+    println!("\nfigure 8 — arrivals vs Poisson:");
+    let b = burstiness::burstiness(&ts, 99);
+    for s in &b.scales {
+        println!(
+            "  {:>4}s bins: {:>5} intervals, traced dispersion {:>8.2}, poisson {:>5.2}",
+            s.traced.interval_secs,
+            s.traced.counts.len(),
+            s.traced.dispersion(),
+            s.poisson.dispersion()
+        );
+    }
+    println!("  (a Poisson process smooths out at coarse scales; the trace does not)");
+
+    let gaps: Vec<f64> = burstiness::open_arrival_ticks(&ts)
+        .windows(2)
+        .map(|w| (w[1].saturating_sub(w[0])) as f64 / 10.0)
+        .filter(|&g| g > 0.0)
+        .collect();
+
+    if let Some(base) = b.scales.iter().find(|s| s.traced.interval_secs == 1) {
+        let vt = burstiness::variance_time(&base.traced);
+        println!(
+            "  variance-time Hurst: {:.2} (H > 0.5 means long-range dependence)",
+            vt.hurst
+        );
+    }
+
+    println!("\nfigure 9 — QQ of open inter-arrivals (us):");
+    let qq = tails::qq_plot(&gaps, 60);
+    println!(
+        "  deviation vs fitted Normal: {:.2}; vs fitted Pareto: {:.2}",
+        qq.normal_deviation, qq.pareto_deviation
+    );
+    println!(
+        "  -> the {} distribution tracks the sample",
+        if qq.pareto_deviation < qq.normal_deviation {
+            "Pareto"
+        } else {
+            "Normal"
+        }
+    );
+
+    println!("\nfigure 10 — LLCD of the upper tail:");
+    let l = tails::llcd(&gaps, 0.1);
+    for (x, y) in l.points.iter().rev().take(12).rev() {
+        println!("    log10(gap)={x:>6.2}  log10(P[X>x])={y:>6.2}");
+    }
+    println!(
+        "  fitted slope {:.2} -> alpha = {:.2} (alpha < 2 means infinite variance)",
+        l.tail_slope, l.alpha
+    );
+    println!(
+        "  Hill estimator over the top decile: {:.2}",
+        tails::hill_alpha(&gaps)
+    );
+}

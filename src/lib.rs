@@ -1,0 +1,22 @@
+//! Umbrella crate of the NT 4.0 file-system usage-study reproduction.
+//!
+//! The runnable surface lives in the member crates; this crate hosts the
+//! workspace-level examples (`examples/`) and integration tests
+//! (`tests/`). For library use, depend on the member crates directly:
+//!
+//! * [`nt_study`] — run deployments and render the paper's tables/figures.
+//! * [`nt_analysis`] — the statistics pipeline.
+//! * [`nt_io`] / [`nt_cache`] / [`nt_vm`] / [`nt_fs`] — the simulated NT
+//!   I/O subsystem.
+//! * [`nt_workload`] — the calibrated synthetic workload.
+//! * [`nt_trace`] — the filter-driver tracing apparatus.
+
+pub use nt_analysis;
+pub use nt_cache;
+pub use nt_fs;
+pub use nt_io;
+pub use nt_sim;
+pub use nt_study;
+pub use nt_trace;
+pub use nt_vm;
+pub use nt_workload;

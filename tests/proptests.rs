@@ -1,0 +1,553 @@
+//! Property-based tests over the core data structures and invariants.
+
+use nt_cache::RangeSet;
+use nt_fs::NtPath;
+use nt_sim::{Engine, SimTime};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// RangeSet vs a naive bit-set model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum RangeOp {
+    Insert(u16, u16),
+    Remove(u16, u16),
+}
+
+fn range_ops() -> impl Strategy<Value = Vec<RangeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..512, 0u16..512).prop_map(|(a, b)| RangeOp::Insert(a.min(b), a.max(b))),
+            (0u16..512, 0u16..512).prop_map(|(a, b)| RangeOp::Remove(a.min(b), a.max(b))),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn range_set_matches_naive_model(ops in range_ops()) {
+        let mut rs = RangeSet::new();
+        let mut model = [false; 512];
+        for op in &ops {
+            match *op {
+                RangeOp::Insert(s, e) => {
+                    rs.insert(s as u64, e as u64);
+                    for x in s..e {
+                        model[x as usize] = true;
+                    }
+                }
+                RangeOp::Remove(s, e) => {
+                    rs.remove(s as u64, e as u64);
+                    for x in s..e {
+                        model[x as usize] = false;
+                    }
+                }
+            }
+        }
+        // Covered bytes agree.
+        let naive: u64 = model.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(rs.covered_bytes(), naive);
+        // Ranges are disjoint, sorted and non-adjacent.
+        let ranges: Vec<(u64, u64)> = rs.iter().collect();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "coalesced and ordered: {:?}", ranges);
+        }
+        // covers() agrees with the model at a few probes.
+        for probe in [0u64, 7, 100, 255, 300, 511] {
+            prop_assert_eq!(
+                rs.covers(probe, probe + 1),
+                model[probe as usize],
+                "probe {}", probe
+            );
+        }
+        // gaps() of the full domain complements the coverage.
+        let gap_total: u64 = rs.gaps(0, 512).iter().map(|(s, e)| e - s).sum();
+        prop_assert_eq!(gap_total, 512 - naive);
+    }
+
+    #[test]
+    fn take_front_conserves_bytes(ops in range_ops(), budget in 0u64..600) {
+        let mut rs = RangeSet::new();
+        for op in &ops {
+            if let RangeOp::Insert(s, e) = *op {
+                rs.insert(s as u64, e as u64);
+            }
+        }
+        let before = rs.covered_bytes();
+        let taken: u64 = rs.take_front(budget).iter().map(|(s, e)| e - s).sum();
+        prop_assert!(taken <= budget);
+        prop_assert_eq!(rs.covered_bytes() + taken, before);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-record encode/decode roundtrip.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn trace_record_roundtrips(
+        code in 0u8..54,
+        flags in 0u8..16,
+        fo in any::<u64>(),
+        fcb in any::<u64>(),
+        process in any::<u32>(),
+        offset in any::<u64>(),
+        length in any::<u64>(),
+        start in 0u64..u64::MAX / 2,
+        lat in 0u64..1_000_000_000,
+    ) {
+        use nt_trace::TraceRecord;
+        let rec = TraceRecord {
+            code,
+            flags,
+            status: nt_io::NtStatus::Success,
+            set_info: None,
+            access: None,
+            disposition: None,
+            options: None,
+            file_object: fo,
+            fcb,
+            process,
+            volume: 0,
+            offset,
+            length,
+            transferred: length / 2,
+            file_size: length,
+            byte_offset: offset,
+            start_ticks: start,
+            end_ticks: start + lat,
+        };
+        let mut buf = bytes::BytesMut::new();
+        rec.encode(&mut buf);
+        prop_assert_eq!(buf.len(), nt_trace::RECORD_SIZE);
+        let back = TraceRecord::decode(&mut buf.freeze()).expect("valid record");
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn record_batches_roundtrip(n in 1usize..400, seed in any::<u64>()) {
+        use nt_trace::{RecordBatch, TraceRecord};
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut t = 0u64;
+        let records: Vec<TraceRecord> = (0..n)
+            .map(|i| {
+                t += rng.gen_range(0..1_000_000);
+                TraceRecord {
+                    code: rng.gen_range(0..54),
+                    flags: rng.gen_range(0..16),
+                    status: nt_io::NtStatus::Success,
+                    set_info: None,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    file_object: i as u64,
+                    fcb: rng.gen(),
+                    process: rng.gen(),
+                    volume: rng.gen_range(0..3),
+                    offset: rng.gen(),
+                    length: rng.gen_range(0..1 << 20),
+                    transferred: 0,
+                    file_size: 0,
+                    byte_offset: 0,
+                    start_ticks: t,
+                    end_ticks: t + rng.gen_range(0..100_000),
+                }
+            })
+            .collect();
+        let batch = RecordBatch::compress(&records);
+        prop_assert_eq!(batch.decompress(), records);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine ordering under random schedules.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn engine_fires_in_nondecreasing_time_order(times in prop::collection::vec(0u64..10_000, 1..80)) {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        for &t in &times {
+            engine.schedule_at(SimTime::from_millis(t), move |world, eng| {
+                world.push(eng.now().as_millis());
+            });
+        }
+        let mut fired = Vec::new();
+        engine.run(&mut fired);
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(fired, sorted);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CDF properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cdf_quantiles_are_monotone(samples in prop::collection::vec(0.0f64..1e9, 2..200)) {
+        let cdf = nt_analysis::Cdf::from_samples(samples.clone());
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q).expect("non-empty");
+            prop_assert!(v >= last, "quantiles decrease at q={q}");
+            last = v;
+        }
+        let (lo, hi) = cdf.range().expect("non-empty");
+        prop_assert_eq!(cdf.fraction_at_or_below(hi), 1.0);
+        prop_assert!(cdf.fraction_at_or_below(lo - 1.0) == 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Path parsing.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn path_display_parse_roundtrip(parts in prop::collection::vec("[a-z0-9]{1,8}(\\.[a-z0-9]{1,3})?", 0..6)) {
+        let mut p = NtPath::root();
+        for part in &parts {
+            p.push(part);
+        }
+        let shown = p.to_string();
+        let back = NtPath::parse(&shown);
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn path_parent_reduces_depth(parts in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut p = NtPath::root();
+        for part in &parts {
+            p.push(part);
+        }
+        prop_assert_eq!(p.depth(), parts.len());
+        prop_assert_eq!(p.parent().depth(), parts.len() - 1);
+        prop_assert!(p.starts_with(&p.parent()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache-manager invariants under arbitrary operation sequences.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Read { key: u8, offset: u32, len: u16 },
+    Write { key: u8, offset: u32, len: u16 },
+    Flush { key: u8 },
+    LazyScan,
+    Purge { key: u8 },
+    Trim { budget: u32 },
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4, 0u32..1_000_000, 1u16..u16::MAX)
+                .prop_map(|(key, offset, len)| CacheOp::Read { key, offset, len }),
+            (0u8..4, 0u32..1_000_000, 1u16..u16::MAX)
+                .prop_map(|(key, offset, len)| CacheOp::Write { key, offset, len }),
+            (0u8..4).prop_map(|key| CacheOp::Flush { key }),
+            Just(CacheOp::LazyScan),
+            (0u8..4).prop_map(|key| CacheOp::Purge { key }),
+            (0u32..2_000_000).prop_map(|budget| CacheOp::Trim { budget }),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cache_manager_invariants_hold(ops in cache_ops()) {
+        use nt_cache::{CacheManager, CacheOpenHints};
+        let mut m: CacheManager<u8> = CacheManager::with_defaults();
+        let hints = CacheOpenHints::default();
+        let file_size = 1 << 20;
+        let mut scan = 1u64;
+        for op in &ops {
+            match *op {
+                CacheOp::Read { key, offset, len } => {
+                    let out = m.read(&key, offset as u64, len as u64, file_size, hints);
+                    // Paging reads are page aligned and never empty.
+                    for io in &out.ios {
+                        prop_assert!(io.offset % nt_cache::PAGE_SIZE == 0);
+                        prop_assert!(io.len > 0 && io.len % nt_cache::PAGE_SIZE == 0);
+                        prop_assert!(!io.write);
+                        m.complete_paging_read(&key, io.offset, io.len);
+                    }
+                    // After completing the paging I/O, the same read hits.
+                    if !out.hit {
+                        let again = m.read(&key, offset as u64, len as u64, file_size, hints);
+                        prop_assert!(
+                            again.ios.iter().all(|io| io.readahead),
+                            "demand range must now be resident"
+                        );
+                    }
+                }
+                CacheOp::Write { key, offset, len } => {
+                    let out = m.write(&key, offset as u64, len as u64, file_size, hints);
+                    prop_assert!(out.ios.is_empty(), "write-behind by default");
+                }
+                CacheOp::Flush { key } => {
+                    m.flush(&key);
+                    prop_assert_eq!(m.file_dirty_bytes(&key), 0);
+                }
+                CacheOp::LazyScan => {
+                    let before = m.dirty_bytes();
+                    let (actions, _) = m.lazy_scan(nt_sim::SimTime::from_secs(scan));
+                    scan += 1;
+                    let written: u64 = actions.iter().map(|a| a.io.len).sum();
+                    prop_assert_eq!(m.dirty_bytes() + written, before);
+                }
+                CacheOp::Purge { key } => {
+                    m.purge(&key);
+                    prop_assert!(!m.is_cached(&key));
+                }
+                CacheOp::Trim { budget } => {
+                    let dirty_before = m.dirty_bytes();
+                    m.trim(budget as u64);
+                    prop_assert_eq!(m.dirty_bytes(), dirty_before, "trim never drops dirty data");
+                }
+            }
+            // Global invariant: dirty data is always resident.
+            prop_assert!(m.dirty_bytes() <= m.resident_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Share-mode arbitration is symmetric and self-consistent.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn share_arbitration_is_consistent(
+        seq in prop::collection::vec((0u8..3, 0u8..8), 1..20)
+    ) {
+        use nt_io::sharing::ShareRegistry;
+        use nt_io::{AccessMode, HandleId, ShareMode};
+        let decode_access = |a: u8| match a {
+            0 => AccessMode::Read,
+            1 => AccessMode::Write,
+            _ => AccessMode::ReadWrite,
+        };
+        let decode_share = |s: u8| ShareMode {
+            read: s & 1 != 0,
+            write: s & 2 != 0,
+            delete: s & 4 != 0,
+        };
+        let mut reg = ShareRegistry::new();
+        let mut granted: Vec<(HandleId, AccessMode, ShareMode)> = Vec::new();
+        for (i, (a, sh)) in seq.iter().enumerate() {
+            let access = decode_access(*a);
+            let share = decode_share(*sh);
+            let h = HandleId(i as u64);
+            let compatible = reg.compatible(1, access, share);
+            let opened = reg.try_open(1, h, access, share);
+            prop_assert_eq!(compatible, opened, "check and open agree");
+            if opened {
+                // The grant must be pairwise consistent with every
+                // already-granted opener.
+                for (_, ga, gs) in &granted {
+                    if access.can_read() { prop_assert!(gs.read); }
+                    if access.can_write() { prop_assert!(gs.write); }
+                    if ga.can_read() { prop_assert!(share.read); }
+                    if ga.can_write() { prop_assert!(share.write); }
+                }
+                granted.push((h, access, share));
+            }
+        }
+        // Closing everything resets arbitration.
+        for (h, _, _) in &granted {
+            reg.close(1, *h);
+        }
+        prop_assert!(reg.try_open(1, HandleId(999), AccessMode::ReadWrite, ShareMode::default()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heavy-tail estimator sanity.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn hill_estimator_tracks_pareto_alpha(seed in any::<u64>(), alpha_x10 in 11u32..25) {
+        use rand::{Rng, SeedableRng};
+        let alpha = alpha_x10 as f64 / 10.0;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let sample: Vec<f64> = (0..30_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                1.0 / u.powf(1.0 / alpha)
+            })
+            .collect();
+        let est = nt_analysis::tails::hill_alpha(&sample);
+        prop_assert!(
+            (est - alpha).abs() < 0.4,
+            "alpha {} estimated {}", alpha, est
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Volume namespace vs a flat-map model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum NsOp {
+    CreateFile { dir: u8, name: u8 },
+    Mkdir { parent: u8, name: u8 },
+    Remove { dir: u8, name: u8 },
+    Rename { dir: u8, name: u8, to_dir: u8, to_name: u8 },
+    SetSize { dir: u8, name: u8, size: u32 },
+}
+
+fn ns_ops() -> impl Strategy<Value = Vec<NsOp>> {
+    let dir = 0u8..4;
+    let name = 0u8..12;
+    prop::collection::vec(
+        prop_oneof![
+            (dir.clone(), name.clone()).prop_map(|(dir, name)| NsOp::CreateFile { dir, name }),
+            (dir.clone(), name.clone()).prop_map(|(parent, name)| NsOp::Mkdir { parent, name }),
+            (dir.clone(), name.clone()).prop_map(|(dir, name)| NsOp::Remove { dir, name }),
+            (dir.clone(), name.clone(), dir.clone(), name.clone()).prop_map(
+                |(dir, name, to_dir, to_name)| NsOp::Rename {
+                    dir,
+                    name,
+                    to_dir,
+                    to_name
+                }
+            ),
+            (dir, name, 0u32..10_000_000).prop_map(|(dir, name, size)| NsOp::SetSize {
+                dir,
+                name,
+                size
+            }),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn volume_matches_flat_model(ops in ns_ops()) {
+        use nt_fs::{FsError, Volume, VolumeConfig};
+        use nt_sim::SimTime;
+        use std::collections::HashMap;
+
+        let now = SimTime::from_secs(1);
+        let mut vol = Volume::new(VolumeConfig::local_ntfs(1 << 30));
+        // Four fixed directories d0..d3 under the root.
+        let dirs: Vec<nt_fs::NodeId> = (0..4)
+            .map(|i| vol.mkdir(vol.root(), &format!("d{i}"), now).expect("fresh"))
+            .collect();
+        // Model: (dir index, name index) -> size.
+        let mut model: HashMap<(u8, u8), u64> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                NsOp::CreateFile { dir, name } => {
+                    let r = vol.create_file(dirs[dir as usize], &format!("f{name}"), now);
+                    if model.contains_key(&(dir, name)) {
+                        prop_assert_eq!(r.unwrap_err(), FsError::AlreadyExists);
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert((dir, name), 0);
+                    }
+                }
+                NsOp::Mkdir { parent, name } => {
+                    // Directory names collide with files in the same dir.
+                    let r = vol.mkdir(dirs[parent as usize], &format!("f{name}"), now);
+                    if model.contains_key(&(parent, name)) {
+                        prop_assert_eq!(r.unwrap_err(), FsError::AlreadyExists);
+                    } else {
+                        // Created a directory occupying the name; remove it
+                        // again to keep the model files-only.
+                        let id = r.expect("fresh directory");
+                        vol.remove(id, now).expect("empty directory removes");
+                    }
+                }
+                NsOp::Remove { dir, name } => {
+                    match vol.child(dirs[dir as usize], &format!("f{name}")) {
+                        Ok(id) => {
+                            prop_assert!(model.contains_key(&(dir, name)));
+                            vol.remove(id, now).expect("file removes");
+                            model.remove(&(dir, name));
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(e, FsError::NotFound);
+                            prop_assert!(!model.contains_key(&(dir, name)));
+                        }
+                    }
+                }
+                NsOp::Rename { dir, name, to_dir, to_name } => {
+                    let src = vol.child(dirs[dir as usize], &format!("f{name}"));
+                    match src {
+                        Ok(id) => {
+                            let same = (dir, name) == (to_dir, to_name);
+                            let r = vol.rename(
+                                id,
+                                dirs[to_dir as usize],
+                                &format!("f{to_name}"),
+                                now,
+                            );
+                            if model.contains_key(&(to_dir, to_name)) && !same {
+                                prop_assert_eq!(r.unwrap_err(), FsError::AlreadyExists);
+                            } else if same {
+                                // Renaming onto itself collides with its own
+                                // entry in this model's semantics.
+                                prop_assert!(r.is_err());
+                            } else {
+                                prop_assert!(r.is_ok());
+                                let size = model.remove(&(dir, name)).expect("tracked");
+                                model.insert((to_dir, to_name), size);
+                            }
+                        }
+                        Err(_) => prop_assert!(!model.contains_key(&(dir, name))),
+                    }
+                }
+                NsOp::SetSize { dir, name, size } => {
+                    match vol.child(dirs[dir as usize], &format!("f{name}")) {
+                        Ok(id) => {
+                            vol.set_file_size(id, size as u64, now).expect("fits");
+                            model.insert((dir, name), size as u64);
+                        }
+                        Err(_) => prop_assert!(!model.contains_key(&(dir, name))),
+                    }
+                }
+            }
+        }
+
+        // Final state agrees: every model entry resolves with its size,
+        // and the stats add up.
+        let mut total = 0u64;
+        for (&(dir, name), &size) in &model {
+            let id = vol
+                .child(dirs[dir as usize], &format!("f{name}"))
+                .expect("model entry exists");
+            prop_assert_eq!(vol.file_size(id).expect("is a file"), size);
+            total += size;
+        }
+        prop_assert_eq!(vol.stats().files as usize, model.len());
+        prop_assert_eq!(vol.stats().used_bytes, total);
+        // The snapshot walker sees exactly the model's files.
+        let snap = nt_trace::SnapshotWalker::walk_volume(
+            nt_fs::VolumeId(0),
+            &vol,
+            SimTime::from_secs(2),
+        );
+        prop_assert_eq!(snap.file_count(), model.len());
+    }
+}
