@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tier-1 verification.
+#
+# Everything runs offline — dependencies are vendored under vendor/ and
+# resolved by path, so no step touches a registry or the network.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick   skip the release build (lints + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [ "$QUICK" -eq 0 ]; then
+    step "cargo build --release (tier-1)"
+    cargo build --release --offline
+fi
+
+step "cargo test (tier-1)"
+cargo test -q --offline
+
+step "cargo test --workspace"
+cargo test -q --workspace --offline
+
+echo
+echo "CI green."

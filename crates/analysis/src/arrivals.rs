@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::cdf::Cdf;
+use crate::gaps::LossWindows;
 use crate::schema::TraceSet;
 
 /// Inter-arrival CDFs (milliseconds).
@@ -28,6 +29,15 @@ pub struct OpenArrivals {
 /// Computes figure 11 from the instance table (per machine, then merged:
 /// inter-arrivals only make sense within one machine's request stream).
 pub fn open_arrivals(ts: &TraceSet) -> OpenArrivals {
+    open_arrivals_excluding(ts, &LossWindows::new())
+}
+
+/// [`open_arrivals`] over a degraded trace: inter-arrival pairs whose
+/// span crosses a lossy window of their machine are dropped (a
+/// suspension would otherwise masquerade as one giant gap), and seconds
+/// inside lossy windows leave the active-second denominator. With no
+/// windows this is exactly [`open_arrivals`].
+pub fn open_arrivals_excluding(ts: &TraceSet, lossy: &LossWindows) -> OpenArrivals {
     let mut all = Vec::new();
     let mut for_io = Vec::new();
     let mut for_control = Vec::new();
@@ -40,10 +50,13 @@ pub fn open_arrivals(ts: &TraceSet) -> OpenArrivals {
     }
     let mut active_seconds: u64 = 0;
     let mut total_seconds: u64 = 0;
-    for (_, mut opens) in by_machine {
+    for (machine, mut opens) in by_machine {
         opens.sort_unstable();
         // Overall gaps.
         for w in opens.windows(2) {
+            if lossy.span_is_lossy(machine, w[0].0, w[1].0) {
+                continue;
+            }
             all.push((w[1].0 - w[0].0) as f64 / 10_000.0);
         }
         // Per-class gaps, measured within each class's own stream.
@@ -55,6 +68,9 @@ pub fn open_arrivals(ts: &TraceSet) -> OpenArrivals {
                 .collect();
             let out = if data { &mut for_io } else { &mut for_control };
             for w in stream.windows(2) {
+                if lossy.span_is_lossy(machine, w[0], w[1]) {
+                    continue;
+                }
                 out.push((w[1] - w[0]) as f64 / 10_000.0);
             }
         }
@@ -62,12 +78,21 @@ pub fn open_arrivals(ts: &TraceSet) -> OpenArrivals {
         if let (Some(first), Some(last)) = (opens.first(), opens.last()) {
             let lo = first.0 / 10_000_000;
             let hi = last.0 / 10_000_000;
-            total_seconds += hi - lo + 1;
+            let lossy_seconds = (lo..=hi)
+                .filter(|s| {
+                    !lossy.for_machine(machine).is_empty()
+                        && lossy.span_is_lossy(machine, s * 10_000_000, (s + 1) * 10_000_000 - 1)
+                })
+                .count() as u64;
+            total_seconds += (hi - lo + 1).saturating_sub(lossy_seconds);
             let mut secs: Vec<u64> = opens.iter().map(|(t, _)| t / 10_000_000).collect();
             secs.dedup();
             let mut unique = secs;
             unique.sort_unstable();
             unique.dedup();
+            unique.retain(|s| {
+                !lossy.span_is_lossy(machine, s * 10_000_000, (s + 1) * 10_000_000 - 1)
+            });
             active_seconds += unique.len() as u64;
         }
     }
@@ -108,6 +133,42 @@ mod tests {
             a.active_second_fraction
         );
         assert!(a.active_second_fraction > 0.0);
+    }
+
+    #[test]
+    fn excluding_nothing_changes_nothing() {
+        let ts = synthetic_trace_set(400, 6);
+        let clean = open_arrivals(&ts);
+        let same = open_arrivals_excluding(&ts, &LossWindows::new());
+        assert_eq!(clean.all.len(), same.all.len());
+        assert_eq!(clean.active_second_fraction, same.active_second_fraction);
+    }
+
+    #[test]
+    fn lossy_windows_remove_spanning_gaps() {
+        let ts = synthetic_trace_set(400, 7);
+        let clean = open_arrivals(&ts);
+        // Declare the middle of every machine's stream lossy.
+        let mut lossy = LossWindows::new();
+        for &m in &ts.machines() {
+            let ticks: Vec<u64> = ts
+                .instances
+                .iter()
+                .filter(|i| i.machine == m)
+                .map(|i| i.open_start_ticks)
+                .collect();
+            let (lo, hi) = (*ticks.iter().min().unwrap(), *ticks.iter().max().unwrap());
+            let mid = lo + (hi - lo) / 2;
+            lossy.add(m, nt_trace::TickWindow::new(mid, mid + (hi - lo) / 4));
+        }
+        let degraded = open_arrivals_excluding(&ts, &lossy);
+        assert!(
+            degraded.all.len() < clean.all.len(),
+            "gaps spanning lossy windows are excluded: {} vs {}",
+            degraded.all.len(),
+            clean.all.len()
+        );
+        assert!(!degraded.all.is_empty(), "the rest of the trace survives");
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! stays ≈ 1 at every scale; the traced arrivals keep their variance —
 //! the self-similarity signature.
 
+use nt_trace::TickWindow;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::gaps::LossWindows;
 use crate::schema::TraceSet;
 
 /// Arrival counts binned at one time scale.
@@ -68,6 +70,19 @@ pub fn open_arrival_ticks(ts: &TraceSet) -> Vec<u64> {
 
 /// Bins arrival ticks at the given interval length.
 pub fn bin_arrivals(ticks: &[u64], interval_secs: u64) -> BinnedArrivals {
+    bin_arrivals_excluding(ticks, interval_secs, &[])
+}
+
+/// [`bin_arrivals`] over a degraded trace: bins whose span touches a
+/// lossy window are removed entirely (not zeroed — a hole is missing
+/// data, and counting it as an idle interval would deflate the mean and
+/// corrupt the dispersion). With no windows this is exactly
+/// [`bin_arrivals`].
+pub fn bin_arrivals_excluding(
+    ticks: &[u64],
+    interval_secs: u64,
+    lossy: &[TickWindow],
+) -> BinnedArrivals {
     let per = interval_secs * 10_000_000;
     if ticks.is_empty() {
         return BinnedArrivals {
@@ -80,6 +95,17 @@ pub fn bin_arrivals(ticks: &[u64], interval_secs: u64) -> BinnedArrivals {
     let mut counts = vec![0u64; (hi - lo + 1) as usize];
     for t in ticks {
         counts[(t / per - lo) as usize] += 1;
+    }
+    if !lossy.is_empty() {
+        counts = counts
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let start = (lo + *i as u64) * per;
+                !lossy.iter().any(|w| w.overlaps(start, start + per - 1))
+            })
+            .map(|(_, c)| c)
+            .collect();
     }
     BinnedArrivals {
         interval_secs,
@@ -183,11 +209,20 @@ pub fn variance_time(base: &BinnedArrivals) -> VarianceTime {
 
 /// Runs the figure-8 analysis at the three paper scales.
 pub fn burstiness(ts: &TraceSet, seed: u64) -> Burstiness {
+    burstiness_excluding(ts, seed, &LossWindows::new())
+}
+
+/// [`burstiness`] over a degraded trace: since the binning merges every
+/// machine's arrivals, any machine's lossy window makes its bins suspect
+/// fleet-wide and they are excised before the Poisson contrast. With no
+/// windows this is exactly [`burstiness`].
+pub fn burstiness_excluding(ts: &TraceSet, seed: u64, lossy: &LossWindows) -> Burstiness {
     let ticks = open_arrival_ticks(ts);
+    let holes = lossy.flattened();
     let scales = [1u64, 10, 100]
         .iter()
         .map(|&s| {
-            let traced = bin_arrivals(&ticks, s);
+            let traced = bin_arrivals_excluding(&ticks, s, &holes);
             let poisson = poisson_synthesis(&traced, seed ^ s);
             ScaleComparison { traced, poisson }
         })
@@ -209,6 +244,24 @@ mod tests {
         let b10 = bin_arrivals(&ticks, 10);
         assert_eq!(b10.counts.iter().sum::<u64>(), 5);
         assert!(b10.counts.len() < b.counts.len());
+    }
+
+    #[test]
+    fn excluded_bins_disappear_instead_of_zeroing() {
+        let ticks = vec![0, 5_000_000, 15_000_000, 95_000_000, 1_000_000_000];
+        let clean = bin_arrivals(&ticks, 1);
+        // A window covering the second containing t=15_000_000.
+        let hole = [TickWindow::new(10_000_000, 20_000_000)];
+        let cut = bin_arrivals_excluding(&ticks, 1, &hole);
+        assert_eq!(cut.counts.len(), clean.counts.len() - 1);
+        assert_eq!(
+            cut.counts.iter().sum::<u64>(),
+            clean.counts.iter().sum::<u64>() - 1,
+            "the arrival inside the hole leaves the analysis"
+        );
+        // No windows: identical to the plain binning.
+        let same = bin_arrivals_excluding(&ticks, 1, &[]);
+        assert_eq!(same.counts, clean.counts);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Trace-gap detection and lossy-window bookkeeping.
+//!
+//! A trace collected under faults (§3: suspended agents, collector
+//! downtime) has holes: spans of virtual time in which a machine's
+//! requests were issued but never recorded. Arrival and burstiness
+//! statistics computed naively over such a trace are corrupted — a
+//! suspension reads as one giant inter-arrival gap and a run of empty
+//! bins. [`LossWindows`] names the holes, either from the fault schedule
+//! that produced them or detected after the fact ([`detect_gaps`]), and
+//! the degraded analysis entry points
+//! ([`crate::arrivals::open_arrivals_excluding`],
+//! [`crate::burstiness::burstiness_excluding`]) excise them instead of
+//! averaging over them.
+
+use std::collections::HashMap;
+
+use nt_trace::TickWindow;
+
+use crate::schema::TraceSet;
+
+/// Per-machine windows of virtual time known (or suspected) to be lossy.
+#[derive(Clone, Debug, Default)]
+pub struct LossWindows {
+    by_machine: HashMap<u32, Vec<TickWindow>>,
+}
+
+impl LossWindows {
+    /// No lossy windows: the clean-trace case.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a window of one machine's stream as lossy. Empty windows are
+    /// ignored.
+    pub fn add(&mut self, machine: u32, window: TickWindow) {
+        if window.duration_ticks() > 0 {
+            let ws = self.by_machine.entry(machine).or_default();
+            ws.push(window);
+            ws.sort_by_key(|w| w.start_ticks);
+        }
+    }
+
+    /// The lossy windows of one machine, sorted by start.
+    pub fn for_machine(&self, machine: u32) -> &[TickWindow] {
+        self.by_machine.get(&machine).map_or(&[], Vec::as_slice)
+    }
+
+    /// True when no window is registered anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.by_machine.values().all(Vec::is_empty)
+    }
+
+    /// Every window across machines, sorted by start (fleet-wide
+    /// analyses treat any machine's hole as suspect).
+    pub fn flattened(&self) -> Vec<TickWindow> {
+        let mut all: Vec<TickWindow> = self.by_machine.values().flatten().copied().collect();
+        all.sort_by_key(|w| w.start_ticks);
+        all
+    }
+
+    /// Total lossy virtual time across machines, in ticks.
+    pub fn total_lossy_ticks(&self) -> u64 {
+        self.by_machine
+            .values()
+            .flatten()
+            .map(|w| w.duration_ticks())
+            .sum()
+    }
+
+    /// True when the span `[lo, hi]` of `machine`'s stream touches a
+    /// lossy window.
+    pub fn span_is_lossy(&self, machine: u32, lo: u64, hi: u64) -> bool {
+        self.for_machine(machine).iter().any(|w| w.overlaps(lo, hi))
+    }
+}
+
+/// Detects suspicious holes in a collected trace: for each machine, any
+/// silence of at least `min_gap_ticks` between consecutive records
+/// becomes a lossy window. A clean but idle machine can produce false
+/// positives — the threshold trades those against missed outages, and
+/// callers that know the real fault schedule should prefer it over
+/// detection.
+pub fn detect_gaps(ts: &TraceSet, min_gap_ticks: u64) -> LossWindows {
+    let min_gap_ticks = min_gap_ticks.max(1);
+    let mut by_machine: HashMap<u32, Vec<u64>> = HashMap::new();
+    for (m, r) in &ts.records {
+        by_machine.entry(*m).or_default().push(r.start_ticks);
+    }
+    let mut out = LossWindows::new();
+    for (m, mut ticks) in by_machine {
+        ticks.sort_unstable();
+        for w in ticks.windows(2) {
+            if w[1] - w[0] >= min_gap_ticks {
+                // The hole starts after the last seen record and ends
+                // when recording demonstrably resumed.
+                out.add(m, TickWindow::new(w[0] + 1, w[1]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn empty_windows_report_clean() {
+        let lw = LossWindows::new();
+        assert!(lw.is_empty());
+        assert!(lw.for_machine(0).is_empty());
+        assert!(!lw.span_is_lossy(0, 0, u64::MAX));
+        assert_eq!(lw.total_lossy_ticks(), 0);
+    }
+
+    #[test]
+    fn windows_accumulate_per_machine() {
+        let mut lw = LossWindows::new();
+        lw.add(1, TickWindow::new(500, 900));
+        lw.add(1, TickWindow::new(100, 200));
+        lw.add(2, TickWindow::new(0, 50));
+        lw.add(2, TickWindow::new(10, 10)); // empty: ignored
+        assert_eq!(lw.for_machine(1).len(), 2);
+        assert_eq!(lw.for_machine(1)[0].start_ticks, 100, "sorted by start");
+        assert_eq!(lw.for_machine(2).len(), 1);
+        assert_eq!(lw.total_lossy_ticks(), 400 + 100 + 50);
+        assert!(lw.span_is_lossy(1, 150, 160));
+        assert!(!lw.span_is_lossy(1, 250, 400));
+        assert!(!lw.span_is_lossy(3, 0, u64::MAX));
+        assert_eq!(lw.flattened().len(), 3);
+    }
+
+    #[test]
+    fn gap_detection_finds_a_planted_hole() {
+        let ts = synthetic_trace_set(400, 9);
+        // With an absurd threshold, nothing is a gap.
+        assert!(detect_gaps(&ts, u64::MAX).is_empty());
+        // Find the largest real silence on some machine, then set the
+        // threshold just below it: exactly that hole must be detected.
+        let mut by_machine: HashMap<u32, Vec<u64>> = HashMap::new();
+        for (m, r) in &ts.records {
+            by_machine.entry(*m).or_default().push(r.start_ticks);
+        }
+        let (machine, largest) = by_machine
+            .iter_mut()
+            .map(|(m, ticks)| {
+                ticks.sort_unstable();
+                let g = ticks.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+                (*m, g)
+            })
+            .max_by_key(|(_, g)| *g)
+            .expect("records exist");
+        assert!(largest > 0);
+        let lw = detect_gaps(&ts, largest);
+        assert!(!lw.is_empty());
+        assert!(lw
+            .for_machine(machine)
+            .iter()
+            .any(|w| w.duration_ticks() + 1 == largest));
+    }
+}

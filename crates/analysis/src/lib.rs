@@ -17,6 +17,9 @@
 //! * [`lifetimes`] — figures 6–7, the die-young new files.
 //! * [`arrivals`] — figure 11, open inter-arrival times.
 //! * [`burstiness`] — figure 8, arrivals at three time scales vs Poisson.
+//! * [`gaps`] — lossy-window bookkeeping for traces collected under
+//!   faults; arrivals/burstiness exclude the holes instead of averaging
+//!   over them.
 //! * [`tails`] — figures 9–10, QQ plots, LLCD slope and Hill estimator.
 //! * [`latency`] — figures 13–14, latency/size by request class.
 //! * [`ops`] — §8's operational characteristics.
@@ -33,6 +36,7 @@ pub mod burstiness;
 pub mod cdf;
 pub mod content;
 pub mod dimensions;
+pub mod gaps;
 pub mod latency;
 pub mod lifetimes;
 pub mod ops;

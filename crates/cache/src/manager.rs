@@ -6,8 +6,7 @@
 //! and the caller performs it, reporting completions back via
 //! [`CacheManager::complete_paging_read`].
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use nt_sim::{SimDuration, SimTime};
 
@@ -151,18 +150,22 @@ struct FileCache {
 /// The cache manager.
 pub struct CacheManager<K> {
     config: CacheConfig,
-    files: HashMap<K, FileCache>,
+    // A BTreeMap keeps scan order deterministic: the lazy writer and the
+    // trimmer iterate this map, and their visit order decides RNG draw
+    // order downstream. Hash-order iteration would make identical seeds
+    // diverge run to run.
+    files: BTreeMap<K, FileCache>,
     metrics: CacheMetrics,
     last_scan: SimTime,
     touch_clock: u64,
 }
 
-impl<K: Eq + Hash + Clone> CacheManager<K> {
+impl<K: Ord + Clone> CacheManager<K> {
     /// Creates a manager with the given tunables.
     pub fn new(config: CacheConfig) -> Self {
         CacheManager {
             config,
-            files: HashMap::new(),
+            files: BTreeMap::new(),
             metrics: CacheMetrics::default(),
             last_scan: SimTime::ZERO,
             touch_clock: 0,

@@ -3,6 +3,8 @@
 use nt_sim::SimDuration;
 use nt_workload::UsageCategory;
 
+use crate::fault::FaultPlan;
+
 /// One traced workstation.
 #[derive(Clone, Debug)]
 pub struct MachineSpec {
@@ -52,11 +54,10 @@ pub struct StudyConfig {
     pub disable_readahead: bool,
     /// Ablation: force write-through caching (§9.2).
     pub force_write_through: bool,
-    /// Mean time between collection-server connection losses per machine
-    /// (§3: "If a trace agent loses contact with the collection servers
-    /// it will suspend the local operation until the connection is
-    /// re-established"). `None` disables failure injection.
-    pub agent_disconnect_mean: Option<nt_sim::SimDuration>,
+    /// The fault-injection plan (§3: agents suspend on lost connections,
+    /// buffers can squeeze, servers and the network can go down). The
+    /// default plan injects nothing.
+    pub faults: FaultPlan,
 }
 
 impl StudyConfig {
@@ -94,7 +95,7 @@ impl StudyConfig {
             disable_fastio: false,
             disable_readahead: false,
             force_write_through: false,
-            agent_disconnect_mean: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -127,7 +128,7 @@ impl StudyConfig {
             disable_fastio: false,
             disable_readahead: false,
             force_write_through: false,
-            agent_disconnect_mean: None,
+            faults: FaultPlan::none(),
         }
     }
 }

@@ -21,6 +21,7 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod replay;
 pub mod report;
 pub mod run;
@@ -28,7 +29,8 @@ pub mod study;
 pub mod synthetic;
 
 pub use config::{MachineSpec, StudyConfig};
+pub use fault::{FaultPlan, FaultSchedule, MachineFaults};
 pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
 pub use run::MachineRun;
-pub use study::{MachineOutput, Study, StudyData};
+pub use study::{LossReport, MachineOutput, Study, StudyData};
 pub use synthetic::SyntheticBench;

@@ -12,6 +12,7 @@ use nt_workload::{
 use rand::Rng;
 
 use crate::config::{MachineSpec, StudyConfig};
+use crate::fault::MachineFaults;
 
 /// One workstation mid-flight: the machine, its user model and the
 /// bookkeeping the §3 agent performs.
@@ -31,6 +32,19 @@ impl MachineRun {
     /// Builds the machine for a spec: volumes, §5-like initial content,
     /// working set, user model, filter driver.
     pub fn build(config: &StudyConfig, index: usize, spec: &MachineSpec) -> Self {
+        Self::build_with_faults(config, index, spec, &MachineFaults::default())
+    }
+
+    /// [`MachineRun::build`] under a fault schedule: a squeezed buffer
+    /// capacity shrinks the agent's storage buffers. The machine's
+    /// workload RNG stream is untouched by the fault layer, so a clean
+    /// schedule builds a bit-identical machine.
+    pub fn build_with_faults(
+        config: &StudyConfig,
+        index: usize,
+        spec: &MachineSpec,
+        faults: &MachineFaults,
+    ) -> Self {
         let id = MachineId(index as u32);
         let mut rng = rng_for(config.seed, &[index as u64]);
         let mut machine_config = MachineConfig {
@@ -40,7 +54,11 @@ impl MachineRun {
         machine_config.disable_fastio = config.disable_fastio;
         machine_config.cache.readahead_enabled = !config.disable_readahead;
         machine_config.cache.force_write_through = config.force_write_through;
-        let mut machine = Machine::new(machine_config, TraceFilter::new(id));
+        let filter = match faults.buffer_capacity {
+            Some(cap) => TraceFilter::with_capacity(id, cap),
+            None => TraceFilter::new(id),
+        };
+        let mut machine = Machine::new(machine_config, filter);
 
         // §2 hardware: scientific machines have 9–18 GB SCSI disks,
         // everyone else 2–6 GB IDE.
@@ -134,6 +152,20 @@ impl MachineRun {
     /// Runs the machine for the configured duration, shipping trace
     /// buffers into `server`, and returns the end-of-run metrics.
     pub fn simulate<S: RecordSink + 'static>(&mut self, config: &StudyConfig, server: &mut S) {
+        self.simulate_with_faults(config, &MachineFaults::default(), server)
+    }
+
+    /// [`MachineRun::simulate`] under a fault schedule: the agent
+    /// suspends during its outage windows (losing what it would have
+    /// recorded), shipping retries with backoff when the collectors
+    /// refuse delivery, and the network link drops during partition
+    /// windows, failing requests against remote volumes.
+    pub fn simulate_with_faults<S: RecordSink + 'static>(
+        &mut self,
+        config: &StudyConfig,
+        faults: &MachineFaults,
+        server: &mut S,
+    ) {
         let end = SimTime::ZERO + config.duration;
         self.take_snapshot(SimTime::ZERO);
 
@@ -183,7 +215,9 @@ impl MachineRun {
             server: &'a mut S,
             end: SimTime,
             snapshot_interval: SimDuration,
-            disconnect_mean: Option<SimDuration>,
+            /// Delay before the next shipping retry after a refusal;
+            /// doubles per refusal, resets on success.
+            ship_backoff: SimDuration,
             shell_watch: Option<nt_io::HandleId>,
             // §7: applications start, live a heavy-tailed lifetime, exit.
             live: Vec<(ProcessId, SimTime)>,
@@ -199,9 +233,23 @@ impl MachineRun {
             }
         }
         fn ship<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
-            w.run.machine.observer_mut().ship(w.server);
+            use nt_trace::AgentState;
+            let now_ticks = eng.now().ticks();
+            // A suspended agent does not ship (§3); delivery resumes on
+            // the regular cadence after reconnection.
+            let delivered = w.run.machine.observer().state() != AgentState::Connected
+                || w.run.machine.observer_mut().ship_at(w.server, now_ticks);
+            let next = if delivered {
+                w.ship_backoff = SimDuration::from_secs(15);
+                SimDuration::from_secs(30)
+            } else {
+                // Every collector refused: retry with doubling backoff.
+                let wait = w.ship_backoff;
+                w.ship_backoff = (wait * 2).min(SimDuration::from_secs(240));
+                wait
+            };
             if eng.now() < w.end {
-                eng.schedule_in(SimDuration::from_secs(30), ship);
+                eng.schedule_in(next, ship);
             }
         }
         fn snapshot<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
@@ -241,32 +289,6 @@ impl MachineRun {
             }
         }
 
-        fn disconnect<S: RecordSink + 'static>(
-            w: &mut World<'_, S>,
-            eng: &mut Engine<World<'_, S>>,
-        ) {
-            use nt_trace::AgentState;
-            // The connection drops; the agent suspends local tracing
-            // until it is re-established a few seconds later (§3).
-            w.run
-                .machine
-                .observer_mut()
-                .set_state(AgentState::Suspended);
-            let outage = SimDuration::from_secs(w.run.rng.gen_range(2..20));
-            eng.schedule_in(outage, |w: &mut World<'_, S>, eng| {
-                w.run
-                    .machine
-                    .observer_mut()
-                    .set_state(nt_trace::AgentState::Connected);
-                if let Some(mean) = w.disconnect_mean {
-                    let gap = nt_workload::dist::heavy_gap(&mut w.run.rng, mean, 1.5);
-                    if eng.now() + gap < w.end {
-                        eng.schedule_in(gap, disconnect);
-                    }
-                }
-            });
-        }
-
         fn session<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
             let now = eng.now();
             let plan = w.run.user.next_plan(&mut w.run.rng);
@@ -302,22 +324,54 @@ impl MachineRun {
             );
             engine.schedule_at(now, session);
             engine.schedule_in(SimDuration::from_secs(20), rearm_watch);
-            if let Some(mean) = config.agent_disconnect_mean {
-                let first = nt_workload::dist::heavy_gap(&mut self.rng, mean, 1.5);
-                engine.schedule_at(now + first, disconnect);
+            // Fault windows were materialized up front from the study
+            // seed's dedicated fault stream; enact each boundary as a
+            // timed event. The connection drops; the agent suspends
+            // local tracing until it is re-established (§3).
+            for w in &faults.agent_outages {
+                let (s, e) = (w.start_ticks, w.end_ticks);
+                engine.schedule_at(SimTime::from_ticks(s), move |w: &mut World<'_, S>, _| {
+                    w.run
+                        .machine
+                        .observer_mut()
+                        .transition(nt_trace::AgentState::Suspended, s);
+                });
+                engine.schedule_at(SimTime::from_ticks(e), move |w: &mut World<'_, S>, _| {
+                    w.run
+                        .machine
+                        .observer_mut()
+                        .transition(nt_trace::AgentState::Connected, e);
+                });
+            }
+            for w in &faults.partitions {
+                let (s, e) = (w.start_ticks, w.end_ticks);
+                engine.schedule_at(SimTime::from_ticks(s), move |w: &mut World<'_, S>, _| {
+                    w.run.machine.set_network_available(false);
+                });
+                engine.schedule_at(SimTime::from_ticks(e), move |w: &mut World<'_, S>, _| {
+                    w.run.machine.set_network_available(true);
+                });
             }
             let mut world = World {
                 run: self,
                 server,
                 end,
                 snapshot_interval: config.snapshot_interval,
-                disconnect_mean: config.agent_disconnect_mean,
+                ship_backoff: SimDuration::from_secs(15),
                 shell_watch: shell_handle,
                 live: Vec::new(),
                 next_pid: 8,
             };
             engine.run_until(&mut world, end);
         }
+
+        // Close any fault window still open at period end: the study's
+        // shutdown reconnects every agent and heals the network before
+        // the final flush.
+        self.machine
+            .observer_mut()
+            .transition(nt_trace::AgentState::Connected, end.ticks());
+        self.machine.set_network_available(true);
 
         // Logoff: the services release their session-long handles.
         let mut t = end;
@@ -340,6 +394,11 @@ impl MachineRun {
     /// The machine's I/O counters.
     pub fn io_metrics(&self) -> nt_io::IoMetrics {
         self.machine.metrics()
+    }
+
+    /// The agent's end-of-run loss accounting (§3 fault injection).
+    pub fn loss_ledger(&self) -> nt_trace::LossLedger {
+        self.machine.observer().ledger()
     }
 
     /// The machine's cache counters (§9).

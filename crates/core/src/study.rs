@@ -1,10 +1,11 @@
 //! Running the whole deployment and collecting the study data.
 
 use nt_analysis::TraceSet;
-use nt_trace::{CollectorPool, MachineId, Snapshot};
+use nt_trace::{CollectorPool, LossLedger, MachineId, Snapshot};
 use nt_workload::UsageCategory;
 
 use crate::config::StudyConfig;
+use crate::fault::FaultSchedule;
 use crate::run::MachineRun;
 
 /// End-of-run artefacts of one machine.
@@ -21,6 +22,18 @@ pub struct MachineOutput {
     pub cache: nt_cache::CacheMetrics,
     /// VM counters (§3.3).
     pub vm: nt_vm::VmMetrics,
+    /// The agent's loss accounting under the fault plan (all-zero on a
+    /// clean run).
+    pub loss: LossLedger,
+}
+
+/// One machine's loss accounting, as surfaced by [`StudyData`].
+#[derive(Clone, Copy, Debug)]
+pub struct LossReport {
+    /// Collection-server identity.
+    pub machine: MachineId,
+    /// The agent's ledger.
+    pub ledger: LossLedger,
 }
 
 /// Everything the analysis stage consumes.
@@ -37,6 +50,25 @@ pub struct StudyData {
     pub stored_bytes: usize,
 }
 
+impl StudyData {
+    /// Per-machine loss accounting, in machine order.
+    pub fn loss_reports(&self) -> Vec<LossReport> {
+        self.machines
+            .iter()
+            .map(|m| LossReport {
+                machine: m.id,
+                ledger: m.loss,
+            })
+            .collect()
+    }
+
+    /// Records lost across the fleet (overflow + suspension), for quick
+    /// degradation checks.
+    pub fn total_lost(&self) -> u64 {
+        self.machines.iter().map(|m| m.loss.lost()).sum()
+    }
+}
+
 /// The study driver.
 pub struct Study;
 
@@ -48,25 +80,35 @@ impl Study {
     /// channels to a pool of three collection-server threads — the §3
     /// topology — whose stores are merged before analysis.
     pub fn run(config: &StudyConfig) -> StudyData {
-        let n = config.machines.len();
         let workers = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
-            .min(n.max(1));
-        let pool = CollectorPool::start(3);
+            .min(config.machines.len().max(1));
+        Self::run_with_workers(config, workers)
+    }
+
+    /// [`Study::run`] with an explicit worker count. `run_with_workers(c,
+    /// 1)` forces a serial study; the determinism suite asserts it equals
+    /// the parallel one, since machines share no mutable state.
+    pub fn run_with_workers(config: &StudyConfig, workers: usize) -> StudyData {
+        let n = config.machines.len();
+        let schedule = FaultSchedule::materialize(config, 3);
+        let pool = CollectorPool::start_with_outages(3, schedule.collectors.clone());
 
         let mut machines: Vec<MachineOutput> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in partition(n, workers) {
                 let config = &*config;
                 let pool = &pool;
+                let schedule = &schedule;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     for index in chunk {
                         let spec = &config.machines[index];
-                        let mut run = MachineRun::build(config, index, spec);
+                        let faults = schedule.for_machine(index);
+                        let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
                         let mut sink = pool.handle_for(run.id);
-                        run.simulate(config, &mut sink);
+                        run.simulate_with_faults(config, &faults, &mut sink);
                         out.push(MachineOutput {
                             id: run.id,
                             category: run.category,
@@ -74,6 +116,7 @@ impl Study {
                             io: run.io_metrics(),
                             cache: run.cache_metrics(),
                             vm: run.vm_metrics(),
+                            loss: run.loss_ledger(),
                         });
                     }
                     out

@@ -10,7 +10,7 @@ use crate::attrs::{FileAttributes, FileTimes};
 /// very high rate (§6.3 — 80 % of new files die within 4 seconds), so slots
 /// are recycled aggressively and a stale handle must be detectable rather
 /// than silently aliasing an unrelated file.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct NodeId {
     pub(crate) index: u32,
     pub(crate) generation: u32,

@@ -108,6 +108,9 @@ pub struct IoMetrics {
     pub locks_granted: u64,
     /// Byte-range lock requests denied (lock conflicts).
     pub lock_conflicts: u64,
+    /// Requests against remote volumes refused because the network link
+    /// was partitioned (fault injection).
+    pub network_failures: u64,
 }
 
 /// Static configuration of a machine.
@@ -198,6 +201,10 @@ pub struct Machine<O: IoObserver> {
     shares: crate::sharing::ShareRegistry,
     metrics: IoMetrics,
     config: MachineConfig,
+    /// False while the network link to the file servers is partitioned;
+    /// requests against redirector volumes then fail with
+    /// [`NtStatus::NetworkUnreachable`].
+    network_up: bool,
 }
 
 impl<O: IoObserver> Machine<O> {
@@ -222,7 +229,20 @@ impl<O: IoObserver> Machine<O> {
             shares: crate::sharing::ShareRegistry::new(),
             metrics: IoMetrics::default(),
             config,
+            network_up: true,
         }
+    }
+
+    /// True when the link to the file servers is up.
+    pub fn network_available(&self) -> bool {
+        self.network_up
+    }
+
+    /// Partitions (`false`) or heals (`true`) the network link. While
+    /// partitioned, opens, reads and writes on remote volumes fail with
+    /// [`NtStatus::NetworkUnreachable`]; local volumes are unaffected.
+    pub fn set_network_available(&mut self, up: bool) {
+        self.network_up = up;
     }
 
     fn share_key(volume: VolumeId, node: NodeId) -> u64 {
@@ -452,6 +472,38 @@ impl<O: IoObserver> Machine<O> {
             at: now,
         });
         let local = self.ns.is_local(volume);
+
+        // A partitioned network link fails the open before the redirector
+        // reaches the server; nothing on the remote volume changes.
+        if !local && !self.network_up {
+            let end = now + self.latency.metadata_op();
+            self.metrics.open_failures += 1;
+            self.metrics.network_failures += 1;
+            self.emit(IoEvent {
+                kind: EventKind::Irp(MajorFunction::Create),
+                file_object: fo,
+                fcb: FcbId(u64::MAX),
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                status: NtStatus::NetworkUnreachable,
+                start: now,
+                end,
+                access: Some(access),
+                disposition: Some(disposition),
+                options: Some(options),
+                set_info: None,
+                created: false,
+            });
+            return (OpReply::at(NtStatus::NetworkUnreachable, end), None);
+        }
 
         // Share-mode arbitration happens before any side effect of the
         // open (in particular before a truncating disposition destroys
@@ -689,6 +741,36 @@ impl<O: IoObserver> Machine<O> {
         let offset = offset.unwrap_or(byte_offset);
         let local = self.ns.is_local(volume);
         let key: FileKey = (volume, node);
+
+        if !local && !self.network_up {
+            let end = now + self.latency.irp_cached(0);
+            self.metrics.network_failures += 1;
+            self.metrics.irp_reads += 1;
+            self.emit(IoEvent {
+                kind: EventKind::Irp(MajorFunction::Read),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset,
+                length: len,
+                transferred: 0,
+                file_size: 0,
+                byte_offset,
+                status: NtStatus::NetworkUnreachable,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            });
+            return OpReply::at(NtStatus::NetworkUnreachable, end);
+        }
 
         let file_size = match self.ns.volume(volume).and_then(|v| v.file_size(node)) {
             Ok(s) => s,
@@ -953,6 +1035,36 @@ impl<O: IoObserver> Machine<O> {
         let offset = offset.unwrap_or(byte_offset);
         let local = self.ns.is_local(volume);
         let key: FileKey = (volume, node);
+
+        if !local && !self.network_up {
+            let end = now + self.latency.irp_cached(0);
+            self.metrics.network_failures += 1;
+            self.metrics.irp_writes += 1;
+            self.emit(IoEvent {
+                kind: EventKind::Irp(MajorFunction::Write),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset,
+                length: len,
+                transferred: 0,
+                file_size: 0,
+                byte_offset,
+                status: NtStatus::NetworkUnreachable,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            });
+            return OpReply::at(NtStatus::NetworkUnreachable, end);
+        }
 
         // Byte-range locks: any other handle's overlapping lock blocks
         // writes.

@@ -40,6 +40,9 @@ pub enum NtStatus {
     InvalidDeviceRequest,
     /// STATUS_FILE_LOCK_CONFLICT — a byte-range lock blocks the request.
     FileLockConflict,
+    /// STATUS_NETWORK_UNREACHABLE — a remote volume behind a partitioned
+    /// network link (the fault-injection layer's partition windows).
+    NetworkUnreachable,
 }
 
 impl NtStatus {

@@ -7,11 +7,14 @@
 //! agent loses contact with the collection servers it will suspend the
 //! local operation until the connection is re-established."
 
+use std::collections::VecDeque;
+
 use nt_io::observer::FileObjectInfo;
 use nt_io::{IoEvent, IoObserver};
 
 use crate::buffer::TripleBuffer;
 use crate::collector::MachineId;
+use crate::fault::LossLedger;
 use crate::pool::RecordSink;
 use crate::record::{NameRecord, TraceRecord};
 
@@ -27,6 +30,11 @@ pub enum AgentState {
 
 /// The filter driver: an [`IoObserver`] converting every request into a
 /// [`TraceRecord`] in the triple-buffered store.
+///
+/// Full buffers move to a pending queue stamped with a per-machine
+/// sequence number, so a delivery that fails (collection servers down)
+/// simply leaves the batch queued for the next attempt, and batches that
+/// fail over between servers still reassemble in agent order.
 pub struct TraceFilter {
     machine: MachineId,
     buffer: TripleBuffer,
@@ -34,17 +42,46 @@ pub struct TraceFilter {
     state: AgentState,
     /// Buffers filled and awaiting shipping (observable to tests).
     fills: u64,
+    /// Full buffers taken out of the triple buffer, awaiting delivery.
+    pending: VecDeque<(u64, Vec<TraceRecord>)>,
+    /// Name records awaiting delivery.
+    pending_names: VecDeque<(u64, NameRecord)>,
+    next_batch_seq: u64,
+    next_name_seq: u64,
+    delivered: u64,
+    dropped_suspended: u64,
+    batches_shipped: u64,
+    batches_retried: u64,
+    downtime_ticks: u64,
+    /// Tick at which the current suspension began, when suspended.
+    suspended_at: Option<u64>,
 }
 
 impl TraceFilter {
     /// A connected filter for one machine.
     pub fn new(machine: MachineId) -> Self {
+        Self::with_capacity(machine, crate::buffer::BUFFER_CAPACITY)
+    }
+
+    /// A connected filter whose storage buffers hold `capacity` records
+    /// (fault plans squeeze this below the paper's 3,000).
+    pub fn with_capacity(machine: MachineId, capacity: usize) -> Self {
         TraceFilter {
             machine,
-            buffer: TripleBuffer::new(),
+            buffer: TripleBuffer::with_capacity(capacity),
             names: Vec::new(),
             state: AgentState::Connected,
             fills: 0,
+            pending: VecDeque::new(),
+            pending_names: VecDeque::new(),
+            next_batch_seq: 0,
+            next_name_seq: 0,
+            delivered: 0,
+            dropped_suspended: 0,
+            batches_shipped: 0,
+            batches_retried: 0,
+            downtime_ticks: 0,
+            suspended_at: None,
         }
     }
 
@@ -58,8 +95,26 @@ impl TraceFilter {
         self.state
     }
 
-    /// Simulates losing / regaining the collection-server connection.
+    /// Simulates losing / regaining the collection-server connection,
+    /// without downtime accounting (tests and legacy callers).
     pub fn set_state(&mut self, state: AgentState) {
+        self.state = state;
+    }
+
+    /// State change at a known virtual time; suspended spans accumulate
+    /// into the ledger's `downtime_ticks`.
+    pub fn transition(&mut self, state: AgentState, now_ticks: u64) {
+        if state == self.state {
+            return;
+        }
+        match state {
+            AgentState::Suspended => self.suspended_at = Some(now_ticks),
+            AgentState::Connected => {
+                if let Some(since) = self.suspended_at.take() {
+                    self.downtime_ticks += now_ticks.saturating_sub(since);
+                }
+            }
+        }
         self.state = state;
     }
 
@@ -78,24 +133,92 @@ impl TraceFilter {
         self.fills
     }
 
+    /// Records sitting in taken-but-undelivered batches.
+    pub fn pending_records(&self) -> usize {
+        self.pending.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// End-of-run loss accounting for this agent.
+    pub fn ledger(&self) -> LossLedger {
+        LossLedger {
+            recorded: self.buffer.recorded() + self.buffer.dropped(),
+            delivered: self.delivered,
+            dropped_overflow: self.buffer.dropped(),
+            dropped_suspended: self.dropped_suspended,
+            batches_shipped: self.batches_shipped,
+            batches_retried: self.batches_retried,
+            downtime_ticks: self.downtime_ticks,
+        }
+    }
+
+    /// Moves full buffers and queued names into the pending queue,
+    /// stamping per-machine sequence numbers.
+    fn enqueue_ready(&mut self) {
+        for batch in self.buffer.take_queued() {
+            self.pending.push_back((self.next_batch_seq, batch));
+            self.next_batch_seq += 1;
+        }
+        for name in self.names.drain(..) {
+            self.pending_names.push_back((self.next_name_seq, name));
+            self.next_name_seq += 1;
+        }
+    }
+
+    /// Delivers pending batches front-to-back. Stops at the first refusal
+    /// (no reachable server) and counts it as a retried attempt; the
+    /// refused batch stays queued. Returns `true` when nothing is left.
+    fn deliver_pending<S: RecordSink>(&mut self, sink: &mut S, now_ticks: u64) -> bool {
+        while let Some((seq, batch)) = self.pending.front() {
+            if !sink.ingest_at(self.machine, *seq, batch, now_ticks) {
+                self.batches_retried += 1;
+                return false;
+            }
+            self.delivered += batch.len() as u64;
+            self.batches_shipped += 1;
+            self.pending.pop_front();
+        }
+        while let Some((seq, name)) = self.pending_names.front() {
+            if !sink.ingest_name_at(self.machine, *seq, name.clone(), now_ticks) {
+                return false;
+            }
+            self.pending_names.pop_front();
+        }
+        true
+    }
+
     /// Ships all queued full buffers and name records to the sink — a
     /// local [`crate::CollectionServer`] or a [`crate::CollectorHandle`]
     /// streaming to the pool.
     pub fn ship<S: RecordSink>(&mut self, sink: &mut S) {
-        for batch in self.buffer.take_queued() {
-            sink.ingest(self.machine, &batch);
-        }
-        for name in self.names.drain(..) {
-            sink.ingest_name(self.machine, name);
-        }
+        // No real outage window reaches u64::MAX, so delivery always goes
+        // through — the pre-fault shipping path.
+        self.ship_at(sink, u64::MAX);
+    }
+
+    /// Shipping attempt at a known virtual time. Returns `false` when a
+    /// collector outage blocked delivery; the batches stay pending and the
+    /// caller should retry later (with backoff).
+    pub fn ship_at<S: RecordSink>(&mut self, sink: &mut S, now_ticks: u64) -> bool {
+        self.enqueue_ready();
+        self.deliver_pending(sink, now_ticks)
     }
 
     /// Ships everything including the active partial buffer (period end).
+    /// The final flush models the study's controlled shutdown: the
+    /// collection servers are back up, so nothing is refused.
     pub fn final_flush<S: RecordSink>(&mut self, sink: &mut S) {
+        self.deliver_pending(sink, u64::MAX);
         let rest = self.buffer.drain_all();
-        sink.ingest(self.machine, &rest);
+        let seq = self.next_batch_seq;
+        self.next_batch_seq += 1;
+        if sink.ingest_at(self.machine, seq, &rest, u64::MAX) {
+            self.delivered += rest.len() as u64;
+            self.batches_shipped += 1;
+        }
         for name in self.names.drain(..) {
-            sink.ingest_name(self.machine, name);
+            let seq = self.next_name_seq;
+            self.next_name_seq += 1;
+            let _ = sink.ingest_name_at(self.machine, seq, name, u64::MAX);
         }
     }
 }
@@ -116,6 +239,7 @@ impl IoObserver for TraceFilter {
 
     fn event(&mut self, event: &IoEvent) {
         if self.state == AgentState::Suspended {
+            self.dropped_suspended += 1;
             return;
         }
         if self.buffer.push(TraceRecord::from_event(event)) {
@@ -200,6 +324,10 @@ mod tests {
         assert_eq!(back.len(), 5_000);
         assert_eq!(back[0].file_object, 0);
         assert_eq!(back[4_999].file_object, 4_999);
+        let ledger = f.ledger();
+        assert!(ledger.reconciles());
+        assert_eq!(ledger.delivered, 5_000);
+        assert_eq!(ledger.batches_shipped, 2);
     }
 
     #[test]
@@ -208,6 +336,7 @@ mod tests {
         f.set_state(AgentState::Suspended);
         f.event(&event(1));
         assert_eq!(f.recorded(), 0);
+        assert_eq!(f.ledger().dropped_suspended, 1);
         f.set_state(AgentState::Connected);
         f.event(&event(2));
         assert_eq!(f.recorded(), 1);
@@ -242,5 +371,84 @@ mod tests {
         agent.filter.set_state(AgentState::Suspended);
         agent.on_tick(&mut srv);
         assert_eq!(srv.total_records(), 3_000, "suspended agents do not ship");
+    }
+
+    #[test]
+    fn transition_accumulates_downtime() {
+        let mut f = TraceFilter::new(MachineId(2));
+        f.transition(AgentState::Suspended, 1_000);
+        f.transition(AgentState::Suspended, 1_500); // no-op, already down
+        f.transition(AgentState::Connected, 4_000);
+        f.transition(AgentState::Suspended, 10_000);
+        f.transition(AgentState::Connected, 11_000);
+        assert_eq!(f.ledger().downtime_ticks, 3_000 + 1_000);
+    }
+
+    #[test]
+    fn refused_shipment_stays_pending_until_retry() {
+        /// A sink that refuses everything before `up_at`.
+        struct FlakySink {
+            inner: CollectionServer,
+            up_at: u64,
+        }
+        impl RecordSink for FlakySink {
+            fn ingest(&mut self, machine: MachineId, records: &[TraceRecord]) {
+                self.inner.ingest(machine, records);
+            }
+            fn ingest_name(&mut self, machine: MachineId, name: NameRecord) {
+                self.inner.ingest_name(machine, name);
+            }
+            fn ingest_at(
+                &mut self,
+                machine: MachineId,
+                seq: u64,
+                records: &[TraceRecord],
+                now_ticks: u64,
+            ) -> bool {
+                if now_ticks < self.up_at {
+                    return false;
+                }
+                self.inner.ingest_seq(machine, seq, records);
+                true
+            }
+            fn ingest_name_at(
+                &mut self,
+                machine: MachineId,
+                seq: u64,
+                name: NameRecord,
+                now_ticks: u64,
+            ) -> bool {
+                if now_ticks < self.up_at {
+                    return false;
+                }
+                self.inner.ingest_name_seq(machine, seq, name);
+                true
+            }
+        }
+
+        let mut f = TraceFilter::new(MachineId(5));
+        let mut sink = FlakySink {
+            inner: CollectionServer::new(),
+            up_at: 500,
+        };
+        for i in 0..6_100u64 {
+            f.event(&event(i));
+        }
+        assert!(!f.ship_at(&mut sink, 100), "server down: refused");
+        assert_eq!(f.pending_records(), 6_000);
+        assert_eq!(sink.inner.total_records(), 0);
+        assert!(!f.ship_at(&mut sink, 200), "still down: counted as retry");
+        assert!(f.ship_at(&mut sink, 600), "server back: delivered");
+        assert_eq!(sink.inner.total_records(), 6_000);
+        assert_eq!(f.pending_records(), 0);
+        f.final_flush(&mut sink);
+        assert_eq!(sink.inner.total_records(), 6_100);
+        let ledger = f.ledger();
+        assert!(ledger.reconciles());
+        assert_eq!(ledger.batches_retried, 2);
+        assert_eq!(ledger.batches_shipped, 3);
+        let back = sink.inner.records_for(MachineId(5));
+        assert_eq!(back.len(), 6_100);
+        assert!(back.windows(2).all(|w| w[0].file_object < w[1].file_object));
     }
 }

@@ -24,6 +24,9 @@ struct Storage {
 #[derive(Debug)]
 pub struct TripleBuffer {
     buffers: [Storage; 3],
+    /// Records each storage buffer holds (§3.2's 3,000 by default; fault
+    /// plans squeeze it to model under-provisioned agents).
+    capacity: usize,
     /// Index of the buffer currently being filled.
     filling: usize,
     /// Buffers queued for shipping (filled, awaiting flush).
@@ -43,10 +46,16 @@ impl Default for TripleBuffer {
 }
 
 impl TripleBuffer {
-    /// An empty triple buffer.
+    /// An empty triple buffer at the paper's capacity.
     pub fn new() -> Self {
+        Self::with_capacity(BUFFER_CAPACITY)
+    }
+
+    /// An empty triple buffer with a custom per-buffer capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
         TripleBuffer {
             buffers: [Storage::default(), Storage::default(), Storage::default()],
+            capacity: capacity.max(1),
             filling: 0,
             queued: Vec::new(),
             overflowed: false,
@@ -55,11 +64,16 @@ impl TripleBuffer {
         }
     }
 
+    /// Records each storage buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Appends a record. Returns `true` when the active buffer just filled
     /// (the caller should attempt a flush).
     pub fn push(&mut self, record: TraceRecord) -> bool {
         let buf = &mut self.buffers[self.filling];
-        if buf.records.len() >= BUFFER_CAPACITY {
+        if buf.records.len() >= self.capacity {
             // The active buffer is full and could not rotate earlier:
             // overflow (§3.2's detected-error case).
             self.overflowed = true;
@@ -68,7 +82,7 @@ impl TripleBuffer {
         }
         buf.records.push(record);
         self.recorded += 1;
-        if self.buffers[self.filling].records.len() >= BUFFER_CAPACITY {
+        if self.buffers[self.filling].records.len() >= self.capacity {
             self.rotate();
             true
         } else {
@@ -195,6 +209,25 @@ mod tests {
         assert_eq!(all.len(), n as usize);
         assert!(all.windows(2).all(|w| w[0].file_object < w[1].file_object));
         assert_eq!(tb.pending(), 0);
+    }
+
+    #[test]
+    fn squeezed_capacity_fills_sooner() {
+        let mut tb = TripleBuffer::with_capacity(10);
+        assert_eq!(tb.capacity(), 10);
+        for i in 0..9u64 {
+            assert!(!tb.push(rec(i)));
+        }
+        assert!(tb.push(rec(9)), "tenth record fills the squeezed buffer");
+        // Three squeezed buffers hold 30 records; the 31st overflows.
+        for i in 10..30u64 {
+            tb.push(rec(i));
+        }
+        assert!(!tb.overflowed());
+        tb.push(rec(30));
+        assert!(tb.overflowed());
+        assert_eq!(tb.dropped(), 1);
+        assert_eq!(tb.recorded(), 30);
     }
 
     #[test]

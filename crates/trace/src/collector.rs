@@ -115,10 +115,18 @@ fn get_varint(buf: &mut &[u8]) -> u64 {
 }
 
 /// A collection server holding the batches of every traced machine.
+///
+/// Each batch carries a per-machine sequence number. Agents that fail over
+/// between servers (the fault-injection layer) stamp their own sequence so
+/// the merged pool can reassemble one machine's stream in agent order even
+/// when consecutive batches landed on different servers; batches ingested
+/// through the plain API get an arrival-order stamp, which reproduces the
+/// historical shipping order exactly.
 #[derive(Default)]
 pub struct CollectionServer {
-    batches: Vec<(MachineId, RecordBatch)>,
-    names: Vec<(MachineId, NameRecord)>,
+    batches: Vec<(MachineId, u64, RecordBatch)>,
+    names: Vec<(MachineId, u64, NameRecord)>,
+    next_arrival: u64,
 }
 
 impl CollectionServer {
@@ -127,43 +135,67 @@ impl CollectionServer {
         CollectionServer::default()
     }
 
-    /// Stores one shipped buffer.
+    /// Stores one shipped buffer in arrival order.
     pub fn ingest(&mut self, machine: MachineId, records: &[TraceRecord]) {
+        let seq = self.next_arrival;
+        self.next_arrival += 1;
+        self.ingest_seq(machine, seq, records);
+    }
+
+    /// Stores one shipped buffer with the agent's own sequence number.
+    pub fn ingest_seq(&mut self, machine: MachineId, seq: u64, records: &[TraceRecord]) {
         if !records.is_empty() {
-            self.batches.push((machine, RecordBatch::compress(records)));
+            self.batches
+                .push((machine, seq, RecordBatch::compress(records)));
         }
     }
 
-    /// Stores a file-object name record.
+    /// Stores a file-object name record in arrival order.
     pub fn ingest_name(&mut self, machine: MachineId, name: NameRecord) {
-        self.names.push((machine, name));
+        let seq = self.next_arrival;
+        self.next_arrival += 1;
+        self.ingest_name_seq(machine, seq, name);
+    }
+
+    /// Stores a file-object name record with the agent's sequence number.
+    pub fn ingest_name_seq(&mut self, machine: MachineId, seq: u64, name: NameRecord) {
+        self.names.push((machine, seq, name));
     }
 
     /// Total records stored across machines.
     pub fn total_records(&self) -> usize {
-        self.batches.iter().map(|(_, b)| b.len()).sum()
+        self.batches.iter().map(|(_, _, b)| b.len()).sum()
     }
 
     /// Total compressed footprint in bytes.
     pub fn stored_bytes(&self) -> usize {
-        self.batches.iter().map(|(_, b)| b.compressed_bytes()).sum()
+        self.batches
+            .iter()
+            .map(|(_, _, b)| b.compressed_bytes())
+            .sum()
     }
 
-    /// Reconstructs one machine's full record stream, in shipping order.
+    /// Reconstructs one machine's full record stream, in agent order
+    /// (sequence-number order; arrival order for plain ingests).
     pub fn records_for(&self, machine: MachineId) -> Vec<TraceRecord> {
+        let mut picked: Vec<(u64, &RecordBatch)> = self
+            .batches
+            .iter()
+            .filter(|(m, _, _)| *m == machine)
+            .map(|(_, seq, b)| (*seq, b))
+            .collect();
+        picked.sort_by_key(|(seq, _)| *seq);
         let mut out = Vec::new();
-        for (m, batch) in &self.batches {
-            if *m == machine {
-                out.extend(batch.decompress());
-            }
+        for (_, batch) in picked {
+            out.extend(batch.decompress());
         }
         out
     }
 
-    /// Reconstructs every machine's records, in shipping order.
+    /// Reconstructs every machine's records, in store order.
     pub fn all_records(&self) -> Vec<(MachineId, TraceRecord)> {
         let mut out = Vec::new();
-        for (m, batch) in &self.batches {
+        for (m, _, batch) in &self.batches {
             for rec in batch.decompress() {
                 out.push((*m, rec));
             }
@@ -171,24 +203,28 @@ impl CollectionServer {
         out
     }
 
-    /// Name records for one machine.
+    /// Name records for one machine, in agent order.
     pub fn names_for(&self, machine: MachineId) -> Vec<&NameRecord> {
-        self.names
+        let mut picked: Vec<(u64, &NameRecord)> = self
+            .names
             .iter()
-            .filter(|(m, _)| *m == machine)
-            .map(|(_, n)| n)
-            .collect()
+            .filter(|(m, _, _)| *m == machine)
+            .map(|(_, seq, n)| (*seq, n))
+            .collect();
+        picked.sort_by_key(|(seq, _)| *seq);
+        picked.into_iter().map(|(_, n)| n).collect()
     }
 
     /// Absorbs another server's batches (pool shutdown merge).
     pub fn merge(&mut self, other: CollectionServer) {
         self.batches.extend(other.batches);
         self.names.extend(other.names);
+        self.next_arrival = self.next_arrival.max(other.next_arrival);
     }
 
     /// Machines that have shipped at least one batch.
     pub fn machines(&self) -> Vec<MachineId> {
-        let mut ms: Vec<MachineId> = self.batches.iter().map(|(m, _)| *m).collect();
+        let mut ms: Vec<MachineId> = self.batches.iter().map(|(m, _, _)| *m).collect();
         ms.sort();
         ms.dedup();
         ms

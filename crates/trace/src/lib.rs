@@ -21,6 +21,7 @@ pub mod agent;
 pub mod buffer;
 pub mod collector;
 pub mod dedup;
+pub mod fault;
 pub mod pool;
 pub mod record;
 pub mod snapshot;
@@ -29,6 +30,7 @@ pub use agent::{AgentState, TraceAgent};
 pub use buffer::{TripleBuffer, BUFFER_CAPACITY};
 pub use collector::{CollectionServer, MachineId, RecordBatch};
 pub use dedup::filter_paging_duplicates;
+pub use fault::{any_contains, LossLedger, TickWindow};
 pub use pool::{CollectorHandle, CollectorPool, RecordSink};
 pub use record::{NameRecord, TraceRecord, RECORD_SIZE};
 pub use snapshot::{Snapshot, SnapshotDiff, SnapshotWalker, WalkRecord};

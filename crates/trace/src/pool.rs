@@ -5,11 +5,18 @@
 //! later retrieval." [`CollectorPool`] runs one thread per server; trace
 //! agents ship full buffers through a channel to the server their machine
 //! is assigned to, and the pool merges the three stores at shutdown.
+//!
+//! The pool can also simulate server outages: each server carries a set of
+//! downtime windows, and a [`CollectorHandle`] fails over to the next live
+//! server when its primary is down. When every server is down the shipment
+//! is refused and the agent keeps the batch for a later retry.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::collector::{CollectionServer, MachineId};
+use crate::fault::{any_contains, TickWindow};
 use crate::record::{NameRecord, TraceRecord};
 
 /// Anything a trace agent can ship records into — a local store or a
@@ -20,6 +27,35 @@ pub trait RecordSink {
 
     /// Stores one file-object name record.
     fn ingest_name(&mut self, machine: MachineId, name: NameRecord);
+
+    /// Sequence-stamped, time-aware delivery. Returns `false` when the
+    /// sink is unreachable at `now_ticks` (a collector outage); the caller
+    /// must keep the batch and retry. Sinks with no notion of downtime
+    /// accept unconditionally.
+    fn ingest_at(
+        &mut self,
+        machine: MachineId,
+        seq: u64,
+        records: &[TraceRecord],
+        now_ticks: u64,
+    ) -> bool {
+        let _ = (seq, now_ticks);
+        self.ingest(machine, records);
+        true
+    }
+
+    /// Sequence-stamped, time-aware name delivery; see [`Self::ingest_at`].
+    fn ingest_name_at(
+        &mut self,
+        machine: MachineId,
+        seq: u64,
+        name: NameRecord,
+        now_ticks: u64,
+    ) -> bool {
+        let _ = (seq, now_ticks);
+        self.ingest_name(machine, name);
+        true
+    }
 }
 
 impl RecordSink for CollectionServer {
@@ -30,17 +66,62 @@ impl RecordSink for CollectionServer {
     fn ingest_name(&mut self, machine: MachineId, name: NameRecord) {
         CollectionServer::ingest_name(self, machine, name);
     }
+
+    fn ingest_at(
+        &mut self,
+        machine: MachineId,
+        seq: u64,
+        records: &[TraceRecord],
+        _now_ticks: u64,
+    ) -> bool {
+        self.ingest_seq(machine, seq, records);
+        true
+    }
+
+    fn ingest_name_at(
+        &mut self,
+        machine: MachineId,
+        seq: u64,
+        name: NameRecord,
+        _now_ticks: u64,
+    ) -> bool {
+        self.ingest_name_seq(machine, seq, name);
+        true
+    }
 }
 
 enum Shipment {
-    Batch(MachineId, Vec<TraceRecord>),
-    Name(MachineId, NameRecord),
+    /// `(machine, agent sequence, records)`; `None` = arrival order.
+    Batch(MachineId, Option<u64>, Vec<TraceRecord>),
+    Name(MachineId, Option<u64>, NameRecord),
 }
 
-/// A per-machine handle that ships to the assigned collection server.
+/// A per-machine handle that ships to the assigned collection server,
+/// failing over to the next live server during outages.
 #[derive(Clone)]
 pub struct CollectorHandle {
-    tx: Sender<Shipment>,
+    senders: Vec<Sender<Shipment>>,
+    primary: usize,
+    /// Downtime windows per server, indexed like `senders`.
+    outages: Arc<Vec<Vec<TickWindow>>>,
+    /// Shipments that landed on a non-primary server.
+    failovers: u64,
+}
+
+impl CollectorHandle {
+    /// The first server reachable at `now_ticks`, trying the primary
+    /// first and rotating through the pool.
+    fn live_server(&self, now_ticks: u64) -> Option<usize> {
+        let n = self.senders.len();
+        (0..n)
+            .map(|i| (self.primary + i) % n)
+            .find(|&s| !any_contains(&self.outages[s], now_ticks))
+    }
+
+    /// Shipments this handle delivered to a non-primary server.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
 }
 
 impl RecordSink for CollectorHandle {
@@ -48,12 +129,50 @@ impl RecordSink for CollectorHandle {
         if !records.is_empty() {
             // A closed pool drops the shipment, like an agent whose
             // server went away (§3: the agent would suspend).
-            let _ = self.tx.send(Shipment::Batch(machine, records.to_vec()));
+            let _ =
+                self.senders[self.primary].send(Shipment::Batch(machine, None, records.to_vec()));
         }
     }
 
     fn ingest_name(&mut self, machine: MachineId, name: NameRecord) {
-        let _ = self.tx.send(Shipment::Name(machine, name));
+        let _ = self.senders[self.primary].send(Shipment::Name(machine, None, name));
+    }
+
+    fn ingest_at(
+        &mut self,
+        machine: MachineId,
+        seq: u64,
+        records: &[TraceRecord],
+        now_ticks: u64,
+    ) -> bool {
+        let Some(server) = self.live_server(now_ticks) else {
+            return false;
+        };
+        if server != self.primary {
+            self.failovers += 1;
+        }
+        if !records.is_empty() {
+            let _ =
+                self.senders[server].send(Shipment::Batch(machine, Some(seq), records.to_vec()));
+        }
+        true
+    }
+
+    fn ingest_name_at(
+        &mut self,
+        machine: MachineId,
+        seq: u64,
+        name: NameRecord,
+        now_ticks: u64,
+    ) -> bool {
+        let Some(server) = self.live_server(now_ticks) else {
+            return false;
+        };
+        if server != self.primary {
+            self.failovers += 1;
+        }
+        let _ = self.senders[server].send(Shipment::Name(machine, Some(seq), name));
+        true
     }
 }
 
@@ -61,12 +180,21 @@ impl RecordSink for CollectorHandle {
 pub struct CollectorPool {
     senders: Vec<Sender<Shipment>>,
     handles: Vec<JoinHandle<CollectionServer>>,
+    outages: Arc<Vec<Vec<TickWindow>>>,
 }
 
 impl CollectorPool {
     /// Starts `servers` collection-server threads (the study ran three).
     pub fn start(servers: usize) -> Self {
+        Self::start_with_outages(servers, Vec::new())
+    }
+
+    /// Starts the pool with per-server downtime windows. A server whose
+    /// window covers the shipment time refuses it; handles fail over.
+    /// Missing entries mean "always up".
+    pub fn start_with_outages(servers: usize, mut outages: Vec<Vec<TickWindow>>) -> Self {
         let servers = servers.max(1);
+        outages.resize(servers, Vec::new());
         let mut senders = Vec::with_capacity(servers);
         let mut handles = Vec::with_capacity(servers);
         for _ in 0..servers {
@@ -76,22 +204,32 @@ impl CollectorPool {
                 let mut store = CollectionServer::new();
                 while let Ok(shipment) = rx.recv() {
                     match shipment {
-                        Shipment::Batch(m, records) => store.ingest(m, &records),
-                        Shipment::Name(m, name) => store.ingest_name(m, name),
+                        Shipment::Batch(m, Some(seq), records) => {
+                            store.ingest_seq(m, seq, &records)
+                        }
+                        Shipment::Batch(m, None, records) => store.ingest(m, &records),
+                        Shipment::Name(m, Some(seq), name) => store.ingest_name_seq(m, seq, name),
+                        Shipment::Name(m, None, name) => store.ingest_name(m, name),
                     }
                 }
                 store
             }));
         }
-        CollectorPool { senders, handles }
+        CollectorPool {
+            senders,
+            handles,
+            outages: Arc::new(outages),
+        }
     }
 
     /// The handle a machine's agent should ship through; machines hash to
     /// servers for a stable assignment.
     pub fn handle_for(&self, machine: MachineId) -> CollectorHandle {
-        let idx = machine.0 as usize % self.senders.len();
         CollectorHandle {
-            tx: self.senders[idx].clone(),
+            senders: self.senders.clone(),
+            primary: machine.0 as usize % self.senders.len(),
+            outages: Arc::clone(&self.outages),
+            failovers: 0,
         }
     }
 
@@ -178,9 +316,9 @@ mod tests {
         let pool = CollectorPool::start(3);
         let a = pool.handle_for(MachineId(4));
         let b = pool.handle_for(MachineId(4));
-        assert!(a.tx.same_channel(&b.tx), "same machine, same server");
+        assert_eq!(a.primary, b.primary, "same machine, same server");
         let c = pool.handle_for(MachineId(5));
-        assert!(!a.tx.same_channel(&c.tx), "different machine, other server");
+        assert_ne!(a.primary, c.primary, "different machine, other server");
         // Handles keep their server's channel open; drop them before the
         // pool shuts down.
         drop((a, b, c));
@@ -195,5 +333,54 @@ mod tests {
         drop(h);
         let merged = pool.finish();
         assert_eq!(merged.total_records(), 0);
+    }
+
+    #[test]
+    fn outage_refuses_then_fails_over() {
+        // Server 0 down for ticks [100, 200); server 1 down always.
+        let outages = vec![
+            vec![TickWindow::new(100, 200)],
+            vec![TickWindow::new(0, u64::MAX)],
+        ];
+        let pool = CollectorPool::start_with_outages(2, outages);
+        let mut h = pool.handle_for(MachineId(0)); // primary = server 0
+        let records: Vec<TraceRecord> = (0..10).map(rec).collect();
+        assert!(h.ingest_at(MachineId(0), 0, &records, 50), "before outage");
+        assert!(
+            !h.ingest_at(MachineId(0), 1, &records, 150),
+            "every server down: refused"
+        );
+        assert!(h.ingest_at(MachineId(0), 1, &records, 250), "after outage");
+        assert_eq!(h.failovers(), 0, "primary recovered, no failover needed");
+
+        // Machine 1's primary is the always-down server 1: it fails over.
+        let mut h1 = pool.handle_for(MachineId(1));
+        assert!(h1.ingest_at(MachineId(1), 0, &records, 50));
+        assert_eq!(h1.failovers(), 1);
+        drop((h, h1));
+        let merged = pool.finish();
+        assert_eq!(merged.total_records(), 30);
+    }
+
+    #[test]
+    fn failover_batches_reassemble_in_sequence_order() {
+        // Primary down in the middle window; the agent ships batch 1 to
+        // the secondary, then batch 2 back on the primary. The merged
+        // store must return them in sequence order regardless of which
+        // server stored what.
+        let outages = vec![vec![TickWindow::new(100, 200)], Vec::new()];
+        let pool = CollectorPool::start_with_outages(2, outages);
+        let mut h = pool.handle_for(MachineId(0));
+        let batch = |lo: u64| -> Vec<TraceRecord> { (lo..lo + 5).map(rec).collect() };
+        assert!(h.ingest_at(MachineId(0), 0, &batch(0), 50));
+        assert!(h.ingest_at(MachineId(0), 1, &batch(5), 150), "failover");
+        assert!(h.ingest_at(MachineId(0), 2, &batch(10), 250));
+        assert_eq!(h.failovers(), 1);
+        drop(h);
+        let merged = pool.finish();
+        let back = merged.records_for(MachineId(0));
+        assert_eq!(back.len(), 15);
+        let ids: Vec<u64> = back.iter().map(|r| r.file_object).collect();
+        assert_eq!(ids, (0..15).collect::<Vec<u64>>(), "agent order restored");
     }
 }

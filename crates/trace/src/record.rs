@@ -229,6 +229,7 @@ fn encode_status(s: NtStatus) -> u8 {
         NtStatus::NoMoreFiles => 14,
         NtStatus::InvalidDeviceRequest => 15,
         NtStatus::FileLockConflict => 16,
+        NtStatus::NetworkUnreachable => 17,
     }
 }
 
@@ -251,6 +252,7 @@ fn decode_status(b: u8) -> Option<NtStatus> {
         14 => NtStatus::NoMoreFiles,
         15 => NtStatus::InvalidDeviceRequest,
         16 => NtStatus::FileLockConflict,
+        17 => NtStatus::NetworkUnreachable,
         _ => return None,
     })
 }

@@ -1,7 +1,6 @@
 //! Section objects and the standby list.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use nt_cache::{RangeSet, PAGE_SIZE};
 use nt_sim::SimTime;
@@ -79,17 +78,19 @@ struct Section {
 /// The VM manager: section objects keyed by `K` plus a global page budget.
 pub struct VmManager<K> {
     config: VmConfig,
-    sections: HashMap<K, Section>,
+    // BTreeMap, not HashMap: eviction breaks `last_touch` ties by visit
+    // order, and the simulation must replay identically for one seed.
+    sections: BTreeMap<K, Section>,
     resident_pages: u64,
     metrics: VmMetrics,
 }
 
-impl<K: Eq + Hash + Clone> VmManager<K> {
+impl<K: Ord + Clone> VmManager<K> {
     /// Creates a manager with the given tunables.
     pub fn new(config: VmConfig) -> Self {
         VmManager {
             config,
-            sections: HashMap::new(),
+            sections: BTreeMap::new(),
             resident_pages: 0,
             metrics: VmMetrics::default(),
         }

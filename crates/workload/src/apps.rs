@@ -1036,9 +1036,9 @@ mod tests {
         let n = 4_000;
         for _ in 0..n {
             let plan = write_session(VOL, &p, 30_000, false, &mut r);
-            let opens_wt = plan.iter().any(|s| {
-                matches!(&s.op, FileOp::Open { options, .. } if options.write_through)
-            });
+            let opens_wt = plan
+                .iter()
+                .any(|s| matches!(&s.op, FileOp::Open { options, .. } if options.write_through));
             let writes = plan
                 .iter()
                 .filter(|s| matches!(&s.op, FileOp::Write { .. }))

@@ -1,0 +1,107 @@
+//! Determinism and regression guarantees of the collection pipeline.
+//!
+//! The study's value rests on reproducibility: the same seed must yield
+//! the same trace bit-for-bit, no matter how many worker threads carried
+//! the machines, and the fault-injection layer must be invisible when its
+//! plan is empty. These tests pin all three properties.
+
+use std::collections::HashMap;
+
+use nt_study::{MachineRun, Study, StudyConfig};
+use nt_trace::{CollectionServer, MachineId};
+
+fn per_machine_counts(data: &nt_study::StudyData) -> HashMap<u32, usize> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for (m, _) in &data.trace_set.records {
+        *counts.entry(*m).or_default() += 1;
+    }
+    counts
+}
+
+#[test]
+fn same_seed_same_study() {
+    let config = StudyConfig::smoke_test(21);
+    let a = Study::run(&config);
+    let b = Study::run(&config);
+    assert_eq!(a.total_records, b.total_records, "record head-count");
+    assert_eq!(a.stored_bytes, b.stored_bytes, "compressed footprint");
+    assert_eq!(
+        per_machine_counts(&a),
+        per_machine_counts(&b),
+        "per-machine record counts"
+    );
+    assert_eq!(
+        a.trace_set.records, b.trace_set.records,
+        "the full record streams are identical"
+    );
+    // And a different seed actually changes the trace.
+    let mut other = config.clone();
+    other.seed = 22;
+    let c = Study::run(&other);
+    assert_ne!(a.trace_set.records, c.trace_set.records);
+}
+
+#[test]
+fn parallel_study_equals_serial_study() {
+    let config = StudyConfig::smoke_test(33);
+    let parallel = Study::run(&config);
+    let serial = Study::run_with_workers(&config, 1);
+    assert_eq!(parallel.total_records, serial.total_records);
+    assert_eq!(parallel.stored_bytes, serial.stored_bytes);
+    assert_eq!(parallel.trace_set.records, serial.trace_set.records);
+    assert_eq!(
+        parallel.trace_set.instances.len(),
+        serial.trace_set.instances.len()
+    );
+    for (p, s) in parallel.machines.iter().zip(serial.machines.iter()) {
+        assert_eq!(p.id, s.id);
+        assert_eq!(p.loss, s.loss, "ledgers agree machine by machine");
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_byte_identical_to_the_direct_pipeline() {
+    // The fault layer must be a no-op when the plan is empty: running the
+    // study through the fault-aware pool produces byte-for-byte the same
+    // compressed batches as shipping each machine straight into a local
+    // collection server, the pre-fault pipeline shape.
+    let config = StudyConfig::smoke_test(55);
+    assert!(config.faults.is_none(), "smoke preset carries no faults");
+    let study = Study::run(&config);
+
+    let mut direct = CollectionServer::new();
+    for (index, spec) in config.machines.iter().enumerate() {
+        let mut run = MachineRun::build(&config, index, spec);
+        let mut server = CollectionServer::new();
+        run.simulate(&config, &mut server);
+        let ledger = run.loss_ledger();
+        assert!(ledger.reconciles());
+        assert_eq!(ledger.lost(), 0, "clean runs lose nothing");
+        direct.merge(server);
+    }
+    assert_eq!(study.total_records, direct.total_records());
+    assert_eq!(
+        study.stored_bytes,
+        direct.stored_bytes(),
+        "identical batch boundaries compress to identical bytes"
+    );
+    for index in 0..config.machines.len() {
+        let id = MachineId(index as u32);
+        let direct_records = direct.records_for(id);
+        let study_records: Vec<_> = study
+            .trace_set
+            .records
+            .iter()
+            .filter(|(m, _)| *m == id.0)
+            .map(|(_, r)| *r)
+            .collect();
+        let mut sorted = direct_records.clone();
+        sorted.sort_by_key(|r| (r.start_ticks, r.file_object));
+        assert_eq!(
+            study_records.len(),
+            sorted.len(),
+            "machine {index} record counts"
+        );
+        assert_eq!(study_records, sorted, "machine {index} record streams");
+    }
+}

@@ -123,7 +123,7 @@ fn agent_outages_thin_the_trace_but_nothing_breaks() {
     // §3 failure injection: agents suspend during connection losses; the
     // analysis pipeline must tolerate the resulting gaps.
     let mut flaky = StudyConfig::smoke_test(404);
-    flaky.agent_disconnect_mean = Some(nt_sim::SimDuration::from_secs(45));
+    flaky.faults.agent_outage_mean = Some(nt_sim::SimDuration::from_secs(45));
     let lossy = Study::run(&flaky);
     // The machine-side counters see every open; the filter misses the
     // ones issued while suspended.

@@ -402,16 +402,168 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Triple-buffer delivery: never duplicated, never reordered, fully
+// accounted — at the paper's capacity and under fault-plan squeezes.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BufferOp {
+    /// Push this many records.
+    Push(u16),
+    /// Take the queued full buffers (a shipping opportunity).
+    Ship,
+}
+
+fn buffer_ops() -> impl Strategy<Value = Vec<BufferOp>> {
+    prop::collection::vec(
+        prop_oneof![(1u16..200).prop_map(BufferOp::Push), Just(BufferOp::Ship),],
+        1..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn triple_buffer_never_duplicates_or_reorders(
+        ops in buffer_ops(),
+        capacity in 1usize..120,
+    ) {
+        use nt_trace::{TraceRecord, TripleBuffer};
+
+        fn rec(i: u64) -> TraceRecord {
+            TraceRecord {
+                code: 0,
+                flags: 0,
+                status: nt_io::NtStatus::Success,
+                set_info: None,
+                access: None,
+                disposition: None,
+                options: None,
+                file_object: i,
+                fcb: 0,
+                process: 0,
+                volume: 0,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                start_ticks: i,
+                end_ticks: i + 1,
+            }
+        }
+
+        let mut tb = TripleBuffer::with_capacity(capacity);
+        let mut pushed = 0u64;
+        let mut delivered: Vec<u64> = Vec::new();
+        for op in &ops {
+            match *op {
+                BufferOp::Push(n) => {
+                    for _ in 0..n {
+                        tb.push(rec(pushed));
+                        pushed += 1;
+                    }
+                }
+                BufferOp::Ship => {
+                    for batch in tb.take_queued() {
+                        prop_assert!(batch.len() <= capacity);
+                        delivered.extend(batch.iter().map(|r| r.file_object));
+                    }
+                }
+            }
+        }
+        delivered.extend(tb.drain_all().iter().map(|r| r.file_object));
+
+        // Every accepted record arrived exactly once, in push order.
+        prop_assert_eq!(delivered.len() as u64, tb.recorded());
+        for w in delivered.windows(2) {
+            prop_assert!(w[0] < w[1], "shipped stream reordered or duplicated");
+        }
+        prop_assert!(delivered.iter().all(|&id| id < pushed));
+        // Accounting closes: accepted plus overflow-dropped is everything.
+        prop_assert_eq!(tb.recorded() + tb.dropped(), pushed);
+        prop_assert_eq!(tb.overflowed(), tb.dropped() > 0);
+        prop_assert_eq!(tb.pending(), 0, "drain_all leaves nothing behind");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine cancellation under faulted schedules: cancelling the events a
+// fault window covers removes exactly those, preserving order and the
+// FIFO tie break for the survivors.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn engine_cancellation_removes_exactly_the_faulted_events(
+        times in prop::collection::vec(0u64..5_000, 1..80),
+        window in (0u64..5_000, 1u64..2_000),
+    ) {
+        use nt_trace::{any_contains, TickWindow};
+
+        // The fault window in milliseconds; events inside it are the
+        // work an outage would cancel.
+        let windows = [TickWindow::new(window.0, window.0 + window.1)];
+        let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut cancelled = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let id = engine.schedule_at(SimTime::from_millis(t), move |w: &mut Vec<(u64, usize)>, eng: &mut Engine<Vec<(u64, usize)>>| {
+                w.push((eng.now().as_millis(), i));
+            });
+            if any_contains(&windows, t) {
+                prop_assert!(engine.cancel(id));
+                prop_assert!(!engine.cancel(id), "double cancel reports false");
+                cancelled.push(i);
+            }
+        }
+        let mut fired = Vec::new();
+        engine.run(&mut fired);
+
+        // The survivors are exactly the out-of-window events, in time
+        // order with scheduling order breaking ties.
+        let mut expected: Vec<(u64, usize)> = times
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| !any_contains(&windows, t))
+            .map(|(i, &t)| (t, i))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(fired, expected);
+        prop_assert_eq!(
+            engine.events_fired() as usize + cancelled.len(),
+            times.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Volume namespace vs a flat-map model.
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
 enum NsOp {
-    CreateFile { dir: u8, name: u8 },
-    Mkdir { parent: u8, name: u8 },
-    Remove { dir: u8, name: u8 },
-    Rename { dir: u8, name: u8, to_dir: u8, to_name: u8 },
-    SetSize { dir: u8, name: u8, size: u32 },
+    CreateFile {
+        dir: u8,
+        name: u8,
+    },
+    Mkdir {
+        parent: u8,
+        name: u8,
+    },
+    Remove {
+        dir: u8,
+        name: u8,
+    },
+    Rename {
+        dir: u8,
+        name: u8,
+        to_dir: u8,
+        to_name: u8,
+    },
+    SetSize {
+        dir: u8,
+        name: u8,
+        size: u32,
+    },
 }
 
 fn ns_ops() -> impl Strategy<Value = Vec<NsOp>> {
@@ -460,11 +612,11 @@ proptest! {
             match *op {
                 NsOp::CreateFile { dir, name } => {
                     let r = vol.create_file(dirs[dir as usize], &format!("f{name}"), now);
-                    if model.contains_key(&(dir, name)) {
-                        prop_assert_eq!(r.unwrap_err(), FsError::AlreadyExists);
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry((dir, name)) {
                         prop_assert!(r.is_ok());
-                        model.insert((dir, name), 0);
+                        e.insert(0);
+                    } else {
+                        prop_assert_eq!(r.unwrap_err(), FsError::AlreadyExists);
                     }
                 }
                 NsOp::Mkdir { parent, name } => {

@@ -1,0 +1,141 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! Benchmarks compile against this exactly as against upstream, but the
+//! harness is a smoke runner: each `bench_function` body executes a small
+//! fixed number of iterations and reports wall-clock time per iteration,
+//! with no statistics, warm-up or report files. That keeps `cargo bench`
+//! usable for regression eyeballing in the offline container while the
+//! real dependency stays declared with the same version and surface.
+
+use std::time::Instant;
+
+/// Iterations per benchmark body; low because several benches run whole
+/// multi-machine studies per iteration.
+const ITERATIONS: u32 = 3;
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared throughput of a benchmark, echoed in the output line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            elapsed_nanos: 0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed_nanos / u128::from(bencher.iterations.max(1));
+        match self.throughput {
+            Some(Throughput::Elements(n)) => eprintln!(
+                "bench {}/{}: {} ns/iter ({} elements)",
+                self.name, id, per_iter, n
+            ),
+            Some(Throughput::Bytes(n)) => eprintln!(
+                "bench {}/{}: {} ns/iter ({} bytes)",
+                self.name, id, per_iter, n
+            ),
+            None => eprintln!("bench {}/{}: {} ns/iter", self.name, id, per_iter),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    elapsed_nanos: u128,
+    iterations: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            std::hint::black_box(f());
+        }
+        self.elapsed_nanos += start.elapsed().as_nanos();
+        self.iterations += ITERATIONS;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, ITERATIONS);
+    }
+}

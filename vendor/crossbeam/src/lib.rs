@@ -1,0 +1,131 @@
+//! Offline vendored subset of the `crossbeam` 0.8 API: multi-producer
+//! unbounded channels, implemented over `std::sync::mpsc` with a shared
+//! identity token so `Sender::same_channel` works.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half of an unbounded channel. Cloneable; dropping the last
+    /// clone disconnects the receiver.
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        id: Arc<()>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                id: Arc::clone(&self.id),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// True when both senders feed the same channel.
+        pub fn same_channel(&self, other: &Sender<T>) -> bool {
+            Arc::ptr_eq(&self.id, &other.id)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    ///
+    /// Unlike `std::sync::mpsc`, crossbeam receivers are `Sync` and usable
+    /// through a shared reference; the mutex restores that contract.
+    pub struct Receiver<T> {
+        rx: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx
+                .lock()
+                .expect("channel receiver poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.rx
+                .lock()
+                .expect("channel receiver poisoned")
+                .try_recv()
+                .map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                tx,
+                id: Arc::new(()),
+            },
+            Receiver { rx: Mutex::new(rx) },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_delivers_everything() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let a = std::thread::spawn(move || (0..100).for_each(|i| tx.send(i).unwrap()));
+            let b = std::thread::spawn(move || (100..200).for_each(|i| tx2.send(i).unwrap()));
+            a.join().unwrap();
+            b.join().unwrap();
+            let mut got: Vec<i32> = (0..200).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..200).collect::<Vec<_>>());
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn same_channel_distinguishes_channels() {
+            let (tx_a, _rx_a) = unbounded::<u8>();
+            let (tx_b, _rx_b) = unbounded::<u8>();
+            assert!(tx_a.same_channel(&tx_a.clone()));
+            assert!(!tx_a.same_channel(&tx_b));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

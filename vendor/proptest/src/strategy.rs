@@ -1,0 +1,294 @@
+//! Strategy combinators: ranges, tuples, `Just`, `prop_map`, unions and a
+//! regex-subset string generator.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for one proptest argument.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    #[allow(clippy::type_complexity)]
+    arms: Vec<Box<dyn Fn(&mut SmallRng) -> T>>,
+}
+
+impl<T> Union<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Self {
+        self.arms.push(Box::new(move |rng| strategy.sample(rng)));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let pick = rng.gen_range(0..self.arms.len());
+        (self.arms[pick])(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*}
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+}
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// String literals act as regex-subset strategies, like upstream proptest.
+///
+/// Supported syntax: literals, `\x` escapes, classes `[a-z0-9]`, groups,
+/// alternation `|`, and the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        let ast = parse_alternation(&mut Cursor::new(self));
+        let mut out = String::new();
+        sample_node(&ast, rng, &mut out);
+        out
+    }
+}
+
+enum Node {
+    /// Alternation of sequences; each sequence is quantified atoms.
+    Alt(Vec<Vec<(Node, Quant)>>),
+    Class(Vec<(char, char)>),
+    Lit(char),
+}
+
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(pattern: &str) -> Self {
+        Cursor {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+}
+
+fn parse_alternation(cur: &mut Cursor) -> Node {
+    let mut alternatives = vec![parse_sequence(cur)];
+    while cur.peek() == Some('|') {
+        cur.next();
+        alternatives.push(parse_sequence(cur));
+    }
+    Node::Alt(alternatives)
+}
+
+fn parse_sequence(cur: &mut Cursor) -> Vec<(Node, Quant)> {
+    let mut seq = Vec::new();
+    while let Some(c) = cur.peek() {
+        if c == ')' || c == '|' {
+            break;
+        }
+        let atom = parse_atom(cur);
+        let quant = parse_quant(cur);
+        seq.push((atom, quant));
+    }
+    seq
+}
+
+fn parse_atom(cur: &mut Cursor) -> Node {
+    match cur.next().expect("regex atom") {
+        '(' => {
+            let inner = parse_alternation(cur);
+            assert_eq!(cur.next(), Some(')'), "unclosed group in regex strategy");
+            inner
+        }
+        '[' => {
+            let mut ranges = Vec::new();
+            loop {
+                let c = cur.next().expect("unclosed class in regex strategy");
+                if c == ']' {
+                    break;
+                }
+                if cur.peek() == Some('-') {
+                    cur.next();
+                    let hi = cur.next().expect("class range end");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            Node::Class(ranges)
+        }
+        '\\' => Node::Lit(cur.next().expect("escape target")),
+        c => Node::Lit(c),
+    }
+}
+
+fn parse_quant(cur: &mut Cursor) -> Quant {
+    match cur.peek() {
+        Some('?') => {
+            cur.next();
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            cur.next();
+            Quant { min: 0, max: 8 }
+        }
+        Some('+') => {
+            cur.next();
+            Quant { min: 1, max: 8 }
+        }
+        Some('{') => {
+            cur.next();
+            let mut first = String::new();
+            let mut second = String::new();
+            let mut in_second = false;
+            loop {
+                match cur.next().expect("unclosed quantifier") {
+                    '}' => break,
+                    ',' => in_second = true,
+                    d if in_second => second.push(d),
+                    d => first.push(d),
+                }
+            }
+            let min: u32 = first.parse().expect("quantifier min");
+            let max: u32 = if in_second {
+                second.parse().expect("quantifier max")
+            } else {
+                min
+            };
+            Quant { min, max }
+        }
+        _ => Quant { min: 1, max: 1 },
+    }
+}
+
+fn sample_node(node: &Node, rng: &mut SmallRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class char"));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Alt(alternatives) => {
+            let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+            for (atom, quant) in seq {
+                let reps = rng.gen_range(quant.min..=quant.max);
+                for _ in 0..reps {
+                    sample_node(atom, rng, out);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline vendored subset of the `rand_distr` 0.4 API: the
+//! [`Distribution`] trait and the [`LogNormal`] distribution, which the
+//! workload generator uses for file holding times.
+
+use rand::RngCore;
+
+/// A distribution that can produce values of type `T` from a uniform
+/// random stream.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from constructing a normal-family distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was negative or not finite.
+    BadVariance,
+    /// Mean was not finite.
+    MeanTooSmall,
+}
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is invalid"),
+            NormalError::MeanTooSmall => write!(f, "mean is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        if !mu.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via the Marsaglia polar method.
+///
+/// The rejection loop consumes a variable number of uniforms, which is fine:
+/// determinism only requires that the same seed replays the same stream, not
+/// that draws consume a fixed budget.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * unit(rng) - 1.0;
+        let v = 2.0 * unit(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[inline]
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn lognormal_median_matches_exp_mu() {
+        // The median of exp(N(mu, sigma^2)) is exp(mu).
+        let d = LogNormal::new(2.0, 0.8).expect("valid");
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let expected = 2.0f64.exp();
+        assert!(
+            (median / expected).abs() > 0.9 && (median / expected) < 1.1,
+            "median {median} vs exp(mu) {expected}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = LogNormal::new(0.0, 1.0).expect("valid");
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}
