@@ -43,5 +43,8 @@ cargo test -q --offline
 step "cargo test --workspace"
 cargo test -q --workspace --offline
 
+step "bench smoke (compile + one iteration per bench)"
+NT_BENCH_ITERS=1 cargo bench -q --offline -p nt-bench --bench streaming
+
 echo
 echo "CI green."

@@ -10,7 +10,8 @@ use std::collections::HashMap;
 
 use crate::cdf::Cdf;
 use crate::gaps::LossWindows;
-use crate::schema::TraceSet;
+use crate::schema::{Instance, TraceSet};
+use crate::sketch::HistogramSketch;
 
 /// Inter-arrival CDFs (milliseconds).
 pub struct OpenArrivals {
@@ -108,10 +109,138 @@ pub fn open_arrivals_excluding(ts: &TraceSet, lossy: &LossWindows) -> OpenArriva
     }
 }
 
+/// Streaming counterpart of [`open_arrivals`] for ONE machine's stream.
+///
+/// The batch analysis sorts every open tick before differencing; the
+/// streaming path sees opens in session-completion order, which is only
+/// *near*-sorted by open time, so gaps are taken against the largest tick
+/// seen so far and out-of-order arrivals are counted but not differenced.
+/// Figure-11 numbers from this accumulator are therefore approximate
+/// (the fact tables themselves stay exact); `reordered` reports how many
+/// arrivals the approximation skipped.
+#[derive(Debug, Default)]
+pub struct ArrivalAccumulator {
+    /// Inter-open gaps, all opens (ms).
+    pub all: HistogramSketch,
+    /// Gaps within the data-session open stream (ms).
+    pub for_io: HistogramSketch,
+    /// Gaps within the control-session open stream (ms).
+    pub for_control: HistogramSketch,
+    /// Arrivals that came in below the stream's high-water tick.
+    pub reordered: u64,
+    last: [Option<u64>; 3],
+    span: Option<(u64, u64)>,
+    active_seconds: u64,
+    last_second: Option<u64>,
+    /// Seconds spanned by machines already merged in.
+    merged_total_seconds: u64,
+}
+
+impl ArrivalAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ArrivalAccumulator::default()
+    }
+
+    /// Feeds one finished instance's open arrival.
+    pub fn push_instance(&mut self, inst: &Instance) {
+        let tick = inst.open_start_ticks;
+        let class_idx = if inst.is_data() { 1 } else { 2 };
+        for idx in [0, class_idx] {
+            match self.last[idx] {
+                Some(prev) if tick < prev => {
+                    if idx == 0 {
+                        self.reordered += 1;
+                    }
+                }
+                Some(prev) => {
+                    let gap = (tick - prev) as f64 / 10_000.0;
+                    match idx {
+                        0 => self.all.record(gap),
+                        1 => self.for_io.record(gap),
+                        _ => self.for_control.record(gap),
+                    }
+                    self.last[idx] = Some(tick);
+                }
+                None => self.last[idx] = Some(tick),
+            }
+        }
+        // Active-second accounting.
+        let sec = tick / 10_000_000;
+        self.span = Some(match self.span {
+            None => (sec, sec),
+            Some((lo, hi)) => (lo.min(sec), hi.max(sec)),
+        });
+        if self.last_second.is_none_or(|l| sec > l) {
+            self.active_seconds += 1;
+            self.last_second = Some(sec);
+        }
+    }
+
+    fn span_seconds(&self) -> u64 {
+        self.span.map_or(0, |(lo, hi)| hi - lo + 1)
+    }
+
+    /// Merges another machine's accumulator in. Inter-arrival streams are
+    /// per-machine, so only the distributions and second counts combine;
+    /// each machine's own trace span enters the denominator, mirroring
+    /// the batch sum.
+    pub fn merge(&mut self, other: &ArrivalAccumulator) {
+        self.all.merge(&other.all);
+        self.for_io.merge(&other.for_io);
+        self.for_control.merge(&other.for_control);
+        self.reordered += other.reordered;
+        self.active_seconds += other.active_seconds;
+        self.merged_total_seconds += other.merged_total_seconds + other.span_seconds();
+    }
+
+    /// Fraction of 1-second intervals with at least one open.
+    pub fn active_second_fraction(&self) -> f64 {
+        let total = self.merged_total_seconds + self.span_seconds();
+        if total == 0 {
+            0.0
+        } else {
+            self.active_seconds as f64 / total as f64
+        }
+    }
+
+    /// Bytes of live sketch state.
+    pub fn state_bytes(&self) -> usize {
+        self.all.state_bytes() + self.for_io.state_bytes() + self.for_control.state_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn streaming_arrivals_track_batch() {
+        let ts = synthetic_trace_set(400, 3);
+        let batch = open_arrivals(&ts);
+        let mut acc = ArrivalAccumulator::new();
+        for inst in &ts.instances {
+            acc.push_instance(inst);
+        }
+        // Every arrival beyond the first is either differenced or counted
+        // as reordered; on one machine that sums to the batch gap count.
+        assert_eq!(acc.all.len() + acc.reordered, batch.all.len() as u64);
+        assert!(
+            acc.reordered < batch.all.len() as u64 / 5,
+            "completion order is near-sorted: {} reordered of {}",
+            acc.reordered,
+            batch.all.len()
+        );
+        let exact = batch.all.median().unwrap();
+        let est = acc.all.median().unwrap();
+        assert!(
+            (est - exact).abs() <= exact * 0.25,
+            "median {est} vs {exact}"
+        );
+        let f = acc.active_second_fraction();
+        assert!((f - batch.active_second_fraction).abs() < 0.1);
+    }
 
     #[test]
     fn arrivals_have_both_classes() {

@@ -7,8 +7,11 @@
 //! plots the request-size CDFs — FastIO requests skew smaller, because
 //! multi-operation readers use targeted buffers (§10).
 
+use nt_trace::TraceRecord;
+
 use crate::cdf::Cdf;
 use crate::schema::TraceSet;
+use crate::sketch::HistogramSketch;
 
 /// The per-class latency and size CDFs.
 pub struct PathLatencies {
@@ -93,10 +96,121 @@ pub fn path_latencies(ts: &TraceSet) -> PathLatencies {
     }
 }
 
+/// Streaming counterpart of [`path_latencies`]: per-class latency and
+/// size sketches plus the FastIO fractions, maintained record by record.
+#[derive(Debug, Default)]
+pub struct LatencyAccumulator {
+    /// FastIO read latency sketch (µs).
+    pub fastio_read_latency: HistogramSketch,
+    /// FastIO write latency sketch (µs).
+    pub fastio_write_latency: HistogramSketch,
+    /// IRP read latency sketch (µs).
+    pub irp_read_latency: HistogramSketch,
+    /// IRP write latency sketch (µs).
+    pub irp_write_latency: HistogramSketch,
+    /// FastIO read size sketch (bytes).
+    pub fastio_read_size: HistogramSketch,
+    /// FastIO write size sketch (bytes).
+    pub fastio_write_size: HistogramSketch,
+    /// IRP read size sketch (bytes).
+    pub irp_read_size: HistogramSketch,
+    /// IRP write size sketch (bytes).
+    pub irp_write_size: HistogramSketch,
+}
+
+impl LatencyAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LatencyAccumulator::default()
+    }
+
+    /// Feeds one record; paging and error records are ignored, exactly
+    /// like the batch path.
+    pub fn push_record(&mut self, rec: &TraceRecord) {
+        let kind = rec.kind();
+        if !(kind.is_read() || kind.is_write()) || rec.is_paging() || rec.status.is_error() {
+            return;
+        }
+        let lat_us = rec.latency_ticks() as f64 / 10.0;
+        let size = rec.length as f64;
+        let (lat, sz) = match (kind.is_fastio(), kind.is_read()) {
+            (true, true) => (&mut self.fastio_read_latency, &mut self.fastio_read_size),
+            (true, false) => (&mut self.fastio_write_latency, &mut self.fastio_write_size),
+            (false, true) => (&mut self.irp_read_latency, &mut self.irp_read_size),
+            (false, false) => (&mut self.irp_write_latency, &mut self.irp_write_size),
+        };
+        lat.record(lat_us);
+        sz.record(size);
+    }
+
+    /// Merges another machine's accumulator in.
+    pub fn merge(&mut self, other: &LatencyAccumulator) {
+        self.fastio_read_latency.merge(&other.fastio_read_latency);
+        self.fastio_write_latency.merge(&other.fastio_write_latency);
+        self.irp_read_latency.merge(&other.irp_read_latency);
+        self.irp_write_latency.merge(&other.irp_write_latency);
+        self.fastio_read_size.merge(&other.fastio_read_size);
+        self.fastio_write_size.merge(&other.fastio_write_size);
+        self.irp_read_size.merge(&other.irp_read_size);
+        self.irp_write_size.merge(&other.irp_write_size);
+    }
+
+    /// Fraction of reads on the FastIO path.
+    pub fn fastio_read_fraction(&self) -> f64 {
+        let total = self.fastio_read_latency.len() + self.irp_read_latency.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.fastio_read_latency.len() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of writes on the FastIO path.
+    pub fn fastio_write_fraction(&self) -> f64 {
+        let total = self.fastio_write_latency.len() + self.irp_write_latency.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.fastio_write_latency.len() as f64 / total as f64
+        }
+    }
+
+    /// Bytes of live sketch state.
+    pub fn state_bytes(&self) -> usize {
+        self.fastio_read_latency.state_bytes()
+            + self.fastio_write_latency.state_bytes()
+            + self.irp_read_latency.state_bytes()
+            + self.irp_write_latency.state_bytes()
+            + self.fastio_read_size.state_bytes()
+            + self.fastio_write_size.state_bytes()
+            + self.irp_read_size.state_bytes()
+            + self.irp_write_size.state_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn streaming_fractions_match_batch() {
+        let ts = synthetic_trace_set(500, 33);
+        let batch = path_latencies(&ts);
+        let mut acc = LatencyAccumulator::new();
+        for (_, rec) in &ts.records {
+            acc.push_record(rec);
+        }
+        assert_eq!(acc.fastio_read_fraction(), batch.fastio_read_fraction);
+        assert_eq!(acc.fastio_write_fraction(), batch.fastio_write_fraction);
+        assert_eq!(
+            acc.fastio_read_latency.len(),
+            batch.fastio_read_latency.len() as u64
+        );
+        let exact = batch.irp_read_latency.median().unwrap();
+        let est = acc.irp_read_latency.median().unwrap();
+        assert!((est - exact).abs() / exact < 0.05, "{est} vs {exact}");
+    }
 
     #[test]
     fn fastio_is_faster_than_irp() {

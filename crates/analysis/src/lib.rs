@@ -23,6 +23,11 @@
 //! * [`tails`] — figures 9–10, QQ plots, LLCD slope and Hill estimator.
 //! * [`latency`] — figures 13–14, latency/size by request class.
 //! * [`ops`] — §8's operational characteristics.
+//! * [`sketch`] — bounded-memory histogram sketches and spill-to-disk
+//!   sorted runs for the streaming pipeline.
+//! * [`stream`] — per-machine streaming sinks that ingest shipments as
+//!   they arrive and maintain the aggregates online, so paper-scale
+//!   studies never materialize the record stream.
 //! * [`paging`] — §9.2's paging-I/O burst analysis.
 //! * [`content`] — §5's file-system content analysis over snapshots.
 //! * [`dimensions`] — §4's dimension tables and drill-down cubes.
@@ -48,9 +53,13 @@ pub mod runs;
 pub mod schema;
 pub mod sessions;
 pub mod sizes;
+pub mod sketch;
 pub mod stats;
+pub mod stream;
 pub mod tails;
 
 pub use cdf::Cdf;
-pub use schema::{Instance, TraceSet, UsageClass};
+pub use schema::{Instance, InstanceBuilder, TraceSet, UsageClass};
+pub use sketch::{HistogramSketch, SpillRuns};
 pub use stats::{correlation, describe, Descriptives};
+pub use stream::{AnalysisSet, MachineSink, StreamConfig, StudySummary};

@@ -6,9 +6,11 @@
 use std::collections::HashMap;
 
 use nt_io::{EventKind, MajorFunction};
+use nt_trace::TraceRecord;
 
 use crate::cdf::Cdf;
-use crate::schema::{TraceSet, UsageClass};
+use crate::schema::{Instance, TraceSet, UsageClass};
+use crate::sketch::HistogramSketch;
 
 /// The §8 summary numbers.
 #[derive(Clone, Debug)]
@@ -208,10 +210,270 @@ pub fn operational_stats(ts: &TraceSet) -> OperationalStats {
     }
 }
 
+/// Streaming counterpart of [`operational_stats`]: the same §8 counters
+/// and distributions maintained online over records and finished
+/// instances, with sketches standing in for the exact CDFs.
+///
+/// `read_reopen_fraction` is the one §8 number this accumulator does not
+/// reproduce — it needs the full per-path open multiset, which is exactly
+/// the unbounded state the streaming path exists to avoid. Paper-scale
+/// reuse analysis belongs to a dedicated pass over the spilled name
+/// dimension.
+#[derive(Debug, Default)]
+pub struct OpsAccumulator {
+    /// Successful opens.
+    pub opens_ok: u64,
+    /// Failed opens.
+    pub opens_failed: u64,
+    /// Failed opens that were not-found.
+    pub fail_not_found: u64,
+    /// Failed opens that were name collisions.
+    pub fail_collision: u64,
+    /// Successful opens with no data transfer.
+    pub control_only: u64,
+    /// (ok, failed) non-paging reads.
+    pub reads: (u64, u64),
+    /// (ok, failed) non-paging writes.
+    pub writes: (u64, u64),
+    /// (ok, failed) control operations.
+    pub controls: (u64, u64),
+    /// Reads of exactly 512 or 4096 bytes.
+    pub common_read_sizes: u64,
+    /// Read-size sketch (bytes).
+    pub read_sizes: HistogramSketch,
+    /// Write-size sketch (bytes).
+    pub write_sizes: HistogramSketch,
+    /// Intra-session read-gap sketch (µs).
+    pub read_gaps_us: HistogramSketch,
+    /// Intra-session write-gap sketch (µs).
+    pub write_gaps_us: HistogramSketch,
+    /// Cleanup-to-close gap for read sessions (µs).
+    pub cleanup_to_close_read_us: HistogramSketch,
+    /// Cleanup-to-close gap for written files (ms).
+    pub cleanup_to_close_write_ms: HistogramSketch,
+}
+
+impl OpsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OpsAccumulator::default()
+    }
+
+    /// Feeds one raw record (the per-record half of §8).
+    pub fn push_record(&mut self, rec: &TraceRecord) {
+        let kind = rec.kind();
+        if rec.is_paging() {
+            return;
+        }
+        if kind.is_read() {
+            if rec.status.is_error() {
+                self.reads.1 += 1;
+            } else {
+                self.reads.0 += 1;
+                self.read_sizes.record(rec.length as f64);
+                if rec.length == 512 || rec.length == 4_096 {
+                    self.common_read_sizes += 1;
+                }
+            }
+        } else if kind.is_write() {
+            if rec.status.is_error() {
+                self.writes.1 += 1;
+            } else {
+                self.writes.0 += 1;
+                self.write_sizes.record(rec.length as f64);
+            }
+        } else if !matches!(
+            kind,
+            EventKind::Irp(MajorFunction::Create)
+                | EventKind::Irp(MajorFunction::Cleanup)
+                | EventKind::Irp(MajorFunction::Close)
+        ) {
+            if rec.status.is_error() {
+                self.controls.1 += 1;
+            } else {
+                self.controls.0 += 1;
+            }
+        }
+    }
+
+    /// Feeds one finished instance (the per-session half of §8).
+    pub fn push_instance(&mut self, inst: &Instance) {
+        if inst.opened() {
+            self.opens_ok += 1;
+            if !inst.is_data() {
+                self.control_only += 1;
+            }
+        } else {
+            self.opens_failed += 1;
+            match inst.open_status {
+                nt_io::NtStatus::ObjectNameNotFound | nt_io::NtStatus::ObjectPathNotFound => {
+                    self.fail_not_found += 1
+                }
+                nt_io::NtStatus::ObjectNameCollision => self.fail_collision += 1,
+                _ => {}
+            }
+        }
+        for &g in &inst.read_gaps {
+            self.read_gaps_us.record(g as f64 / 10.0);
+        }
+        for &g in &inst.write_gaps {
+            self.write_gaps_us.record(g as f64 / 10.0);
+        }
+        if let (Some(cu), Some(cl)) = (inst.cleanup_ticks, inst.close_ticks) {
+            let gap = cl.saturating_sub(cu);
+            if inst.writes > 0 {
+                self.cleanup_to_close_write_ms.record(gap as f64 / 10_000.0);
+            } else {
+                self.cleanup_to_close_read_us.record(gap as f64 / 10.0);
+            }
+        }
+    }
+
+    /// Merges another machine's accumulator in.
+    pub fn merge(&mut self, other: &OpsAccumulator) {
+        self.opens_ok += other.opens_ok;
+        self.opens_failed += other.opens_failed;
+        self.fail_not_found += other.fail_not_found;
+        self.fail_collision += other.fail_collision;
+        self.control_only += other.control_only;
+        self.reads.0 += other.reads.0;
+        self.reads.1 += other.reads.1;
+        self.writes.0 += other.writes.0;
+        self.writes.1 += other.writes.1;
+        self.controls.0 += other.controls.0;
+        self.controls.1 += other.controls.1;
+        self.common_read_sizes += other.common_read_sizes;
+        self.read_sizes.merge(&other.read_sizes);
+        self.write_sizes.merge(&other.write_sizes);
+        self.read_gaps_us.merge(&other.read_gaps_us);
+        self.write_gaps_us.merge(&other.write_gaps_us);
+        self.cleanup_to_close_read_us
+            .merge(&other.cleanup_to_close_read_us);
+        self.cleanup_to_close_write_ms
+            .merge(&other.cleanup_to_close_write_ms);
+    }
+
+    /// Fraction of successful opens that moved no data.
+    pub fn control_only_fraction(&self) -> f64 {
+        if self.opens_ok == 0 {
+            0.0
+        } else {
+            self.control_only as f64 / self.opens_ok as f64
+        }
+    }
+
+    /// Not-found share of failed opens.
+    pub fn open_fail_not_found(&self) -> f64 {
+        if self.opens_failed == 0 {
+            0.0
+        } else {
+            self.fail_not_found as f64 / self.opens_failed as f64
+        }
+    }
+
+    /// Collision share of failed opens.
+    pub fn open_fail_collision(&self) -> f64 {
+        if self.opens_failed == 0 {
+            0.0
+        } else {
+            self.fail_collision as f64 / self.opens_failed as f64
+        }
+    }
+
+    fn rate((ok, fail): (u64, u64)) -> f64 {
+        if ok + fail == 0 {
+            0.0
+        } else {
+            fail as f64 / (ok + fail) as f64
+        }
+    }
+
+    /// Read failure rate.
+    pub fn read_failure_rate(&self) -> f64 {
+        Self::rate(self.reads)
+    }
+
+    /// Write failure rate.
+    pub fn write_failure_rate(&self) -> f64 {
+        Self::rate(self.writes)
+    }
+
+    /// Control failure rate.
+    pub fn control_failure_rate(&self) -> f64 {
+        Self::rate(self.controls)
+    }
+
+    /// Fraction of successful reads sized exactly 512 or 4096 bytes.
+    pub fn read_512_4096_fraction(&self) -> f64 {
+        if self.reads.0 == 0 {
+            0.0
+        } else {
+            self.common_read_sizes as f64 / self.reads.0 as f64
+        }
+    }
+
+    /// Bytes of live sketch state.
+    pub fn state_bytes(&self) -> usize {
+        self.read_sizes.state_bytes()
+            + self.write_sizes.state_bytes()
+            + self.read_gaps_us.state_bytes()
+            + self.write_gaps_us.state_bytes()
+            + self.cleanup_to_close_read_us.state_bytes()
+            + self.cleanup_to_close_write_ms.state_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn streaming_counters_match_batch() {
+        let ts = synthetic_trace_set(600, 85);
+        let batch = operational_stats(&ts);
+        let mut acc = OpsAccumulator::new();
+        for (_, rec) in &ts.records {
+            acc.push_record(rec);
+        }
+        for inst in &ts.instances {
+            acc.push_instance(inst);
+        }
+        assert_eq!(acc.opens_ok, batch.opens_ok);
+        assert_eq!(acc.opens_failed, batch.opens_failed);
+        assert_eq!(acc.control_only_fraction(), batch.control_only_fraction);
+        assert_eq!(acc.open_fail_not_found(), batch.open_fail_not_found);
+        assert_eq!(acc.read_failure_rate(), batch.read_failure_rate);
+        assert_eq!(acc.write_failure_rate(), batch.write_failure_rate);
+        assert_eq!(acc.control_failure_rate(), batch.control_failure_rate);
+        assert_eq!(acc.read_512_4096_fraction(), batch.read_512_4096_fraction);
+        assert_eq!(acc.read_gaps_us.len(), batch.read_gaps_us.len() as u64);
+        assert_eq!(acc.read_sizes.len(), batch.read_sizes.len() as u64);
+        // Sketch medians track the exact CDF medians within bucket error.
+        if let (Some(exact), Some(est)) = (batch.read_sizes.median(), acc.read_sizes.median()) {
+            assert!((est - exact).abs() / exact < 0.05, "{est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn accumulator_merge_is_sum() {
+        let ts = synthetic_trace_set(400, 86);
+        let mut whole = OpsAccumulator::new();
+        let mut left = OpsAccumulator::new();
+        let mut right = OpsAccumulator::new();
+        for (i, (_, rec)) in ts.records.iter().enumerate() {
+            whole.push_record(rec);
+            if i % 2 == 0 {
+                left.push_record(rec);
+            } else {
+                right.push_record(rec);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.reads, whole.reads);
+        assert_eq!(left.writes, whole.writes);
+        assert_eq!(left.read_sizes.median(), whole.read_sizes.median());
+    }
 
     #[test]
     fn failure_taxonomy() {

@@ -87,7 +87,7 @@ impl SeqTracker {
 }
 
 /// One FileObject open–close sequence with operation summaries.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Instance {
     /// Machine the instance was traced on.
     pub machine: u32,
@@ -243,50 +243,96 @@ pub struct TraceSet {
     pub names: HashMap<(u32, u64), String>,
 }
 
-impl TraceSet {
-    /// Builds the fact tables from per-machine record streams.
-    pub fn build(
-        streams: impl IntoIterator<Item = (u32, Vec<TraceRecord>, Vec<NameRecord>)>,
-    ) -> TraceSet {
-        let mut records = Vec::new();
-        let mut instances = Vec::new();
-        let mut names = HashMap::new();
-        for (machine, recs, name_recs) in streams {
-            for n in name_recs {
-                names.insert((machine, n.file_object), n.path);
-            }
-            let mut open: HashMap<u64, (Instance, SeqTracker, SeqTracker)> = HashMap::new();
-            for rec in &recs {
-                Self::ingest(machine, rec, &mut open, &mut instances, &names);
-            }
-            // Flush sessions still open at trace end.
-            for (_, (mut inst, mut rt, mut wt)) in open {
-                rt.finish();
-                wt.finish();
-                inst.read_runs = rt.runs;
-                inst.write_runs = wt.runs;
-                inst.read_gaps = rt.gaps;
-                inst.write_gaps = wt.gaps;
-                instances.push(inst);
-            }
-            records.extend(recs.into_iter().map(|r| (machine, r)));
-        }
-        records.sort_by_key(|(m, r)| (r.start_ticks, *m, r.file_object));
-        instances.sort_by_key(|i| (i.open_start_ticks, i.machine, i.file_object));
-        TraceSet {
-            records,
-            instances,
-            names,
+/// Incremental builder of the instance table for one machine's record
+/// stream — the exact state machine [`TraceSet::build`] runs, factored
+/// out so the streaming sinks can drive it record by record and drain
+/// completed sessions without materializing the whole stream.
+///
+/// Paths are *not* resolved here: name records may arrive in a different
+/// shipment than the create they describe, so path assignment is a
+/// post-pass over finished instances (see [`InstanceBuilder::assign_paths`]
+/// and [`TraceSet::build`]). File-object ids are unique per machine, so
+/// late binding is unambiguous.
+#[derive(Debug, Default)]
+pub struct InstanceBuilder {
+    machine: u32,
+    open: HashMap<u64, (Instance, SeqTracker, SeqTracker)>,
+    done: Vec<Instance>,
+}
+
+impl InstanceBuilder {
+    /// A builder for one machine's stream.
+    pub fn new(machine: u32) -> Self {
+        InstanceBuilder {
+            machine,
+            open: HashMap::new(),
+            done: Vec::new(),
         }
     }
 
-    fn ingest(
-        machine: u32,
-        rec: &TraceRecord,
-        open: &mut HashMap<u64, (Instance, SeqTracker, SeqTracker)>,
-        done: &mut Vec<Instance>,
-        names: &HashMap<(u32, u64), String>,
-    ) {
+    /// Sessions currently open (memory accounting).
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Bytes of live state held for still-open sessions (instances plus
+    /// their run/gap vectors) and not-yet-drained finished ones.
+    pub fn state_bytes(&self) -> usize {
+        let inst_bytes = |i: &Instance| {
+            std::mem::size_of::<Instance>()
+                + (i.read_runs.len() + i.write_runs.len() + i.read_gaps.len() + i.write_gaps.len())
+                    * 8
+                + i.path.as_ref().map_or(0, |p| p.len())
+        };
+        let tracker_bytes =
+            |t: &SeqTracker| std::mem::size_of::<SeqTracker>() + (t.runs.len() + t.gaps.len()) * 8;
+        self.open
+            .values()
+            .map(|(i, rt, wt)| inst_bytes(i) + tracker_bytes(rt) + tracker_bytes(wt))
+            .sum::<usize>()
+            + self.done.iter().map(inst_bytes).sum::<usize>()
+    }
+
+    /// Takes the sessions completed since the last drain, in completion
+    /// order.
+    pub fn drain_done(&mut self) -> Vec<Instance> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Flushes sessions still open at trace end and returns every
+    /// remaining completed instance. Flush order is file-object order
+    /// (deterministic); the caller's final sort makes it irrelevant for
+    /// the fact table.
+    pub fn finish(mut self) -> Vec<Instance> {
+        let mut open: Vec<(u64, (Instance, SeqTracker, SeqTracker))> = self.open.drain().collect();
+        open.sort_by_key(|(fo, _)| *fo);
+        for (_, (mut inst, mut rt, mut wt)) in open {
+            rt.finish();
+            wt.finish();
+            inst.read_runs = rt.runs;
+            inst.write_runs = wt.runs;
+            inst.read_gaps = rt.gaps;
+            inst.write_gaps = wt.gaps;
+            self.done.push(inst);
+        }
+        self.done
+    }
+
+    /// Resolves paths on a batch of finished instances from the name
+    /// dimension.
+    pub fn assign_paths(instances: &mut [Instance], names: &HashMap<(u32, u64), String>) {
+        for inst in instances {
+            if inst.path.is_none() {
+                inst.path = names.get(&(inst.machine, inst.file_object)).cloned();
+            }
+        }
+    }
+
+    /// Feeds one record through the session state machine.
+    pub fn push(&mut self, rec: &TraceRecord) {
+        let machine = self.machine;
+        let open = &mut self.open;
+        let done = &mut self.done;
         let kind = rec.kind();
         match kind {
             EventKind::Irp(MajorFunction::Create) => {
@@ -297,7 +343,7 @@ impl TraceSet {
                     process: rec.process,
                     volume: rec.volume,
                     local: rec.is_local(),
-                    path: names.get(&(machine, rec.file_object)).cloned(),
+                    path: None,
                     open_start_ticks: rec.start_ticks,
                     open_end_ticks: rec.end_ticks,
                     cleanup_ticks: None,
@@ -421,6 +467,36 @@ impl TraceSet {
                     }
                 }
             }
+        }
+    }
+}
+
+impl TraceSet {
+    /// Builds the fact tables from per-machine record streams.
+    pub fn build(
+        streams: impl IntoIterator<Item = (u32, Vec<TraceRecord>, Vec<NameRecord>)>,
+    ) -> TraceSet {
+        let mut records = Vec::new();
+        let mut instances = Vec::new();
+        let mut names = HashMap::new();
+        for (machine, recs, name_recs) in streams {
+            for n in name_recs {
+                names.insert((machine, n.file_object), n.path);
+            }
+            let mut builder = InstanceBuilder::new(machine);
+            for rec in &recs {
+                builder.push(rec);
+            }
+            instances.extend(builder.finish());
+            records.extend(recs.into_iter().map(|r| (machine, r)));
+        }
+        InstanceBuilder::assign_paths(&mut instances, &names);
+        records.sort_by_key(|(m, r)| (r.start_ticks, *m, r.file_object));
+        instances.sort_by_key(|i| (i.open_start_ticks, i.machine, i.file_object));
+        TraceSet {
+            records,
+            instances,
+            names,
         }
     }
 

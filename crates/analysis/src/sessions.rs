@@ -6,7 +6,8 @@
 //! control-only / data.
 
 use crate::cdf::Cdf;
-use crate::schema::{Instance, TraceSet};
+use crate::schema::{Instance, TraceSet, UsageClass};
+use crate::sketch::HistogramSketch;
 
 /// Duration CDFs in milliseconds.
 pub struct SessionDurations {
@@ -54,10 +55,115 @@ pub fn session_durations(ts: &TraceSet) -> SessionDurations {
     }
 }
 
+/// Streaming counterpart of [`session_durations`]: the figure-5/12
+/// duration splits as sketches, maintained instance by instance.
+#[derive(Debug, Default)]
+pub struct SessionAccumulator {
+    /// All successful sessions (ms).
+    pub all: HistogramSketch,
+    /// Data sessions.
+    pub data: HistogramSketch,
+    /// Control-only sessions.
+    pub control: HistogramSketch,
+    /// Data sessions on local volumes.
+    pub data_local: HistogramSketch,
+    /// Data sessions on redirector volumes.
+    pub data_network: HistogramSketch,
+    /// Read-only data sessions.
+    pub read_only: HistogramSketch,
+    /// Write-only data sessions.
+    pub write_only: HistogramSketch,
+    /// Read-write data sessions.
+    pub read_write: HistogramSketch,
+}
+
+impl SessionAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SessionAccumulator::default()
+    }
+
+    /// Feeds one finished instance.
+    pub fn push_instance(&mut self, inst: &Instance) {
+        if !inst.opened() {
+            return;
+        }
+        let Some(ms) = dur_ms(inst) else {
+            return;
+        };
+        self.all.record(ms);
+        if inst.is_data() {
+            self.data.record(ms);
+            if inst.local {
+                self.data_local.record(ms);
+            } else {
+                self.data_network.record(ms);
+            }
+        } else {
+            self.control.record(ms);
+        }
+        match inst.usage_class() {
+            Some(UsageClass::ReadOnly) => self.read_only.record(ms),
+            Some(UsageClass::WriteOnly) => self.write_only.record(ms),
+            Some(UsageClass::ReadWrite) => self.read_write.record(ms),
+            None => {}
+        }
+    }
+
+    /// Merges another machine's accumulator in.
+    pub fn merge(&mut self, other: &SessionAccumulator) {
+        self.all.merge(&other.all);
+        self.data.merge(&other.data);
+        self.control.merge(&other.control);
+        self.data_local.merge(&other.data_local);
+        self.data_network.merge(&other.data_network);
+        self.read_only.merge(&other.read_only);
+        self.write_only.merge(&other.write_only);
+        self.read_write.merge(&other.read_write);
+    }
+
+    /// Bytes of live sketch state.
+    pub fn state_bytes(&self) -> usize {
+        [
+            &self.all,
+            &self.data,
+            &self.control,
+            &self.data_local,
+            &self.data_network,
+            &self.read_only,
+            &self.write_only,
+            &self.read_write,
+        ]
+        .iter()
+        .map(|s| s.state_bytes())
+        .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn streaming_splits_match_batch_counts() {
+        let ts = synthetic_trace_set(250, 9);
+        let batch = session_durations(&ts);
+        let mut acc = SessionAccumulator::new();
+        for inst in &ts.instances {
+            acc.push_instance(inst);
+        }
+        assert_eq!(acc.all.len(), batch.all.len() as u64);
+        assert_eq!(acc.data.len(), batch.data.len() as u64);
+        assert_eq!(acc.control.len(), batch.control.len() as u64);
+        assert_eq!(acc.data_local.len(), batch.data_local.len() as u64);
+        if let (Some(exact), Some(est)) = (batch.all.median(), acc.all.median()) {
+            assert!(
+                (est - exact).abs() <= exact.max(0.01) * 0.05,
+                "{est} vs {exact}"
+            );
+        }
+    }
 
     #[test]
     fn duration_splits_partition_the_sessions() {

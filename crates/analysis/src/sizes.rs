@@ -6,7 +6,8 @@
 //! 20 % are over 4 MB).
 
 use crate::cdf::Cdf;
-use crate::schema::{TraceSet, UsageClass};
+use crate::schema::{Instance, TraceSet, UsageClass};
+use crate::sketch::HistogramSketch;
 
 /// Size CDFs per usage class; sizes in bytes.
 pub struct AccessedSizes {
@@ -61,10 +62,100 @@ pub fn accessed_sizes(ts: &TraceSet) -> AccessedSizes {
     }
 }
 
+/// Streaming counterpart of [`accessed_sizes`]: per-class size sketches
+/// (per-open and byte-weighted) maintained instance by instance.
+#[derive(Debug, Default)]
+pub struct SizeAccumulator {
+    /// Per-open sketches indexed ReadOnly/WriteOnly/ReadWrite.
+    pub by_opens: [HistogramSketch; 3],
+    /// Byte-weighted sketches in the same order.
+    pub by_bytes: [HistogramSketch; 3],
+}
+
+fn class_index(c: UsageClass) -> usize {
+    match c {
+        UsageClass::ReadOnly => 0,
+        UsageClass::WriteOnly => 1,
+        UsageClass::ReadWrite => 2,
+    }
+}
+
+impl SizeAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SizeAccumulator::default()
+    }
+
+    /// Feeds one finished instance (control-only sessions are skipped,
+    /// exactly like the batch path).
+    pub fn push_instance(&mut self, inst: &Instance) {
+        let Some(class) = inst.usage_class() else {
+            return;
+        };
+        let i = class_index(class);
+        let size = inst.file_size.max(1) as f64;
+        self.by_opens[i].record(size);
+        let bytes = inst.bytes();
+        if bytes > 0 {
+            self.by_bytes[i].record_weighted(size, bytes);
+        }
+    }
+
+    /// Merges another machine's accumulator in.
+    pub fn merge(&mut self, other: &SizeAccumulator) {
+        for i in 0..3 {
+            self.by_opens[i].merge(&other.by_opens[i]);
+            self.by_bytes[i].merge(&other.by_bytes[i]);
+        }
+    }
+
+    /// Combined per-open sketch across all classes (figure 3).
+    pub fn all_by_opens(&self) -> HistogramSketch {
+        let mut all = self.by_opens[0].clone();
+        all.merge(&self.by_opens[1]);
+        all.merge(&self.by_opens[2]);
+        all
+    }
+
+    /// Combined byte-weighted sketch across all classes (figure 4).
+    pub fn all_by_bytes(&self) -> HistogramSketch {
+        let mut all = self.by_bytes[0].clone();
+        all.merge(&self.by_bytes[1]);
+        all.merge(&self.by_bytes[2]);
+        all
+    }
+
+    /// Bytes of live sketch state.
+    pub fn state_bytes(&self) -> usize {
+        self.by_opens
+            .iter()
+            .chain(self.by_bytes.iter())
+            .map(|s| s.state_bytes())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::test_support::synthetic_trace_set;
+
+    #[test]
+    fn streaming_sketches_match_batch_counts() {
+        let ts = synthetic_trace_set(400, 23);
+        let batch = accessed_sizes(&ts);
+        let mut acc = SizeAccumulator::new();
+        for inst in &ts.instances {
+            acc.push_instance(inst);
+        }
+        assert_eq!(acc.all_by_opens().len(), batch.all_by_opens.len() as u64);
+        assert_eq!(acc.by_opens[0].len(), batch.read_only_by_opens.len() as u64);
+        let exact = batch.all_by_opens.median().unwrap();
+        let est = acc.all_by_opens().median().unwrap();
+        assert!((est - exact).abs() / exact < 0.05, "{est} vs {exact}");
+        // Byte weighting shifts the sketch right too.
+        assert!(acc.all_by_bytes().median().unwrap() >= est / 1.1);
+    }
 
     #[test]
     fn classes_cover_all_data_sessions() {

@@ -1,0 +1,535 @@
+//! Bounded-memory aggregation primitives for the streaming pipeline.
+//!
+//! The paper's own pipeline poured ~190 million records into a data
+//! warehouse; reproducing that scale in-process means the per-machine
+//! sinks cannot hold raw samples. Two primitives carry the load:
+//!
+//! * [`HistogramSketch`] — a deterministic log-bucketed histogram giving
+//!   CDF quantiles with a fixed relative error (one bucket per 1/16th of
+//!   an octave, ≈ 4.4 %), mergeable across machines in any order.
+//! * [`SpillRuns`] — a bounded sample buffer that spills sorted runs to a
+//!   directory and streams them back in one k-way merged ascending pass,
+//!   for the tail analyses (Hill/LLCD) that need order statistics.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+/// Sub-buckets per octave: bucket width is `2^(1/16)`, so any reported
+/// quantile is within ≈ 4.4 % of the exact sample value.
+const SUB: f64 = 16.0;
+/// Bucket indices are clamped to ±[`CLAMP`], covering 2^-128 .. 2^128.
+const CLAMP: i32 = 128 * 16;
+
+/// A deterministic log-bucketed histogram over non-negative `f64` values.
+///
+/// Values ≤ 0 (and non-finite values) land in a dedicated zero bucket.
+/// Merging is element-wise addition, so any merge order produces the same
+/// sketch. Weights are integer counts — figure-4-style byte-weighted
+/// CDFs record each size with its transferred bytes as the weight.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSketch {
+    buckets: BTreeMap<i32, u64>,
+    zero_weight: u64,
+    count: u64,
+    total_weight: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+fn bucket_of(v: f64) -> i32 {
+    ((v.log2() * SUB).floor() as i32).clamp(-CLAMP, CLAMP)
+}
+
+/// Representative value of a bucket: the geometric midpoint.
+fn bucket_value(idx: i32) -> f64 {
+    ((idx as f64 + 0.5) / SUB).exp2()
+}
+
+impl HistogramSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        HistogramSketch {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..HistogramSketch::default()
+        }
+    }
+
+    /// Records one sample with weight 1.
+    pub fn record(&mut self, v: f64) {
+        self.record_weighted(v, 1);
+    }
+
+    /// Records one sample with an integer weight; zero weights are
+    /// ignored, non-finite values fall into the zero bucket.
+    pub fn record_weighted(&mut self, v: f64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.count += 1;
+        self.total_weight += weight;
+        if v.is_finite() {
+            self.sum += v * weight as f64;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        if v.is_finite() && v > 0.0 {
+            *self.buckets.entry(bucket_of(v)).or_default() += weight;
+        } else {
+            self.zero_weight += weight;
+        }
+    }
+
+    /// Number of recorded samples (unweighted).
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value; `None` on an empty sketch.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0 && self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0 && self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Weighted arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total_weight > 0).then(|| self.sum / self.total_weight as f64)
+    }
+
+    /// Exact weighted sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The `q`-quantile (bucket representative, within the relative error
+    /// bound); `None` on an empty sketch.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total_weight == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total_weight as f64;
+        let mut acc = self.zero_weight as f64;
+        if acc >= target && self.zero_weight > 0 {
+            return Some(0.0);
+        }
+        let mut last = 0.0;
+        for (&idx, &w) in &self.buckets {
+            acc += w as f64;
+            last = bucket_value(idx).clamp(self.min, self.max);
+            if acc >= target {
+                return Some(last);
+            }
+        }
+        Some(if self.buckets.is_empty() { 0.0 } else { last })
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Approximate `P[X <= x]`, in [0, 1].
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.total_weight == 0 {
+            return 0.0;
+        }
+        let mut acc = if x >= 0.0 { self.zero_weight } else { 0 };
+        if x > 0.0 {
+            let cut = bucket_of(x);
+            acc += self.buckets.range(..=cut).map(|(_, &w)| w).sum::<u64>();
+        }
+        acc as f64 / self.total_weight as f64
+    }
+
+    /// Merges another sketch in; element-wise and order-independent.
+    pub fn merge(&mut self, other: &HistogramSketch) {
+        for (&idx, &w) in &other.buckets {
+            *self.buckets.entry(idx).or_default() += w;
+        }
+        self.zero_weight += other.zero_weight;
+        self.count += other.count;
+        self.total_weight += other.total_weight;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bytes of live state, for the memory accounting the streaming study
+    /// reports (`BTreeMap` node ≈ key + value + pointers).
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buckets.len() * 48
+    }
+}
+
+/// A bounded sample buffer with spill-to-sorted-runs.
+///
+/// Samples accumulate in an in-memory buffer of `capacity` values; when a
+/// spill directory is configured, full buffers are sorted and written as
+/// binary little-endian `f64` run files, keeping resident memory at
+/// `capacity × 8` bytes regardless of sample count. Without a spill
+/// directory the buffer simply grows (the legacy in-memory behaviour).
+/// [`SpillRuns::top_k`] streams a k-way merge of all runs to hand the tail
+/// analyses their top order statistics in `O(k)` memory.
+#[derive(Debug, Default)]
+pub struct SpillRuns {
+    capacity: usize,
+    dir: Option<PathBuf>,
+    tag: String,
+    buffer: Vec<f64>,
+    runs: Vec<PathBuf>,
+    total: u64,
+    next_run: u32,
+    spill_failures: u64,
+}
+
+impl SpillRuns {
+    /// A spill buffer holding at most `capacity` resident samples when
+    /// `dir` is set; `tag` namespaces this buffer's run files within the
+    /// directory (it must be unique per buffer).
+    pub fn new(capacity: usize, dir: Option<PathBuf>, tag: impl Into<String>) -> Self {
+        SpillRuns {
+            capacity: capacity.max(16),
+            dir,
+            tag: tag.into(),
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            total: 0,
+            next_run: 0,
+            spill_failures: 0,
+        }
+    }
+
+    /// Adds a sample; non-finite values are dropped.
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buffer.push(v);
+        self.total += 1;
+        if self.dir.is_some() && self.buffer.len() >= self.capacity {
+            self.spill();
+        }
+    }
+
+    /// Samples accepted so far.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples were accepted.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sorted run files written so far.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Spill attempts that failed and fell back to memory.
+    pub fn spill_failures(&self) -> u64 {
+        self.spill_failures
+    }
+
+    /// Samples currently resident in memory.
+    pub fn resident(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Bytes of live state.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buffer.capacity() * 8
+    }
+
+    fn spill(&mut self) {
+        let Some(dir) = self.dir.clone() else {
+            return;
+        };
+        self.buffer
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let path = dir.join(format!("{}-run{:05}.f64", self.tag, self.next_run));
+        match self.write_run(&path) {
+            Ok(()) => {
+                self.next_run += 1;
+                self.runs.push(path);
+                self.buffer.clear();
+            }
+            Err(_) => {
+                // Best effort: keep the samples resident; the analysis
+                // still works, only the memory bound degrades.
+                self.spill_failures += 1;
+            }
+        }
+    }
+
+    fn write_run(&self, path: &PathBuf) -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        for v in &self.buffer {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.flush()
+    }
+
+    /// Absorbs another buffer's samples and run files (machine merge).
+    pub fn absorb(&mut self, mut other: SpillRuns) {
+        self.runs.append(&mut other.runs);
+        self.total += other.total;
+        self.spill_failures += other.spill_failures;
+        self.buffer.append(&mut other.buffer);
+        if self.dir.is_some() && self.buffer.len() >= self.capacity {
+            self.spill();
+        }
+    }
+
+    /// Streams every sample in ascending order through `f` (k-way merge
+    /// of the sorted runs plus the resident buffer).
+    pub fn for_each_sorted(&mut self, mut f: impl FnMut(f64)) {
+        self.buffer
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mut readers: Vec<RunReader> = self.runs.iter().filter_map(RunReader::open).collect();
+        let mut heads: Vec<Option<f64>> = readers.iter_mut().map(|r| r.next()).collect();
+        let mut buf_pos = 0usize;
+        loop {
+            // Pick the smallest head among run readers and the buffer.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(v) = h {
+                    if best.is_none_or(|(_, bv)| *v < bv) {
+                        best = Some((i, *v));
+                    }
+                }
+            }
+            let buf_head = self.buffer.get(buf_pos).copied();
+            match (best, buf_head) {
+                (Some((i, v)), Some(b)) if v <= b => {
+                    f(v);
+                    heads[i] = readers[i].next();
+                }
+                (_, Some(b)) => {
+                    f(b);
+                    buf_pos += 1;
+                }
+                (Some((i, v)), None) => {
+                    f(v);
+                    heads[i] = readers[i].next();
+                }
+                (None, None) => return,
+            }
+        }
+    }
+
+    /// The top `k` order statistics, ascending (`result[0]` is the
+    /// `(n-k)`-th order statistic). Memory is `O(k)`.
+    pub fn top_k(&mut self, k: usize) -> Vec<f64> {
+        let mut ring: VecDeque<f64> = VecDeque::with_capacity(k + 1);
+        self.for_each_sorted(|v| {
+            ring.push_back(v);
+            if ring.len() > k {
+                ring.pop_front();
+            }
+        });
+        ring.into_iter().collect()
+    }
+}
+
+impl Drop for SpillRuns {
+    fn drop(&mut self) {
+        for p in &self.runs {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    fn open(path: &PathBuf) -> Option<Self> {
+        File::open(path).ok().map(|f| RunReader {
+            reader: BufReader::new(f),
+        })
+    }
+
+    fn next(&mut self) -> Option<f64> {
+        let mut bytes = [0u8; 8];
+        self.reader.read_exact(&mut bytes).ok()?;
+        Some(f64::from_le_bytes(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nt-sketch-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn sketch_quantiles_track_exact_values() {
+        let mut s = HistogramSketch::new();
+        for i in 1..=10_000u64 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.len(), 10_000);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = q * 10_000.0;
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() / exact < 0.05,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(10_000.0));
+        assert!((s.mean().unwrap() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn sketch_handles_zero_and_degenerate() {
+        let mut s = HistogramSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        s.record(0.0);
+        s.record(-3.0);
+        s.record(f64::NAN);
+        assert_eq!(s.quantile(0.9), Some(0.0));
+        s.record(8.0);
+        assert!(s.fraction_at_or_below(0.0) > 0.7);
+        assert_eq!(s.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn sketch_merge_is_order_independent() {
+        let mut a = HistogramSketch::new();
+        let mut b = HistogramSketch::new();
+        let mut whole = HistogramSketch::new();
+        for i in 0..2_000u64 {
+            let v = ((i * 2_654_435_761) % 100_000) as f64 + 1.0;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            assert_eq!(ab.quantile(q), ba.quantile(q));
+            assert_eq!(ab.quantile(q), whole.quantile(q));
+        }
+        assert_eq!(ab.len(), whole.len());
+    }
+
+    #[test]
+    fn spill_runs_keep_residency_bounded_and_sort_globally() {
+        let dir = temp_dir("runs");
+        let mut s = SpillRuns::new(64, Some(dir), "bounded");
+        // Deterministic shuffle of 1..=1000.
+        for i in 0..1_000u64 {
+            s.push(((i * 7919) % 1_000) as f64 + 1.0);
+        }
+        assert_eq!(s.len(), 1_000);
+        assert!(s.resident() <= 64, "resident {}", s.resident());
+        assert!(s.spilled_runs() >= 14);
+        assert_eq!(s.spill_failures(), 0);
+        let mut out = Vec::new();
+        s.for_each_sorted(|v| out.push(v));
+        assert_eq!(out.len(), 1_000);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[999], 1_000.0);
+        let top = s.top_k(10);
+        assert_eq!(top, (991..=1_000).map(|v| v as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spill_runs_work_without_a_directory() {
+        let mut s = SpillRuns::new(16, None, "mem");
+        for i in (1..=100u64).rev() {
+            s.push(i as f64);
+        }
+        assert_eq!(s.spilled_runs(), 0);
+        assert_eq!(s.resident(), 100, "no dir: buffer grows");
+        assert_eq!(s.top_k(3), vec![98.0, 99.0, 100.0]);
+    }
+
+    #[test]
+    fn absorb_combines_buffers_and_runs() {
+        let dir = temp_dir("absorb");
+        let mut a = SpillRuns::new(32, Some(dir.clone()), "a");
+        let mut b = SpillRuns::new(32, Some(dir), "b");
+        for i in 0..100u64 {
+            a.push(i as f64);
+            b.push((i + 100) as f64);
+        }
+        a.absorb(b);
+        assert_eq!(a.len(), 200);
+        let mut n = 0u64;
+        let mut last = f64::NEG_INFINITY;
+        a.for_each_sorted(|v| {
+            assert!(v >= last);
+            last = v;
+            n += 1;
+        });
+        assert_eq!(n, 200);
+    }
+
+    proptest! {
+        #[test]
+        fn sketch_quantile_error_is_bounded(xs in prop::collection::vec(1.0f64..1e9, 20..400)) {
+            let mut xs = xs;
+            let mut s = HistogramSketch::new();
+            for &x in &xs {
+                s.record(x);
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.1, 0.5, 0.9] {
+                // The sample the sketch's crossing rule (`acc >= q*total`)
+                // lands on.
+                let target = q * xs.len() as f64;
+                let idx = (0..xs.len())
+                    .find(|i| (i + 1) as f64 >= target)
+                    .unwrap_or(xs.len() - 1);
+                let exact = xs[idx];
+                let est = s.quantile(q).unwrap();
+                // One bucket of slack either side of the exact sample.
+                prop_assert!(est <= exact * 1.1 && est >= exact / 1.1,
+                    "q={} est={} exact={}", q, est, exact);
+            }
+        }
+
+        #[test]
+        fn spill_preserves_every_sample(xs in prop::collection::vec(0.0f64..1e6, 0..300)) {
+            let mut s = SpillRuns::new(16, None, "prop");
+            for &x in &xs {
+                s.push(x);
+            }
+            let mut out = Vec::new();
+            s.for_each_sorted(|v| out.push(v));
+            let mut expect = xs.clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(out, expect);
+        }
+    }
+}

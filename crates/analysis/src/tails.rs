@@ -197,6 +197,29 @@ pub fn hill_estimator(sorted_ascending: &[f64], k: usize) -> f64 {
     k as f64 / acc
 }
 
+/// Hill α from just the top of the distribution: `tail` holds the top
+/// `k+1` order statistics ascending, so `tail[0]` is the k-th largest
+/// value and the α estimate uses the `k` values above it. This is the
+/// entry point for the streaming pipeline, which keeps only a spilled
+/// top-k (see `SpillRuns::top_k`) instead of the full sample. Degenerate
+/// tails (fewer than 3 points, non-positive or all-equal values) return
+/// 0.0, matching [`hill_estimator`].
+pub fn hill_estimator_from_tail(tail: &[f64]) -> f64 {
+    if tail.len() < 3 {
+        return 0.0;
+    }
+    let k = tail.len() - 1;
+    let xk = tail[0].max(1e-12);
+    let mut acc = 0.0;
+    for &x in &tail[1..] {
+        acc += (x.max(1e-12) / xk).ln();
+    }
+    if acc <= 0.0 {
+        return 0.0;
+    }
+    k as f64 / acc
+}
+
 /// Convenience: Hill α of an unsorted sample using the top 10 %.
 pub fn hill_alpha(sample: &[f64]) -> f64 {
     let mut sorted: Vec<f64> = sample
@@ -305,5 +328,101 @@ mod tests {
         assert_eq!(llcd(&[1.0, 2.0], 0.1).alpha, 0.0);
         let qq = qq_plot(&[1.0; 5], 10);
         assert!(qq.against_normal.is_empty());
+    }
+
+    // Satellite: the estimators must return defined (finite, non-NaN)
+    // results on every degenerate input class.
+
+    #[test]
+    fn hill_empty_input_is_defined() {
+        assert_eq!(hill_estimator(&[], 0), 0.0);
+        assert_eq!(hill_estimator(&[], 100), 0.0);
+        assert_eq!(hill_alpha(&[]), 0.0);
+        assert_eq!(hill_estimator_from_tail(&[]), 0.0);
+    }
+
+    #[test]
+    fn hill_single_sample_is_defined() {
+        assert_eq!(hill_estimator(&[5.0], 1), 0.0);
+        assert_eq!(hill_alpha(&[5.0]), 0.0);
+        assert_eq!(hill_estimator_from_tail(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn hill_all_equal_samples_are_defined() {
+        let s = [7.0; 50];
+        let est = hill_estimator(&s, 10);
+        assert!(est.is_finite());
+        assert_eq!(est, 0.0, "zero log-spacings must not divide to NaN/inf");
+        assert_eq!(hill_alpha(&s), 0.0);
+        assert_eq!(hill_estimator_from_tail(&[7.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn hill_k_at_least_n_is_clamped() {
+        let mut s: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for k in [20, 21, 10_000] {
+            let est = hill_estimator(&s, k);
+            assert!(est.is_finite() && est >= 0.0, "k={k} gave {est}");
+            // k clamps to n-1, so the answer equals the max-k estimate.
+            assert_eq!(est, hill_estimator(&s, 19));
+        }
+    }
+
+    #[test]
+    fn hill_zero_and_negative_samples_are_defined() {
+        let s = [-3.0, 0.0, 0.0, 1.0, 2.0, 4.0, 8.0];
+        let est = hill_estimator(&s, 3);
+        assert!(est.is_finite() && est >= 0.0);
+        assert!(hill_alpha(&s).is_finite(), "hill_alpha filters x <= 0");
+    }
+
+    #[test]
+    fn llcd_empty_single_and_all_equal_are_defined() {
+        for s in [vec![], vec![3.0], vec![2.0; 40]] {
+            let l = llcd(&s, 0.1);
+            assert!(l.alpha.is_finite(), "alpha for {s:?}");
+            assert!(l.tail_slope.is_finite());
+        }
+        // All-equal: every plotted x collapses to one point; the
+        // least-squares fit degenerates and must fall back to slope 0.
+        assert_eq!(llcd(&[2.0; 40], 0.1).tail_slope, 0.0);
+    }
+
+    #[test]
+    fn llcd_tail_fraction_extremes_are_defined() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        for frac in [0.0, 1.0, 5.0] {
+            let l = llcd(&s, frac);
+            assert!(l.alpha.is_finite(), "tail_fraction={frac}");
+        }
+    }
+
+    #[test]
+    fn qq_degenerate_inputs_are_defined() {
+        for s in [vec![], vec![1.0], vec![4.0; 9]] {
+            let qq = qq_plot(&s, 50);
+            assert!(qq.against_normal.is_empty(), "below the n=10 floor");
+            assert_eq!(qq.normal_deviation, 0.0);
+        }
+        // All-equal above the floor: sd = 0, deviations stay finite.
+        let qq = qq_plot(&[4.0; 64], 50);
+        assert!(qq.normal_deviation.is_finite());
+        assert!(qq.pareto_deviation.is_finite());
+    }
+
+    #[test]
+    fn tail_estimator_matches_full_hill() {
+        let mut s = pareto_sample(1.5, 40_000, 21);
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = 4_000;
+        let full = hill_estimator(&s, k);
+        let tail = &s[s.len() - 1 - k..];
+        let from_tail = hill_estimator_from_tail(tail);
+        assert!(
+            (full - from_tail).abs() < 1e-9,
+            "full {full} vs tail {from_tail}"
+        );
     }
 }

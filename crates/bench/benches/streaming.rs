@@ -1,0 +1,162 @@
+//! Streaming-pipeline benchmarks: the cost of online analysis relative to
+//! materialize-then-analyze, plus the substrate operations both paths
+//! lean on (event dispatch, range coalescing, sketch ingestion).
+//!
+//! Besides the usual per-bench console lines this harness can emit a
+//! machine-readable baseline: run with `NT_BENCH_WRITE=1` and the results
+//! land in `BENCH_streaming.json` at the repository root, which is checked
+//! in as the reference measurement (see README.md). `NT_BENCH_ITERS`
+//! controls iterations per bench (default 3; CI smokes with 1).
+
+use std::time::Instant;
+
+use nt_analysis::stream::{MachineSink, StreamConfig};
+use nt_analysis::{HistogramSketch, TraceSet};
+use nt_cache::RangeSet;
+use nt_sim::{Engine, SimDuration, SimTime};
+use nt_study::{MachineRun, StreamOptions, Study, StudyConfig};
+use nt_trace::{CollectionServer, MachineId};
+
+/// One measurement: median-free, warm-up-free wall clock per iteration —
+/// the same regime as the vendored criterion harness, but keeping the
+/// number so the JSON baseline can be written.
+struct Sample {
+    name: &'static str,
+    ns_per_iter: u128,
+    /// Work items per iteration (records, events …) for ns/item context.
+    elements: u64,
+}
+
+fn iterations() -> u32 {
+    std::env::var("NT_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+fn time<O, F: FnMut() -> O>(name: &'static str, elements: u64, mut f: F) -> Sample {
+    let n = iterations();
+    let start = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    let ns_per_iter = start.elapsed().as_nanos() / u128::from(n);
+    eprintln!("bench streaming/{name}: {ns_per_iter} ns/iter ({elements} elements)");
+    Sample {
+        name,
+        ns_per_iter,
+        elements,
+    }
+}
+
+/// One machine-run's worth of records and names, built once.
+fn one_machine_stream() -> (Vec<nt_trace::TraceRecord>, Vec<nt_trace::NameRecord>) {
+    let mut config = StudyConfig::smoke_test(9);
+    config.duration = SimDuration::from_secs(120);
+    let mut run = MachineRun::build(&config, 0, &config.machines[0].clone());
+    let mut server = CollectionServer::new();
+    run.simulate(&config, &mut server);
+    let records = server.records_for(MachineId(0));
+    let names: Vec<_> = server
+        .names_for(MachineId(0))
+        .into_iter()
+        .cloned()
+        .collect();
+    (records, names)
+}
+
+fn main() {
+    let mut samples = Vec::new();
+
+    // Substrate: raw event dispatch, the floor under every simulated op.
+    samples.push(time("engine_schedule_and_fire_10k", 10_000, || {
+        let mut engine: Engine<u64> = Engine::new();
+        for i in 0..10_000u64 {
+            engine.schedule_at(SimTime::from_micros(i * 7 % 9_999), |w, _| *w += 1);
+        }
+        let mut fired = 0u64;
+        engine.run(&mut fired);
+        fired
+    }));
+
+    // Substrate: range coalescing, the cache manager's hot structure.
+    samples.push(time("range_set_insert_coalesce_1k", 1_000, || {
+        let mut rs = RangeSet::new();
+        for i in 0..1_000u64 {
+            let s = (i * 37) % 100_000;
+            rs.insert(s, s + 64);
+        }
+        rs.covered_bytes()
+    }));
+
+    // Sketch ingestion: the per-record overhead the streaming sinks add.
+    samples.push(time("histogram_sketch_record_100k", 100_000, || {
+        let mut h = HistogramSketch::new();
+        for i in 0..100_000u64 {
+            h.record(((i * 2_654_435_761) % (1 << 24)) as f64);
+        }
+        h.len()
+    }));
+
+    // Head-to-head on identical input: one machine's stream through a
+    // MachineSink (online aggregates) vs TraceSet::build (fact tables).
+    let (records, names) = one_machine_stream();
+    let n = records.len() as u64;
+    samples.push(time("sink_ingest_one_machine", n, || {
+        let mut sink = MachineSink::new(0, &StreamConfig::default());
+        for (seq, chunk) in records.chunks(3_000).enumerate() {
+            sink.on_batch(Some(seq as u64), chunk.to_vec());
+        }
+        for name in &names {
+            sink.on_name(None, name.clone());
+        }
+        sink.records()
+    }));
+    samples.push(time("trace_set_build_one_machine", n, || {
+        TraceSet::build(vec![(0, records.clone(), names.clone())])
+            .instances
+            .len()
+    }));
+
+    // End to end at smoke scale: full study, batch vs streaming driver.
+    let config = StudyConfig::smoke_test(13);
+    samples.push(time("smoke_study_batch", 1, || {
+        Study::run(&config).total_records
+    }));
+    samples.push(time("smoke_study_streaming", 1, || {
+        Study::run_streaming(&config, &StreamOptions::default()).total_records
+    }));
+
+    // Context the timings need: stream volume and the streaming memory
+    // footprint at this scale.
+    let streamed = Study::run_streaming(&config, &StreamOptions::default());
+    let extras = [
+        ("smoke_total_records", streamed.total_records as u128),
+        ("smoke_stored_bytes", streamed.stored_bytes as u128),
+        (
+            "smoke_peak_state_bytes",
+            streamed.summary.peak_state_bytes as u128,
+        ),
+    ];
+
+    if std::env::var("NT_BENCH_WRITE").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"iterations\": {},\n", iterations()));
+        for s in &samples {
+            out.push_str(&format!(
+                "  \"{}_ns_per_iter\": {},\n",
+                s.name, s.ns_per_iter
+            ));
+            out.push_str(&format!("  \"{}_elements\": {},\n", s.name, s.elements));
+        }
+        for (i, (k, v)) in extras.iter().enumerate() {
+            let comma = if i + 1 == extras.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out).expect("baseline written");
+        eprintln!("bench streaming: wrote {path}");
+    }
+}

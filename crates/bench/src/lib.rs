@@ -5,7 +5,7 @@
 //! (`benches/*.rs`) measure the simulator and the analysis pipeline, and
 //! run the DESIGN.md ablations.
 
-use nt_study::{Study, StudyConfig, StudyData};
+use nt_study::{StreamOptions, StreamedStudyData, Study, StudyConfig, StudyData};
 
 /// The scales the harness runs at.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -15,7 +15,9 @@ pub enum Scale {
     /// 45 machines, 1 simulated hour — the default evaluation scale.
     Evaluation,
     /// 45 machines, 4 simulated weeks — the paper's deployment. Expect a
-    /// very long run and a very large in-memory trace.
+    /// very long run; use [`run_study_streaming`] at this scale so memory
+    /// stays bounded by analysis state instead of growing with the trace
+    /// (the batch path materializes every record and will not fit).
     Paper,
 }
 
@@ -40,9 +42,17 @@ impl Scale {
     }
 }
 
-/// Runs a study at the given scale.
+/// Runs a study at the given scale through the batch (materializing)
+/// pipeline.
 pub fn run_study(scale: Scale, seed: u64) -> StudyData {
     Study::run(&scale.config(seed))
+}
+
+/// Runs a study at the given scale through the streaming pipeline: online
+/// aggregates only, bounded memory, no materialized trace. The only
+/// feasible driver at [`Scale::Paper`].
+pub fn run_study_streaming(scale: Scale, seed: u64) -> StreamedStudyData {
+    Study::run_streaming(&scale.config(seed), &StreamOptions::default())
 }
 
 #[cfg(test)]

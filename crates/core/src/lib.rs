@@ -32,5 +32,5 @@ pub use config::{MachineSpec, StudyConfig};
 pub use fault::{FaultPlan, FaultSchedule, MachineFaults};
 pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
 pub use run::MachineRun;
-pub use study::{LossReport, MachineOutput, Study, StudyData};
+pub use study::{LossReport, MachineOutput, StreamOptions, StreamedStudyData, Study, StudyData};
 pub use synthetic::SyntheticBench;

@@ -1,7 +1,10 @@
 //! Running the whole deployment and collecting the study data.
 
+use std::sync::Arc;
+
+use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
 use nt_analysis::TraceSet;
-use nt_trace::{CollectorPool, LossLedger, MachineId, Snapshot};
+use nt_trace::{CollectorPool, LossLedger, MachineId, ShipmentConsumer, Snapshot, StreamingPool};
 use nt_workload::UsageCategory;
 
 use crate::config::StudyConfig;
@@ -152,6 +155,132 @@ impl Study {
     }
 }
 
+/// Options for the streaming study driver.
+#[derive(Clone, Debug, Default)]
+pub struct StreamOptions {
+    /// Keep raw records and rebuild the exact fact tables (smoke-scale
+    /// identity testing only — defeats the memory bound).
+    pub retain: bool,
+    /// Spill directory for the tail-analysis sample runs; `None` keeps
+    /// them resident.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Worker threads; `None` sizes like [`Study::run`].
+    pub workers: Option<usize>,
+}
+
+/// What [`Study::run_streaming`] produces: the per-machine artefacts and
+/// the merged online aggregates, with no materialized record stream
+/// (unless retained).
+pub struct StreamedStudyData {
+    /// The configuration that produced the data.
+    pub config: StudyConfig,
+    /// The merged streaming aggregates.
+    pub summary: StudySummary,
+    /// The exact fact tables, only under [`StreamOptions::retain`].
+    pub trace_set: Option<TraceSet>,
+    /// Per-machine artefacts.
+    pub machines: Vec<MachineOutput>,
+    /// Total records shipped through the pool.
+    pub total_records: usize,
+    /// Compressed footprint the batches would occupy on a collection
+    /// server (accounting parity with the legacy path).
+    pub stored_bytes: usize,
+}
+
+impl StreamedStudyData {
+    /// Records lost across the fleet (overflow + suspension).
+    pub fn total_lost(&self) -> u64 {
+        self.machines.iter().map(|m| m.loss.lost()).sum()
+    }
+}
+
+impl Study {
+    /// [`Study::run`] on the streaming pipeline: agents ship through a
+    /// [`StreamingPool`] whose servers forward every buffer into
+    /// per-machine [`nt_analysis::MachineSink`]s instead of storing it,
+    /// so memory stays bounded by live analysis state — open sessions,
+    /// CDF sketches, spill buffers — rather than by trace volume. This
+    /// is the path that makes `Scale::Paper` feasible in-process.
+    ///
+    /// With `options.retain` the sinks additionally keep the stream and
+    /// the result carries the exact [`TraceSet`]; the determinism suite
+    /// uses that to prove the two paths produce bit-identical fact
+    /// tables at smoke scale.
+    pub fn run_streaming(config: &StudyConfig, options: &StreamOptions) -> StreamedStudyData {
+        let n = config.machines.len();
+        let workers = options
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            })
+            .min(n.max(1));
+        let schedule = FaultSchedule::materialize(config, 3);
+        let machine_ids: Vec<u32> = (0..n as u32).collect();
+        let consumer = Arc::new(AnalysisSet::new(
+            &machine_ids,
+            &StreamConfig {
+                retain: options.retain,
+                spill_dir: options.spill_dir.clone(),
+                ..StreamConfig::default()
+            },
+        ));
+        let pool = StreamingPool::start_with_outages(
+            3,
+            schedule.collectors.clone(),
+            Arc::clone(&consumer) as Arc<dyn ShipmentConsumer>,
+        );
+
+        let mut machines: Vec<MachineOutput> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in partition(n, workers) {
+                let config = &*config;
+                let pool = &pool;
+                let schedule = &schedule;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for index in chunk {
+                        let spec = &config.machines[index];
+                        let faults = schedule.for_machine(index);
+                        let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
+                        let mut sink = pool.handle_for(run.id);
+                        run.simulate_with_faults(config, &faults, &mut sink);
+                        out.push(MachineOutput {
+                            id: run.id,
+                            category: run.category,
+                            snapshots: std::mem::take(&mut run.snapshots),
+                            io: run.io_metrics(),
+                            cache: run.cache_metrics(),
+                            vm: run.vm_metrics(),
+                            loss: run.loss_ledger(),
+                        });
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("machine worker panicked"))
+                .collect()
+        });
+        machines.sort_by_key(|m| m.id);
+
+        let totals = pool.finish();
+        let consumer = Arc::try_unwrap(consumer)
+            .unwrap_or_else(|_| panic!("server threads still hold the consumer after finish"));
+        let analysis = consumer.finish();
+        StreamedStudyData {
+            config: config.clone(),
+            summary: analysis.summary,
+            trace_set: analysis.trace_set,
+            machines,
+            total_records: totals.total_records,
+            stored_bytes: totals.stored_bytes,
+        }
+    }
+}
+
 /// Splits `0..n` into `workers` near-equal index chunks.
 fn partition(n: usize, workers: usize) -> Vec<Vec<usize>> {
     let workers = workers.max(1);
@@ -193,5 +322,20 @@ mod tests {
         }
         // Records span multiple machines.
         assert_eq!(data.trace_set.machines().len(), 5);
+    }
+
+    #[test]
+    fn streaming_smoke_study_produces_summary() {
+        let config = StudyConfig::smoke_test(3);
+        let data = Study::run_streaming(&config, &StreamOptions::default());
+        assert_eq!(data.machines.len(), 5);
+        assert!(data.total_records > 500, "got {}", data.total_records);
+        assert!(data.stored_bytes > 0);
+        // Without retain, no fact tables are materialized …
+        assert!(data.trace_set.is_none());
+        // … yet the online aggregates saw the whole stream.
+        assert_eq!(data.summary.machines, 5);
+        assert!(data.summary.ops.opens_ok > 0);
+        assert!(data.summary.peak_state_bytes > 0);
     }
 }

@@ -196,8 +196,10 @@ impl<W> Engine<W> {
     }
 
     /// Runs until the queue drains or the next event would fire after
-    /// `horizon`. Events at exactly `horizon` do fire. On return the clock
-    /// rests at the last fired event (or `horizon` if nothing fired later).
+    /// `horizon`. Events at exactly `horizon` do fire — including whole
+    /// cascades: an event at the horizon may schedule another at the same
+    /// instant and that one fires too. On return the clock rests at the
+    /// last fired event (or `horizon` if nothing fired later).
     pub fn run_until(&mut self, world: &mut W, horizon: SimTime) {
         loop {
             // Skip over cancelled heads without firing them.
@@ -285,6 +287,34 @@ mod tests {
         assert_eq!(eng.pending(), 1);
         eng.run(&mut seen);
         assert_eq!(seen, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn event_at_horizon_cascades_at_the_horizon() {
+        // Regression: an event firing exactly at the horizon that
+        // schedules a zero-delay follow-up must see that follow-up fire
+        // in the same run_until call, not hang over to the next window.
+        // The study's snapshot scheduler relies on this when a snapshot
+        // lands on a window boundary.
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        eng.schedule_at(SimTime::from_millis(10), |w, eng| {
+            w.push(eng.now().as_millis());
+            eng.schedule_in(SimDuration::from_millis(0), |w, eng| {
+                w.push(100 + eng.now().as_millis());
+            });
+            eng.schedule_in(SimDuration::from_millis(1), |w, _| {
+                w.push(999);
+            });
+        });
+        let mut seen = Vec::new();
+        eng.run_until(&mut seen, SimTime::from_millis(10));
+        assert_eq!(
+            seen,
+            vec![10, 110],
+            "the cascade fired, the later event didn't"
+        );
+        assert_eq!(eng.now(), SimTime::from_millis(10));
+        assert_eq!(eng.pending(), 1);
     }
 
     #[test]

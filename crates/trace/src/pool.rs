@@ -15,9 +15,24 @@ use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::collector::{CollectionServer, MachineId};
+use crate::collector::{CollectionServer, MachineId, RecordBatch};
 use crate::fault::{any_contains, TickWindow};
 use crate::record::{NameRecord, TraceRecord};
+
+/// A destination for shipments on the collection-server threads — the
+/// streaming alternative to [`CollectionServer`]'s store-then-retrieve.
+/// Implementations route each shipment to per-machine state (distinct
+/// machines may be consumed concurrently from different server threads;
+/// one machine's shipments arrive from one agent but possibly via
+/// several servers, carrying the agent's sequence stamp for reassembly).
+pub trait ShipmentConsumer: Send + Sync {
+    /// Consumes one shipped buffer. `seq` is the agent's own sequence
+    /// stamp (`None` = plain arrival-order shipping).
+    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>);
+
+    /// Consumes one file-object name record.
+    fn name(&self, machine: MachineId, seq: Option<u64>, name: NameRecord);
+}
 
 /// Anything a trace agent can ship records into — a local store or a
 /// channel to a remote collection server.
@@ -249,6 +264,105 @@ impl CollectorPool {
     }
 }
 
+/// What a [`StreamingPool`]'s servers accounted while forwarding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamingTotals {
+    /// Records that passed through the pool.
+    pub total_records: usize,
+    /// Compressed footprint the batches *would* occupy on a collection
+    /// server (each shipment is compressed for accounting exactly like
+    /// [`CollectionServer::ingest_seq`] stores it, then dropped).
+    pub stored_bytes: usize,
+}
+
+/// A pool of collection-server threads that forward shipments into a
+/// [`ShipmentConsumer`] instead of storing them.
+///
+/// Agents interact with it exactly like with [`CollectorPool`] — same
+/// [`CollectorHandle`], same failover and refusal behaviour, same
+/// per-shipment compression accounting — but nothing is retained: the
+/// consumer sees each buffer once and the pool's memory stays bounded by
+/// the channel backlog, which is what lets paper-scale studies run
+/// without materializing ~190 M records.
+pub struct StreamingPool {
+    senders: Vec<Sender<Shipment>>,
+    handles: Vec<JoinHandle<StreamingTotals>>,
+    outages: Arc<Vec<Vec<TickWindow>>>,
+}
+
+impl StreamingPool {
+    /// Starts `servers` forwarding threads over `consumer`.
+    pub fn start(servers: usize, consumer: Arc<dyn ShipmentConsumer>) -> Self {
+        Self::start_with_outages(servers, Vec::new(), consumer)
+    }
+
+    /// Starts the pool with per-server downtime windows (semantics as
+    /// [`CollectorPool::start_with_outages`]).
+    pub fn start_with_outages(
+        servers: usize,
+        mut outages: Vec<Vec<TickWindow>>,
+        consumer: Arc<dyn ShipmentConsumer>,
+    ) -> Self {
+        let servers = servers.max(1);
+        outages.resize(servers, Vec::new());
+        let mut senders = Vec::with_capacity(servers);
+        let mut handles = Vec::with_capacity(servers);
+        for _ in 0..servers {
+            let (tx, rx) = unbounded::<Shipment>();
+            senders.push(tx);
+            let consumer = Arc::clone(&consumer);
+            handles.push(std::thread::spawn(move || {
+                let mut totals = StreamingTotals::default();
+                while let Ok(shipment) = rx.recv() {
+                    match shipment {
+                        Shipment::Batch(m, seq, records) => {
+                            if records.is_empty() {
+                                continue;
+                            }
+                            totals.total_records += records.len();
+                            totals.stored_bytes +=
+                                RecordBatch::compress(&records).compressed_bytes();
+                            consumer.batch(m, seq, records);
+                        }
+                        Shipment::Name(m, seq, name) => consumer.name(m, seq, name),
+                    }
+                }
+                totals
+            }));
+        }
+        StreamingPool {
+            senders,
+            handles,
+            outages: Arc::new(outages),
+        }
+    }
+
+    /// The handle a machine's agent should ship through; the assignment
+    /// matches [`CollectorPool::handle_for`] exactly.
+    pub fn handle_for(&self, machine: MachineId) -> CollectorHandle {
+        CollectorHandle {
+            senders: self.senders.clone(),
+            primary: machine.0 as usize % self.senders.len(),
+            outages: Arc::clone(&self.outages),
+            failovers: 0,
+        }
+    }
+
+    /// Closes the streams, joins the servers and sums their accounting.
+    /// As with [`CollectorPool::finish`], every handle must be dropped
+    /// first.
+    pub fn finish(self) -> StreamingTotals {
+        drop(self.senders);
+        let mut totals = StreamingTotals::default();
+        for h in self.handles {
+            let t = h.join().expect("streaming server thread panicked");
+            totals.total_records += t.total_records;
+            totals.stored_bytes += t.stored_bytes;
+        }
+        totals
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +474,64 @@ mod tests {
         drop((h, h1));
         let merged = pool.finish();
         assert_eq!(merged.total_records(), 30);
+    }
+
+    #[test]
+    fn streaming_pool_accounts_exactly_like_storage() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Counter {
+            records: Mutex<usize>,
+            names: Mutex<usize>,
+        }
+        impl ShipmentConsumer for Counter {
+            fn batch(&self, _m: MachineId, _seq: Option<u64>, records: Vec<TraceRecord>) {
+                *self.records.lock().unwrap() += records.len();
+            }
+            fn name(&self, _m: MachineId, _seq: Option<u64>, _name: NameRecord) {
+                *self.names.lock().unwrap() += 1;
+            }
+        }
+
+        let ship = |pool_handle: &mut CollectorHandle| {
+            for m in 0..4u32 {
+                for batch in 0..3u64 {
+                    let records: Vec<TraceRecord> = (0..25).map(|i| rec(batch * 25 + i)).collect();
+                    assert!(pool_handle.ingest_at(MachineId(m), batch, &records, 10));
+                }
+                assert!(pool_handle.ingest_name_at(
+                    MachineId(m),
+                    3,
+                    NameRecord {
+                        file_object: m as u64,
+                        volume: 0,
+                        process: 0,
+                        path: format!(r"\m{m}.txt"),
+                        at_ticks: 0,
+                    },
+                    10,
+                ));
+            }
+        };
+
+        let stored = CollectorPool::start(2);
+        let mut h = stored.handle_for(MachineId(0));
+        ship(&mut h);
+        drop(h);
+        let merged = stored.finish();
+
+        let consumer = Arc::new(Counter::default());
+        let streaming = StreamingPool::start(2, consumer.clone() as Arc<dyn ShipmentConsumer>);
+        let mut h = streaming.handle_for(MachineId(0));
+        ship(&mut h);
+        drop(h);
+        let totals = streaming.finish();
+
+        assert_eq!(totals.total_records, merged.total_records());
+        assert_eq!(totals.stored_bytes, merged.stored_bytes());
+        assert_eq!(*consumer.records.lock().unwrap(), totals.total_records);
+        assert_eq!(*consumer.names.lock().unwrap(), 4);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use nt_study::{MachineRun, Study, StudyConfig};
+use nt_study::{MachineRun, StreamOptions, Study, StudyConfig};
 use nt_trace::{CollectionServer, MachineId};
 
 fn per_machine_counts(data: &nt_study::StudyData) -> HashMap<u32, usize> {
@@ -104,4 +104,99 @@ fn zero_fault_plan_is_byte_identical_to_the_direct_pipeline() {
         );
         assert_eq!(study_records, sorted, "machine {index} record streams");
     }
+}
+
+#[test]
+fn streaming_study_rebuilds_identical_fact_tables() {
+    // The tentpole guarantee of the streaming pipeline: with `retain` on,
+    // feeding shipments through the per-machine sinks and rebuilding the
+    // fact tables yields bit-for-bit what the materialize-everything path
+    // produces — same records, same instances, same name table.
+    let config = StudyConfig::smoke_test(21);
+    let batch = Study::run(&config);
+    let streamed = Study::run_streaming(
+        &config,
+        &StreamOptions {
+            retain: true,
+            ..StreamOptions::default()
+        },
+    );
+    assert_eq!(batch.total_records, streamed.total_records, "head-count");
+    assert_eq!(
+        batch.stored_bytes, streamed.stored_bytes,
+        "identical batch boundaries compress to identical bytes"
+    );
+    let rebuilt = streamed
+        .trace_set
+        .as_ref()
+        .expect("retain keeps the fact tables");
+    assert_eq!(batch.trace_set.records, rebuilt.records, "record table");
+    assert_eq!(
+        batch.trace_set.instances, rebuilt.instances,
+        "open/close instance table"
+    );
+    assert_eq!(batch.trace_set.names, rebuilt.names, "name table");
+}
+
+#[test]
+fn streaming_study_is_deterministic() {
+    let config = StudyConfig::smoke_test(34);
+    let a = Study::run_streaming(&config, &StreamOptions::default());
+    let b = Study::run_streaming(&config, &StreamOptions::default());
+    assert_eq!(a.total_records, b.total_records);
+    assert_eq!(a.stored_bytes, b.stored_bytes);
+    assert_eq!(a.summary.records, b.summary.records);
+    assert_eq!(a.summary.names, b.summary.names);
+    assert_eq!(a.summary.ops.opens_ok, b.summary.ops.opens_ok);
+    assert_eq!(a.summary.ops.opens_failed, b.summary.ops.opens_failed);
+    assert_eq!(a.summary.sessions.all.len(), b.summary.sessions.all.len());
+    assert_eq!(a.summary.arrivals.all.len(), b.summary.arrivals.all.len());
+    assert_eq!(a.summary.size_tail_alpha, b.summary.size_tail_alpha);
+    assert_eq!(a.summary.duration_tail_alpha, b.summary.duration_tail_alpha);
+    assert_eq!(a.summary.peak_open_sessions, b.summary.peak_open_sessions);
+    assert_eq!(a.summary.peak_state_bytes, b.summary.peak_state_bytes);
+}
+
+/// The documented memory ceiling for the streaming analysis state at the
+/// paper's 45-machine deployment shape (see EXPERIMENTS.md). The ceiling
+/// covers the per-machine sinks — open-session builders, parked
+/// out-of-order shipments, CDF sketches and spill buffers — not the
+/// simulators themselves, which exist in either pipeline.
+const STREAMING_STATE_CEILING_BYTES: usize = 64 << 20;
+
+#[test]
+fn paper_shaped_streaming_run_stays_under_the_memory_ceiling() {
+    // The full 45-machine fleet at a shortened tracing period. Without
+    // `retain`, no record stream is ever materialized: the analysis state
+    // must stay bounded no matter how long the trace runs, and the spill
+    // runs keep the tail analyses exact on disk.
+    let mut config = StudyConfig::evaluation(7);
+    config.duration = nt_sim::SimDuration::from_secs(600);
+    config.snapshot_interval = nt_sim::SimDuration::from_secs(300);
+    config.files_per_volume = 1_000;
+    config.web_cache_files = 100;
+    let spill_dir =
+        std::env::temp_dir().join(format!("nt-determinism-spill-{}", std::process::id()));
+    let data = Study::run_streaming(
+        &config,
+        &StreamOptions {
+            retain: false,
+            spill_dir: Some(spill_dir.clone()),
+            workers: None,
+        },
+    );
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    assert_eq!(data.machines.len(), 45);
+    assert!(data.trace_set.is_none(), "nothing materialized");
+    assert!(
+        data.summary.records > 10_000,
+        "got {} records",
+        data.summary.records
+    );
+    assert!(
+        data.summary.peak_state_bytes < STREAMING_STATE_CEILING_BYTES,
+        "peak streaming state {} exceeds the {} MiB ceiling",
+        data.summary.peak_state_bytes,
+        STREAMING_STATE_CEILING_BYTES >> 20
+    );
 }

@@ -68,6 +68,52 @@ proptest! {
     }
 
     #[test]
+    fn covers_and_intersects_match_naive_model(
+        ops in range_ops(),
+        probes in prop::collection::vec((0u16..512, 1u16..64), 1..20),
+    ) {
+        let mut rs = RangeSet::new();
+        let mut model = [false; 600];
+        for op in &ops {
+            match *op {
+                RangeOp::Insert(s, e) => {
+                    rs.insert(s as u64, e as u64);
+                    for x in s..e {
+                        model[x as usize] = true;
+                    }
+                }
+                RangeOp::Remove(s, e) => {
+                    rs.remove(s as u64, e as u64);
+                    for x in s..e {
+                        model[x as usize] = false;
+                    }
+                }
+            }
+        }
+        for &(start, len) in &probes {
+            let (s, e) = (start as u64, start as u64 + len as u64);
+            let bytes = &model[s as usize..e as usize];
+            prop_assert_eq!(
+                rs.covers(s, e),
+                bytes.iter().all(|&b| b),
+                "covers({}, {})", s, e
+            );
+            prop_assert_eq!(
+                rs.intersects(s, e),
+                bytes.iter().any(|&b| b),
+                "intersects({}, {})", s, e
+            );
+        }
+        // Degenerate probes: an empty range is covered and intersects
+        // nothing, and clear() really empties the set.
+        prop_assert!(rs.covers(10, 10));
+        prop_assert!(!rs.intersects(10, 10));
+        rs.clear();
+        prop_assert!(rs.is_empty());
+        prop_assert_eq!(rs.covered_bytes(), 0);
+    }
+
+    #[test]
     fn take_front_conserves_bytes(ops in range_ops(), budget in 0u64..600) {
         let mut rs = RangeSet::new();
         for op in &ops {

@@ -13,6 +13,17 @@ use std::time::Instant;
 /// multi-machine studies per iteration.
 const ITERATIONS: u32 = 3;
 
+/// Iterations actually used: `NT_BENCH_ITERS` overrides the default so CI
+/// can smoke the benches with a single iteration (`NT_BENCH_ITERS=1`) and
+/// a measurement run can ask for more.
+fn iterations() -> u32 {
+    std::env::var("NT_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(ITERATIONS)
+}
+
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
@@ -94,12 +105,13 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = iterations();
         let start = Instant::now();
-        for _ in 0..ITERATIONS {
+        for _ in 0..n {
             std::hint::black_box(f());
         }
         self.elapsed_nanos += start.elapsed().as_nanos();
-        self.iterations += ITERATIONS;
+        self.iterations += n;
     }
 }
 
@@ -136,6 +148,16 @@ mod tests {
             g.bench_function("count", |b| b.iter(|| runs += 1));
             g.finish();
         }
-        assert_eq!(runs, ITERATIONS);
+        assert_eq!(runs, iterations());
+    }
+
+    #[test]
+    fn iteration_override_parses_like_the_env() {
+        // The default holds when the variable is unset or nonsense; the
+        // test avoids mutating the process environment.
+        assert_eq!(ITERATIONS, 3);
+        assert_eq!("7".parse::<u32>().ok().filter(|&n| n > 0), Some(7));
+        assert_eq!("0".parse::<u32>().ok().filter(|&n| n > 0), None);
+        assert_eq!("x".parse::<u32>().ok().filter(|&n| n > 0), None);
     }
 }
