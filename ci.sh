@@ -37,8 +37,14 @@ if [ "$QUICK" -eq 0 ]; then
     cargo build --release --offline
 fi
 
+step "cargo build --examples"
+cargo build --examples --offline
+
 step "cargo test (tier-1)"
 cargo test -q --offline
+
+step "conservation audit (ledger reconciliation + differential harness)"
+cargo test -q --offline --test audit
 
 step "cargo test --workspace"
 cargo test -q --workspace --offline

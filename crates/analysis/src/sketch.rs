@@ -39,8 +39,19 @@ pub struct HistogramSketch {
     max: f64,
 }
 
-fn bucket_of(v: f64) -> i32 {
-    ((v.log2() * SUB).floor() as i32).clamp(-CLAMP, CLAMP)
+/// Log bucket for a positive finite value; `None` for anything without a
+/// logarithm (NaN, infinities, zero, negatives).
+///
+/// Total over all of `f64` on purpose: the old `i32` version relied on
+/// `NaN as i32 == 0`, silently filing NaN into bucket 0 — the bucket for
+/// real values in `[1, 2^(1/16))` — whenever a caller forgot its own
+/// finiteness guard. Callers must route `None` to the zero bucket (or
+/// treat it as "past every bucket" for +∞ CDF cuts).
+fn bucket_of(v: f64) -> Option<i32> {
+    if !v.is_finite() || v <= 0.0 {
+        return None;
+    }
+    Some(((v.log2() * SUB).floor() as i32).clamp(-CLAMP, CLAMP))
 }
 
 /// Representative value of a bucket: the geometric midpoint.
@@ -76,10 +87,9 @@ impl HistogramSketch {
             self.min = self.min.min(v);
             self.max = self.max.max(v);
         }
-        if v.is_finite() && v > 0.0 {
-            *self.buckets.entry(bucket_of(v)).or_default() += weight;
-        } else {
-            self.zero_weight += weight;
+        match bucket_of(v) {
+            Some(idx) => *self.buckets.entry(idx).or_default() += weight,
+            None => self.zero_weight += weight,
         }
     }
 
@@ -146,10 +156,15 @@ impl HistogramSketch {
         if self.total_weight == 0 {
             return 0.0;
         }
+        if x.is_nan() {
+            return 0.0;
+        }
         let mut acc = if x >= 0.0 { self.zero_weight } else { 0 };
-        if x > 0.0 {
-            let cut = bucket_of(x);
-            acc += self.buckets.range(..=cut).map(|(_, &w)| w).sum::<u64>();
+        match bucket_of(x) {
+            Some(cut) => acc += self.buckets.range(..=cut).map(|(_, &w)| w).sum::<u64>(),
+            // `x` positive but unbucketable means +∞: everything is below.
+            None if x > 0.0 => acc += self.buckets.values().sum::<u64>(),
+            None => {}
         }
         acc as f64 / self.total_weight as f64
     }
@@ -414,6 +429,77 @@ mod tests {
         s.record(8.0);
         assert!(s.fraction_at_or_below(0.0) > 0.7);
         assert_eq!(s.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn bucket_of_rejects_unbucketable_inputs() {
+        // Regression: the old `bucket_of` returned a plain i32 and relied
+        // on Rust's saturating float→int cast, so `bucket_of(f64::NAN)`
+        // was 0 — indistinguishable from a genuine sample in [1, 2^1/16).
+        assert_eq!(bucket_of(f64::NAN), None);
+        assert_eq!(bucket_of(f64::INFINITY), None);
+        assert_eq!(bucket_of(f64::NEG_INFINITY), None);
+        assert_eq!(bucket_of(0.0), None);
+        assert_eq!(bucket_of(-0.0), None);
+        assert_eq!(bucket_of(-1.5), None);
+        // Positive finite values still bucket, with the documented clamp.
+        assert_eq!(bucket_of(1.0), Some(0));
+        assert_eq!(bucket_of(2.0), Some(16));
+        assert_eq!(bucket_of(f64::MIN_POSITIVE), Some(-CLAMP));
+        assert_eq!(bucket_of(f64::MAX), Some(CLAMP));
+    }
+
+    #[test]
+    fn non_finite_inputs_never_reach_a_log_bucket() {
+        let mut s = HistogramSketch::new();
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -2.0, 0.0] {
+            s.record(v);
+        }
+        s.record(1.5); // the only real sample, in bucket 0
+                       // Pre-fix, a leaked NaN would inflate bucket 0 and shift every
+                       // quantile; post-fix the five junk samples all sit in the zero
+                       // bucket and the CDF stays exact.
+        assert!((s.fraction_at_or_below(0.0) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.fraction_at_or_below(1.5), 1.0);
+        assert_eq!(s.fraction_at_or_below(f64::INFINITY), 1.0);
+        assert_eq!(s.fraction_at_or_below(f64::NAN), 0.0);
+        assert_eq!(s.fraction_at_or_below(f64::NEG_INFINITY), 0.0);
+        assert_eq!(s.quantile(1.0), Some(1.5));
+    }
+
+    #[test]
+    fn quantile_error_bound_holds_on_a_heavy_tail() {
+        // Pins the documented worst case — one bucket per 1/16 octave, so
+        // any reported quantile is within 2^(1/16) − 1 ≈ 4.4 % of the
+        // exact sample quantile — against the exact CDF of a Pareto-like
+        // sample spanning seven orders of magnitude.
+        const BOUND: f64 = 0.0443; // 2^(1/16) − 1, the full bucket width
+        let mut exact = Vec::new();
+        let mut s = HistogramSketch::new();
+        let mut u = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..50_000 {
+            // xorshift64* uniform in (0,1), inverted through a Pareto
+            // CDF with tail index 1.2 (file sizes, §5 shape).
+            u ^= u >> 12;
+            u ^= u << 25;
+            u ^= u >> 27;
+            let unif =
+                ((u.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            let v = unif.powf(-1.0 / 1.2);
+            exact.push(v);
+            s.record(v);
+        }
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len()) - 1;
+            let truth = exact[rank];
+            let est = s.quantile(q).unwrap();
+            let rel = (est - truth).abs() / truth;
+            assert!(
+                rel <= BOUND,
+                "q={q}: sketch {est} vs exact {truth} (rel err {rel:.4} > {BOUND})"
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
 
@@ -301,6 +301,13 @@ pub struct StudySummary {
     pub machines: usize,
     /// Records consumed.
     pub records: u64,
+    /// Records consumed per machine, in machine-id order — the credit
+    /// side of the `analysis.records` conservation account.
+    pub machine_records: Vec<(u32, u64)>,
+    /// Sinks whose mutex was poisoned by a panicking server thread. The
+    /// counters up to the panic are preserved and merged; a non-zero
+    /// value means the run had a collection fault, not clean data loss.
+    pub poisoned_sinks: usize,
     /// Name records seen.
     pub names: u64,
     /// §8 operational counters and sketches, merged across machines.
@@ -385,12 +392,19 @@ impl AnalysisSet {
         }
     }
 
+    /// Locks one sink, recovering from poison: a server thread that
+    /// panicked mid-batch must surface as a collection fault in the
+    /// summary (`poisoned_sinks`), not abort every other machine's
+    /// analysis.
+    fn lock_sink(&self, i: usize) -> MutexGuard<'_, MachineSink> {
+        self.sinks[i].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current live streaming state across machines, bytes. Racy by
     /// nature when servers are still running; exact after they stop.
     pub fn memory_estimate_bytes(&self) -> usize {
-        self.sinks
-            .iter()
-            .map(|s| s.lock().expect("sink poisoned").state_bytes())
+        (0..self.sinks.len())
+            .map(|i| self.lock_sink(i).state_bytes())
             .sum()
     }
 
@@ -403,9 +417,16 @@ impl AnalysisSet {
         let mut duration_spill: Option<SpillRuns> = None;
         let mut streams: Option<Vec<MachineStream>> = self.retain.then(Vec::new);
         for sink in self.sinks {
-            let ms = sink.into_inner().expect("sink poisoned").into_summary();
+            if sink.is_poisoned() {
+                summary.poisoned_sinks += 1;
+            }
+            let ms = sink
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .into_summary();
             summary.machines += 1;
             summary.records += ms.records;
+            summary.machine_records.push((ms.machine, ms.records));
             summary.names += ms.names;
             summary.ops.merge(&ms.ops);
             summary.latency.merge(&ms.latency);
@@ -445,19 +466,13 @@ impl ShipmentConsumer for AnalysisSet {
             "shipment from unregistered machine {machine:?}"
         );
         if let Some(&i) = self.index.get(&machine.0) {
-            self.sinks[i]
-                .lock()
-                .expect("sink poisoned")
-                .on_batch(seq, records);
+            self.lock_sink(i).on_batch(seq, records);
         }
     }
 
     fn name(&self, machine: MachineId, seq: Option<u64>, name: NameRecord) {
         if let Some(&i) = self.index.get(&machine.0) {
-            self.sinks[i]
-                .lock()
-                .expect("sink poisoned")
-                .on_name(seq, name);
+            self.lock_sink(i).on_name(seq, name);
         }
     }
 }

@@ -6,7 +6,7 @@
 //! and the caller performs it, reporting completions back via
 //! [`CacheManager::complete_paging_read`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use nt_sim::{SimDuration, SimTime};
 
@@ -155,6 +155,16 @@ pub struct CacheManager<K> {
     // order downstream. Hash-order iteration would make identical seeds
     // diverge run to run.
     files: BTreeMap<K, FileCache>,
+    // The lazy writer's worklist: keys with dirty pages or a deferred
+    // close still waiting on the drain. The per-second scan visits only
+    // these; clean resident maps (the vast majority on a long run) cost
+    // the scan nothing. A BTreeSet so the visit order stays the key
+    // order the full-map scan had.
+    attention: BTreeSet<K>,
+    // Running total of resident bytes, maintained on every range insert
+    // and map drop, so the per-tick trim check is O(1) instead of a
+    // full-map sum.
+    resident_total: u64,
     metrics: CacheMetrics,
     last_scan: SimTime,
     touch_clock: u64,
@@ -166,6 +176,8 @@ impl<K: Ord + Clone> CacheManager<K> {
         CacheManager {
             config,
             files: BTreeMap::new(),
+            attention: BTreeSet::new(),
+            resident_total: 0,
             metrics: CacheMetrics::default(),
             last_scan: SimTime::ZERO,
             touch_clock: 0,
@@ -260,8 +272,11 @@ impl<K: Ord + Clone> CacheManager<K> {
             ReadAheadDecision::None
         };
 
+        let requested = end.saturating_sub(offset);
         let mut ios = Vec::new();
         let mut demand_bytes = 0u64;
+        let mut demand_ios = 0u64;
+        let mut missing_request_bytes = 0u64;
         let mut readahead = (0u64, 0u64); // (ios, bytes)
         let hit;
         if end <= offset {
@@ -290,6 +305,11 @@ impl<K: Ord + Clone> CacheManager<K> {
             });
             self.metrics.read_misses += 1;
             self.metrics.demand_read_bytes += e - s;
+            self.metrics.demand_read_ios += 1;
+            // A fresh cache map holds nothing: the whole request is
+            // pending on the paging read just issued.
+            self.metrics.requested_read_bytes += requested;
+            self.metrics.miss_pending_bytes += requested;
             return ReadOutcome {
                 hit: false,
                 ios,
@@ -297,6 +317,14 @@ impl<K: Ord + Clone> CacheManager<K> {
             };
         } else {
             hit = false;
+            // Unrounded view of the request for the conservation ledger:
+            // which of the asked-for bytes were resident vs pending.
+            missing_request_bytes = fc
+                .resident
+                .gaps(offset, end)
+                .iter()
+                .map(|(s, e)| e - s)
+                .sum();
             let clamp = page_ceil(end).min(page_ceil(fc.size));
             for (s, e) in fc.resident.gaps(page_floor(offset), clamp) {
                 let (s, e) = (page_floor(s), page_ceil(e));
@@ -307,6 +335,7 @@ impl<K: Ord + Clone> CacheManager<K> {
                     readahead: false,
                 });
                 demand_bytes += e - s;
+                demand_ios += 1;
             }
         }
 
@@ -332,12 +361,16 @@ impl<K: Ord + Clone> CacheManager<K> {
             }
         }
 
+        self.metrics.requested_read_bytes += requested;
         if hit {
             self.metrics.read_hits += 1;
-            self.metrics.read_hit_bytes += end.saturating_sub(offset);
+            self.metrics.read_hit_bytes += requested;
         } else {
             self.metrics.read_misses += 1;
             self.metrics.demand_read_bytes += demand_bytes;
+            self.metrics.demand_read_ios += demand_ios;
+            self.metrics.miss_pending_bytes += missing_request_bytes;
+            self.metrics.miss_resident_bytes += requested - missing_request_bytes;
         }
         self.metrics.readahead_ios += readahead.0;
         self.metrics.readahead_bytes += readahead.1;
@@ -352,8 +385,10 @@ impl<K: Ord + Clone> CacheManager<K> {
     /// Reports completion of a paging read: the pages are now resident.
     pub fn complete_paging_read(&mut self, key: &K, offset: u64, len: u64) {
         if let Some(fc) = self.files.get_mut(key) {
+            let before = fc.resident.covered_bytes();
             fc.resident
                 .insert(page_floor(offset), page_ceil(offset + len));
+            self.resident_total += fc.resident.covered_bytes() - before;
         }
     }
 
@@ -377,9 +412,12 @@ impl<K: Ord + Clone> CacheManager<K> {
         fc.ra.note_size(fc.size);
         fc.written = true;
         let (ps, pe) = (page_floor(offset), page_ceil(end));
+        let resident_before = fc.resident.covered_bytes();
         fc.resident.insert(ps, pe);
+        self.resident_total += fc.resident.covered_bytes() - resident_before;
         let mut ios = Vec::new();
         let through = hints.write_through || fc.hints.write_through || self_force_write_through;
+        let mut newly_dirtied = 0;
         if through {
             ios.push(PagingIo {
                 offset: ps,
@@ -388,7 +426,10 @@ impl<K: Ord + Clone> CacheManager<K> {
                 readahead: false,
             });
         } else {
+            let before = fc.dirty.covered_bytes();
             fc.dirty.insert(ps, pe);
+            newly_dirtied = fc.dirty.covered_bytes() - before;
+            self.attention.insert(key.clone());
         }
         if through {
             self.metrics.forced_writes += 1;
@@ -396,6 +437,7 @@ impl<K: Ord + Clone> CacheManager<K> {
         } else {
             self.metrics.cached_writes += 1;
             self.metrics.dirtied_bytes += pe - ps;
+            self.metrics.newly_dirtied_bytes += newly_dirtied;
         }
         WriteOutcome {
             ios,
@@ -424,7 +466,11 @@ impl<K: Ord + Clone> CacheManager<K> {
                 });
                 self.metrics.forced_writes += 1;
                 self.metrics.forced_write_bytes += e - s;
+                self.metrics.flush_write_bytes += e - s;
             }
+        }
+        if !fc.close_pending {
+            self.attention.remove(key);
         }
         ios
     }
@@ -436,7 +482,15 @@ impl<K: Ord + Clone> CacheManager<K> {
         self.last_scan = now;
         let mut actions = Vec::new();
         let mut closable = Vec::new();
-        for (key, fc) in self.files.iter_mut() {
+        // Only the worklist — clean resident maps never concern the lazy
+        // writer. The keys are snapshotted up front because draining a
+        // file can retire it from the worklist mid-scan.
+        let worklist: Vec<K> = self.attention.iter().cloned().collect();
+        for key in &worklist {
+            let Some(fc) = self.files.get_mut(key) else {
+                self.attention.remove(key);
+                continue;
+            };
             if fc.hints.temporary {
                 // §6.3: the temporary attribute keeps the lazy writer away.
                 let spared = fc.dirty.covered_bytes();
@@ -446,6 +500,12 @@ impl<K: Ord + Clone> CacheManager<K> {
                 }
                 if fc.close_pending {
                     closable.push(key.clone());
+                    // The deferred close is reported exactly once; the
+                    // map stays on the worklist only for its dirty pages.
+                    fc.close_pending = false;
+                }
+                if fc.dirty.is_empty() {
+                    self.attention.remove(key);
                 }
                 continue;
             }
@@ -453,7 +513,11 @@ impl<K: Ord + Clone> CacheManager<K> {
             if dirty == 0 {
                 if fc.close_pending {
                     closable.push(key.clone());
+                    // Drained and reported: the map is an ordinary clean
+                    // resident map from here on (and trimmable again).
+                    fc.close_pending = false;
                 }
+                self.attention.remove(key);
                 continue;
             }
             // Write an eighth of the dirty data, at least one page, capped
@@ -489,8 +553,12 @@ impl<K: Ord + Clone> CacheManager<K> {
                     }
                 }
             }
-            if fc.close_pending && fc.dirty.is_empty() {
-                closable.push(key.clone());
+            if fc.dirty.is_empty() {
+                if fc.close_pending {
+                    closable.push(key.clone());
+                    fc.close_pending = false;
+                }
+                self.attention.remove(key);
             }
         }
         (actions, closable)
@@ -514,6 +582,7 @@ impl<K: Ord + Clone> CacheManager<K> {
             }
         } else {
             fc.close_pending = true;
+            self.attention.insert(key.clone());
             CleanupOutcome {
                 set_end_of_file: set_eof,
                 close_after: None,
@@ -525,8 +594,10 @@ impl<K: Ord + Clone> CacheManager<K> {
     /// Returns the dirty bytes that never reached the disk — §6.3 found
     /// unwritten pages present in 23 % of overwrites and 5 % of deletes.
     pub fn purge(&mut self, key: &K) -> u64 {
+        self.attention.remove(key);
         match self.files.remove(key) {
             Some(fc) => {
+                self.resident_total -= fc.resident.covered_bytes();
                 let lost = fc.dirty.covered_bytes();
                 if lost > 0 {
                     self.metrics.purged_dirty_bytes += lost;
@@ -540,8 +611,17 @@ impl<K: Ord + Clone> CacheManager<K> {
         }
     }
 
-    /// Total resident (clean + dirty) cached bytes.
+    /// Total resident (clean + dirty) cached bytes. O(1): the total is
+    /// maintained incrementally (see `recounted_resident_bytes` for the
+    /// ground truth the tests audit it against).
     pub fn resident_bytes(&self) -> u64 {
+        self.resident_total
+    }
+
+    /// Recomputes the resident total from the cache maps — the slow
+    /// ground truth for the incremental counter.
+    #[doc(hidden)]
+    pub fn recounted_resident_bytes(&self) -> u64 {
         self.files
             .values()
             .map(|f| f.resident.covered_bytes())
@@ -555,9 +635,8 @@ impl<K: Ord + Clone> CacheManager<K> {
     /// on its way to the disk). Returns the number of maps dropped. This
     /// models the standby-list reclaim that bounds the real cache.
     pub fn trim(&mut self, budget_bytes: u64) -> usize {
-        let mut resident = self.resident_bytes();
         let mut dropped = 0;
-        while resident > budget_bytes {
+        while self.resident_total > budget_bytes {
             let victim = self
                 .files
                 .iter()
@@ -568,8 +647,9 @@ impl<K: Ord + Clone> CacheManager<K> {
                 break;
             };
             self.files.remove(&key);
+            self.attention.remove(&key);
             self.metrics.purged_clean += 1;
-            resident -= bytes;
+            self.resident_total -= bytes;
             dropped += 1;
         }
         dropped
@@ -583,6 +663,13 @@ impl<K: Ord + Clone> CacheManager<K> {
     /// Dirty bytes for one file.
     pub fn file_dirty_bytes(&self, key: &K) -> u64 {
         self.files.get(key).map_or(0, |fc| fc.dirty.covered_bytes())
+    }
+
+    /// Size of the lazy writer's worklist — the only maps the per-second
+    /// scan touches. Clean resident maps never appear here.
+    #[doc(hidden)]
+    pub fn scan_worklist_len(&self) -> usize {
+        self.attention.len()
     }
 }
 
@@ -817,5 +904,76 @@ mod tests {
         let out = m.read(&1, 200, 50, 100, NO_HINTS);
         assert!(out.hit);
         assert!(out.ios.is_empty());
+    }
+
+    #[test]
+    fn lazy_scan_worklist_stays_small_as_clean_maps_accumulate() {
+        // Regression: the per-second scan used to walk every cache map,
+        // making a multi-day run quadratic in simulated time as clean
+        // resident maps piled up. Only dirty / close-pending maps may
+        // cost the scan anything.
+        let mut m = mgr();
+        for key in 0..500u32 {
+            let out = m.read(&key, 0, 4_096, 50_000, NO_HINTS);
+            for io in &out.ios {
+                m.complete_paging_read(&key, io.offset, io.len);
+            }
+        }
+        m.write(&1_000, 0, 8_192, 0, NO_HINTS);
+        assert_eq!(m.cached_files(), 501);
+        assert_eq!(m.scan_worklist_len(), 1, "only the dirty map is scanned");
+        // Drain it: the worklist empties even though every map stays.
+        while m.dirty_bytes() > 0 {
+            m.lazy_scan(SimTime::from_secs(1));
+        }
+        assert_eq!(m.scan_worklist_len(), 0);
+        assert_eq!(m.cached_files(), 501);
+    }
+
+    #[test]
+    fn resident_counter_tracks_ground_truth_through_churn() {
+        // Regression: `resident_bytes` is now an O(1) counter; it must
+        // match a full recount through reads, overlapping writes, purges
+        // and trims.
+        let mut m = mgr();
+        for key in 0..40u32 {
+            let out = m.read(&key, 0, 12_288, 200_000, NO_HINTS);
+            for io in &out.ios {
+                m.complete_paging_read(&key, io.offset, io.len);
+            }
+            // Overlap the resident ranges so the deltas are non-trivial.
+            m.write(&key, 4_096, 16_384, 200_000, NO_HINTS);
+            m.write(&key, 8_192, 4_096, 200_000, NO_HINTS);
+        }
+        assert_eq!(m.resident_bytes(), m.recounted_resident_bytes());
+        for key in 0..10u32 {
+            m.purge(&key);
+        }
+        assert_eq!(m.resident_bytes(), m.recounted_resident_bytes());
+        m.flush(&11);
+        m.lazy_scan(SimTime::from_secs(1));
+        m.trim(64_000);
+        assert_eq!(m.resident_bytes(), m.recounted_resident_bytes());
+        assert!(m.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn drained_deferred_close_is_reported_once_and_map_becomes_trimmable() {
+        // A deferred close used to pin its cache map forever: the map
+        // kept `close_pending` after the drain was reported, so the
+        // trimmer could never evict it. The drain now clears the flag.
+        let mut m = mgr();
+        m.write(&1, 0, 4_096, 0, NO_HINTS);
+        let out = m.cleanup(&1, 4_096);
+        assert!(out.close_after.is_none(), "dirty close is deferred");
+        let mut reported = 0;
+        for s in 1..=10 {
+            let (_, closable) = m.lazy_scan(SimTime::from_secs(s));
+            reported += closable.iter().filter(|k| **k == 1).count();
+        }
+        assert_eq!(reported, 1, "drain reported exactly once");
+        assert!(m.is_cached(&1), "map stays resident after close");
+        m.trim(0);
+        assert!(!m.is_cached(&1), "drained map is trimmable again");
     }
 }

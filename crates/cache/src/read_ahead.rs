@@ -74,9 +74,17 @@ impl ReadAheadState {
 
     /// True when `offset` continues the previous request sequentially,
     /// under the fuzzy 7-bit mask.
+    ///
+    /// The fuzzy comparison tolerates only small *forward* gaps: a read
+    /// must resume at or after the previous request's end, within the
+    /// same 128-byte block. Re-reads and backwards seeks inside the block
+    /// are not sequential — treating them as such inflates run lengths
+    /// and over-triggers prefetch on looping readers.
     pub fn is_sequential_next(&self, offset: u64) -> bool {
         match self.last_end {
-            Some(end) => (offset & FUZZY_MASK) == (end & FUZZY_MASK) || offset == end,
+            Some(end) => {
+                offset == end || (offset > end && (offset & FUZZY_MASK) == (end & FUZZY_MASK))
+            }
             None => false,
         }
     }
@@ -204,6 +212,45 @@ mod tests {
         assert_eq!(ra.run_length(), 2);
         // A gap that crosses into another 128-byte block is not sequential.
         assert!(!ra.is_sequential_next(2000));
+    }
+
+    #[test]
+    fn fuzzy_mask_is_forward_only() {
+        // Regression: the pre-fix comparison `(offset & MASK) == (end &
+        // MASK)` classified *any* offset in the previous end's 128-byte
+        // block as sequential, including duplicates and backwards seeks.
+        let mut ra = ReadAheadState::new(G, false);
+        ra.on_read(0, 100, 1 << 20); // last_end = 100, block 0
+        assert!(!ra.is_sequential_next(0), "duplicate re-read from 0");
+        assert!(!ra.is_sequential_next(50), "backwards seek in the block");
+        assert!(!ra.is_sequential_next(99), "one byte short of the end");
+        assert!(ra.is_sequential_next(100), "exact continuation");
+        assert!(ra.is_sequential_next(110), "small forward gap, same block");
+        assert!(!ra.is_sequential_next(200), "gap into the next block");
+    }
+
+    #[test]
+    fn rereading_the_same_range_resets_the_run() {
+        // Regression: a reader looping over the same bytes must never
+        // build up a sequential run (pre-fix, run_length grew without
+        // bound because every re-read shared the previous end's block).
+        let mut ra = ReadAheadState::new(G, false);
+        let big = 1 << 20;
+        ra.on_read(0, 64, big);
+        for _ in 0..5 {
+            assert_eq!(ra.on_read(0, 64, big), ReadAheadDecision::None);
+            assert_eq!(ra.run_length(), 1, "re-reads are not sequential");
+        }
+    }
+
+    #[test]
+    fn small_forward_gap_extends_the_run() {
+        let mut ra = ReadAheadState::new(G, false);
+        let big = 1 << 20;
+        ra.on_read(0, 120, big);
+        // Resumes at 125: 5-byte forward gap inside block 0.
+        ra.on_read(125, 100, big);
+        assert_eq!(ra.run_length(), 2);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! assert!(table2.contains("10-minute"));
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod fault;
 pub mod replay;
@@ -28,9 +29,12 @@ pub mod run;
 pub mod study;
 pub mod synthetic;
 
+pub use audit::{differential_check, AuditFailure, AuditedStudy, DifferentialReport, TableDrift};
 pub use config::{MachineSpec, StudyConfig};
 pub use fault::{FaultPlan, FaultSchedule, MachineFaults};
 pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
 pub use run::MachineRun;
-pub use study::{LossReport, MachineOutput, StreamOptions, StreamedStudyData, Study, StudyData};
+pub use study::{
+    LossReport, MachineOutput, StreamOptions, StreamedStudyData, Study, StudyData, StudyFault,
+};
 pub use synthetic::SyntheticBench;

@@ -410,6 +410,12 @@ impl MachineRun {
     pub fn vm_metrics(&self) -> nt_vm::VmMetrics {
         self.machine.vm_metrics()
     }
+
+    /// Dirty bytes still resident at end of run — the closing balance of
+    /// the cache's dirty-lifecycle conservation account.
+    pub fn residual_dirty_bytes(&self) -> u64 {
+        self.machine.residual_dirty_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -2,9 +2,14 @@
 
 use std::sync::Arc;
 
+use std::fmt;
+
 use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
 use nt_analysis::TraceSet;
-use nt_trace::{CollectorPool, LossLedger, MachineId, ShipmentConsumer, Snapshot, StreamingPool};
+use nt_trace::{
+    CollectionFault, CollectorPool, LossLedger, MachineId, ShipmentConsumer, Snapshot,
+    StreamingPool,
+};
 use nt_workload::UsageCategory;
 
 use crate::config::StudyConfig;
@@ -28,6 +33,37 @@ pub struct MachineOutput {
     /// The agent's loss accounting under the fault plan (all-zero on a
     /// clean run).
     pub loss: LossLedger,
+    /// Dirty bytes still resident in the cache at end of run — the
+    /// closing balance of the dirty-lifecycle conservation account.
+    pub residual_dirty_bytes: u64,
+}
+
+/// Why a study run could not complete cleanly. Collection faults carry
+/// on to the caller instead of aborting the process, so a deployment can
+/// report what the surviving servers gathered.
+#[derive(Debug)]
+pub enum StudyFault {
+    /// A machine worker thread panicked (payload message attached).
+    Worker(String),
+    /// A collection-server thread panicked.
+    Collection(CollectionFault),
+}
+
+impl fmt::Display for StudyFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyFault::Worker(msg) => write!(f, "machine worker panicked: {msg}"),
+            StudyFault::Collection(fault) => fault.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StudyFault {}
+
+impl From<CollectionFault> for StudyFault {
+    fn from(fault: CollectionFault) -> Self {
+        StudyFault::Collection(fault)
+    }
 }
 
 /// One machine's loss accounting, as surfaced by [`StudyData`].
@@ -94,45 +130,28 @@ impl Study {
     /// 1)` forces a serial study; the determinism suite asserts it equals
     /// the parallel one, since machines share no mutable state.
     pub fn run_with_workers(config: &StudyConfig, workers: usize) -> StudyData {
-        let n = config.machines.len();
+        Self::try_run_with_workers(config, workers).unwrap_or_else(|fault| panic!("{fault}"))
+    }
+
+    /// [`Study::run_with_workers`], with worker and collection-server
+    /// panics surfaced as a [`StudyFault`] instead of re-raised.
+    pub fn try_run_with_workers(
+        config: &StudyConfig,
+        workers: usize,
+    ) -> Result<StudyData, StudyFault> {
         let schedule = FaultSchedule::materialize(config, 3);
         let pool = CollectorPool::start_with_outages(3, schedule.collectors.clone());
 
-        let mut machines: Vec<MachineOutput> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in partition(n, workers) {
-                let config = &*config;
-                let pool = &pool;
-                let schedule = &schedule;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for index in chunk {
-                        let spec = &config.machines[index];
-                        let faults = schedule.for_machine(index);
-                        let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
-                        let mut sink = pool.handle_for(run.id);
-                        run.simulate_with_faults(config, &faults, &mut sink);
-                        out.push(MachineOutput {
-                            id: run.id,
-                            category: run.category,
-                            snapshots: std::mem::take(&mut run.snapshots),
-                            io: run.io_metrics(),
-                            cache: run.cache_metrics(),
-                            vm: run.vm_metrics(),
-                            loss: run.loss_ledger(),
-                        });
-                    }
-                    out
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("machine worker panicked"))
-                .collect()
-        });
+        let (mut machines, worker_fault) =
+            run_machines(config, workers, &schedule, |id| pool.handle_for(id));
         machines.sort_by_key(|m| m.id);
 
-        let server = pool.finish();
+        // Always join the servers, even after a worker fault: the fault
+        // would otherwise leak threads blocked on their channels.
+        let server = pool.finish()?;
+        if let Some(fault) = worker_fault {
+            return Err(fault);
+        }
         let total_records = server.total_records();
         let stored_bytes = server.stored_bytes();
         let streams: Vec<(u32, Vec<nt_trace::TraceRecord>, Vec<nt_trace::NameRecord>)> = machines
@@ -145,13 +164,81 @@ impl Study {
                 )
             })
             .collect();
-        StudyData {
+        Ok(StudyData {
             config: config.clone(),
             trace_set: TraceSet::build(streams),
             machines,
             total_records,
             stored_bytes,
+        })
+    }
+}
+
+/// Simulates every machine on `workers` threads, shipping through the
+/// per-machine sinks `handle_for` hands out. A panicked worker becomes a
+/// [`StudyFault::Worker`] (first one wins) and the surviving workers'
+/// outputs are still returned.
+fn run_machines<S, F>(
+    config: &StudyConfig,
+    workers: usize,
+    schedule: &FaultSchedule,
+    handle_for: F,
+) -> (Vec<MachineOutput>, Option<StudyFault>)
+where
+    S: nt_trace::RecordSink + 'static,
+    F: Fn(MachineId) -> S + Sync,
+{
+    let n = config.machines.len();
+    let mut fault = None;
+    let machines = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in partition(n, workers) {
+            let handle_for = &handle_for;
+            let schedule = &*schedule;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for index in chunk {
+                    let spec = &config.machines[index];
+                    let faults = schedule.for_machine(index);
+                    let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
+                    let mut sink = handle_for(run.id);
+                    run.simulate_with_faults(config, &faults, &mut sink);
+                    out.push(MachineOutput {
+                        id: run.id,
+                        category: run.category,
+                        snapshots: std::mem::take(&mut run.snapshots),
+                        io: run.io_metrics(),
+                        cache: run.cache_metrics(),
+                        vm: run.vm_metrics(),
+                        loss: run.loss_ledger(),
+                        residual_dirty_bytes: run.residual_dirty_bytes(),
+                    });
+                }
+                out
+            }));
         }
+        let mut machines = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(out) => machines.extend(out),
+                Err(payload) => {
+                    fault.get_or_insert(StudyFault::Worker(panic_message(payload)));
+                }
+            }
+        }
+        machines
+    });
+    (machines, fault)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -207,6 +294,15 @@ impl Study {
     /// uses that to prove the two paths produce bit-identical fact
     /// tables at smoke scale.
     pub fn run_streaming(config: &StudyConfig, options: &StreamOptions) -> StreamedStudyData {
+        Self::try_run_streaming(config, options).unwrap_or_else(|fault| panic!("{fault}"))
+    }
+
+    /// [`Study::run_streaming`], with worker and collection-server panics
+    /// surfaced as a [`StudyFault`] instead of re-raised.
+    pub fn try_run_streaming(
+        config: &StudyConfig,
+        options: &StreamOptions,
+    ) -> Result<StreamedStudyData, StudyFault> {
         let n = config.machines.len();
         let workers = options
             .workers
@@ -232,52 +328,27 @@ impl Study {
             Arc::clone(&consumer) as Arc<dyn ShipmentConsumer>,
         );
 
-        let mut machines: Vec<MachineOutput> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in partition(n, workers) {
-                let config = &*config;
-                let pool = &pool;
-                let schedule = &schedule;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for index in chunk {
-                        let spec = &config.machines[index];
-                        let faults = schedule.for_machine(index);
-                        let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
-                        let mut sink = pool.handle_for(run.id);
-                        run.simulate_with_faults(config, &faults, &mut sink);
-                        out.push(MachineOutput {
-                            id: run.id,
-                            category: run.category,
-                            snapshots: std::mem::take(&mut run.snapshots),
-                            io: run.io_metrics(),
-                            cache: run.cache_metrics(),
-                            vm: run.vm_metrics(),
-                            loss: run.loss_ledger(),
-                        });
-                    }
-                    out
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("machine worker panicked"))
-                .collect()
-        });
+        let (mut machines, worker_fault) =
+            run_machines(config, workers, &schedule, |id| pool.handle_for(id));
         machines.sort_by_key(|m| m.id);
 
-        let totals = pool.finish();
+        // Join the servers first regardless of faults — a panicked
+        // worker must not leak forwarding threads.
+        let totals = pool.finish()?;
+        if let Some(fault) = worker_fault {
+            return Err(fault);
+        }
         let consumer = Arc::try_unwrap(consumer)
             .unwrap_or_else(|_| panic!("server threads still hold the consumer after finish"));
         let analysis = consumer.finish();
-        StreamedStudyData {
+        Ok(StreamedStudyData {
             config: config.clone(),
             summary: analysis.summary,
             trace_set: analysis.trace_set,
             machines,
             total_records: totals.total_records,
             stored_bytes: totals.stored_bytes,
-        }
+        })
     }
 }
 

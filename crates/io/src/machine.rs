@@ -111,6 +111,67 @@ pub struct IoMetrics {
     /// Requests against remote volumes refused because the network link
     /// was partitioned (fault injection).
     pub network_failures: u64,
+    /// Data-read requests accepted by the dispatcher (valid handle with
+    /// read access). Conservation: every one lands in exactly one of
+    /// `fastio_reads`, `irp_reads`, `read_lock_conflicts` or
+    /// `read_stat_failures`.
+    pub read_dispatches: u64,
+    /// Data-write requests accepted by the dispatcher; same identity
+    /// against the write buckets.
+    pub write_dispatches: u64,
+    /// Data reads refused by byte-range lock arbitration.
+    pub read_lock_conflicts: u64,
+    /// Data writes refused by byte-range lock arbitration.
+    pub write_lock_conflicts: u64,
+    /// Data reads aborted because the size query failed.
+    pub read_stat_failures: u64,
+    /// Data writes aborted because the size update failed.
+    pub write_stat_failures: u64,
+    /// Bytes moved by paging reads (cache misses, read-ahead and VM
+    /// section faults). Conservation: equals the cache's
+    /// `demand_read_bytes + readahead_bytes` plus the VM's
+    /// `paged_in_bytes`.
+    pub paging_read_bytes: u64,
+    /// Bytes moved by paging writes (lazy writer, flushes, write-through).
+    pub paging_write_bytes: u64,
+    /// Bytes requested by copy-reads that went through the cache manager
+    /// (mirror of the cache's `requested_read_bytes`).
+    pub cached_read_requested_bytes: u64,
+    /// Trace events handed to the observer — the debit side of the
+    /// records-traced ledger.
+    pub events_emitted: u64,
+}
+
+impl IoMetrics {
+    /// Posts the I/O layer's side of the conservation accounts.
+    ///
+    /// The dispatcher originates (debits) everything it accepted — read and
+    /// write requests, paging traffic, cache-bound request bytes, trace
+    /// events — and credits the §10 path split it performed itself. The
+    /// cache, VM, and trace layers credit the rest; a balanced ledger means
+    /// no request was double-counted or silently dropped between layers.
+    pub fn post_conservation(&self, ledger: &mut nt_audit::Ledger) {
+        use nt_audit::accounts::*;
+        ledger.debit(READ_DISPATCH, self.read_dispatches);
+        ledger.credit(
+            READ_DISPATCH,
+            self.fastio_reads + self.irp_reads + self.read_lock_conflicts + self.read_stat_failures,
+        );
+        ledger.debit(WRITE_DISPATCH, self.write_dispatches);
+        ledger.credit(
+            WRITE_DISPATCH,
+            self.fastio_writes
+                + self.irp_writes
+                + self.write_lock_conflicts
+                + self.write_stat_failures,
+        );
+        ledger.debit(PAGING_READ_IOS, self.paging_reads);
+        ledger.debit(PAGING_READ_BYTES, self.paging_read_bytes);
+        ledger.debit(PAGING_WRITE_IOS, self.paging_writes);
+        ledger.debit(PAGING_WRITE_BYTES, self.paging_write_bytes);
+        ledger.debit(CACHE_REQUEST_BYTES, self.cached_read_requested_bytes);
+        ledger.debit(TRACE_EVENTS, self.events_emitted);
+    }
 }
 
 /// Static configuration of a machine.
@@ -309,6 +370,13 @@ impl<O: IoObserver> Machine<O> {
         self.vm.metrics()
     }
 
+    /// Dirty cached bytes that have not reached the disk (yet). At end of
+    /// run this is the residual term of the dirty-byte conservation
+    /// ledger: bytes dirtied = lazy + flush + purged + residual.
+    pub fn residual_dirty_bytes(&self) -> u64 {
+        self.cache.dirty_bytes()
+    }
+
     /// Number of open handles.
     pub fn open_handles(&self) -> usize {
         self.handles.len()
@@ -392,6 +460,7 @@ impl<O: IoObserver> Machine<O> {
     }
 
     fn emit(&mut self, ev: IoEvent) {
+        self.metrics.events_emitted += 1;
         self.observer.event(&ev);
     }
 
@@ -741,6 +810,7 @@ impl<O: IoObserver> Machine<O> {
         let offset = offset.unwrap_or(byte_offset);
         let local = self.ns.is_local(volume);
         let key: FileKey = (volume, node);
+        self.metrics.read_dispatches += 1;
 
         if !local && !self.network_up {
             let end = now + self.latency.irp_cached(0);
@@ -774,7 +844,10 @@ impl<O: IoObserver> Machine<O> {
 
         let file_size = match self.ns.volume(volume).and_then(|v| v.file_size(node)) {
             Ok(s) => s,
-            Err(e) => return OpReply::at(NtStatus::from(e), now),
+            Err(e) => {
+                self.metrics.read_stat_failures += 1;
+                return OpReply::at(NtStatus::from(e), now);
+            }
         };
 
         if offset >= file_size {
@@ -813,6 +886,7 @@ impl<O: IoObserver> Machine<O> {
         if let Some(t) = self.shares.locks(share_key) {
             if !t.read_allowed(handle, offset, len) {
                 self.metrics.lock_conflicts += 1;
+                self.metrics.read_lock_conflicts += 1;
                 let end = now + self.latency.irp_cached(0);
                 return OpReply::at(NtStatus::FileLockConflict, end);
             }
@@ -860,6 +934,7 @@ impl<O: IoObserver> Machine<O> {
         let outcome = self
             .cache
             .read(&key, offset, len, file_size, Self::hints_for(options));
+        self.metrics.cached_read_requested_bytes += transferred;
 
         // NTFS compression: half the bytes move on the disk, and every
         // cache copy pays a decompression penalty (the follow-up traces
@@ -874,6 +949,7 @@ impl<O: IoObserver> Machine<O> {
                 .latency
                 .disk_io(volume.0 as usize, disk_bytes, now, &mut self.rng);
             self.metrics.paging_reads += 1;
+            self.metrics.paging_read_bytes += io.len;
             self.emit_read_event(
                 EventKind::Irp(MajorFunction::Read),
                 fo,
@@ -1035,6 +1111,7 @@ impl<O: IoObserver> Machine<O> {
         let offset = offset.unwrap_or(byte_offset);
         let local = self.ns.is_local(volume);
         let key: FileKey = (volume, node);
+        self.metrics.write_dispatches += 1;
 
         if !local && !self.network_up {
             let end = now + self.latency.irp_cached(0);
@@ -1072,6 +1149,7 @@ impl<O: IoObserver> Machine<O> {
         if let Some(t) = self.shares.locks(share_key) {
             if !t.write_allowed(handle, offset, len) {
                 self.metrics.lock_conflicts += 1;
+                self.metrics.write_lock_conflicts += 1;
                 let end = now + self.latency.irp_cached(0);
                 return OpReply::at(NtStatus::FileLockConflict, end);
             }
@@ -1083,6 +1161,7 @@ impl<O: IoObserver> Machine<O> {
             .volume_mut(volume)
             .and_then(|v| v.note_write(node, offset, len, now))
         {
+            self.metrics.write_stat_failures += 1;
             let end = now + self.latency.irp_cached(0);
             return OpReply::at(NtStatus::from(e), end);
         }
@@ -1138,6 +1217,7 @@ impl<O: IoObserver> Machine<O> {
                 .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
             forced_done = forced_done.max(done);
             self.metrics.paging_writes += 1;
+            self.metrics.paging_write_bytes += io.len;
             self.emit_write_event(
                 EventKind::Irp(MajorFunction::Write),
                 fo,
@@ -1274,6 +1354,7 @@ impl<O: IoObserver> Machine<O> {
                 .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
             end = end.max(done);
             self.metrics.paging_writes += 1;
+            self.metrics.paging_write_bytes += io.len;
             self.emit_write_event(
                 EventKind::Irp(MajorFunction::Write),
                 fo,
@@ -1958,6 +2039,7 @@ impl<O: IoObserver> Machine<O> {
                 .disk_io(volume.0 as usize, r.len, acq_end, &mut self.rng);
             done = done.max(fin);
             self.metrics.paging_reads += 1;
+            self.metrics.paging_read_bytes += r.len;
             self.emit_read_event(
                 EventKind::Irp(MajorFunction::Read),
                 fo,
@@ -2062,6 +2144,7 @@ impl<O: IoObserver> Machine<O> {
                 .disk_io(volume.0 as usize, r.len, now, &mut self.rng);
             end = end.max(fin);
             self.metrics.paging_reads += 1;
+            self.metrics.paging_read_bytes += r.len;
             self.emit_read_event(
                 EventKind::Irp(MajorFunction::Read),
                 fo,
@@ -2120,17 +2203,20 @@ impl<O: IoObserver> Machine<O> {
             let end = now + self.latency.fastio_metadata();
             return OpReply::at(NtStatus::EndOfFile, end);
         }
+        self.metrics.read_dispatches += 1;
         let transferred = len.min(file_size - offset);
         // The pages must be resident; misses page in like any read.
         let outcome = self
             .cache
             .read(&key, offset, len, file_size, Self::hints_for(options));
+        self.metrics.cached_read_requested_bytes += transferred;
         let mut done = now;
         for io in &outcome.ios {
             let fin = self
                 .latency
                 .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
             self.metrics.paging_reads += 1;
+            self.metrics.paging_read_bytes += io.len;
             self.cache.complete_paging_read(&key, io.offset, io.len);
             done = done.max(fin);
             self.emit_read_event(
@@ -2234,6 +2320,7 @@ impl<O: IoObserver> Machine<O> {
         if let Some(f) = self.fcbs.get_mut(fcb) {
             f.written = true;
         }
+        self.metrics.write_dispatches += 1;
         let file_size = self
             .ns
             .volume(volume)
@@ -2249,6 +2336,7 @@ impl<O: IoObserver> Machine<O> {
                 .latency
                 .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
             self.metrics.paging_writes += 1;
+            self.metrics.paging_write_bytes += io.len;
             done = done.max(fin);
             self.emit_write_event(
                 EventKind::Irp(MajorFunction::Write),
@@ -2518,6 +2606,7 @@ impl<O: IoObserver> Machine<O> {
                 .latency
                 .disk_io(volume.0 as usize, action.io.len, now, &mut self.rng);
             self.metrics.paging_writes += 1;
+            self.metrics.paging_write_bytes += action.io.len;
             let (fo, fcb, process, _) = self
                 .deferred_close
                 .get(&action.key)

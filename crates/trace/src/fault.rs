@@ -88,6 +88,24 @@ impl LossLedger {
     pub fn lost(&self) -> u64 {
         self.dropped_overflow + self.dropped_suspended
     }
+
+    /// Posts the trace agent's side of the conservation accounts.
+    ///
+    /// Every event the machine emitted (the I/O layer's `TRACE_EVENTS`
+    /// debit) is credited here as recorded-or-dropped-while-suspended;
+    /// every recorded record is then debited again and credited to its
+    /// fate (delivered or overflow-dropped) — [`reconciles`] as a ledger
+    /// account. Delivered records become the debit that the analysis
+    /// sinks must account for.
+    ///
+    /// [`reconciles`]: LossLedger::reconciles
+    pub fn post_conservation(&self, ledger: &mut nt_audit::Ledger) {
+        use nt_audit::accounts::*;
+        ledger.credit(TRACE_EVENTS, self.recorded + self.dropped_suspended);
+        ledger.debit(TRACE_RECORDS, self.recorded);
+        ledger.credit(TRACE_RECORDS, self.delivered + self.dropped_overflow);
+        ledger.debit(ANALYSIS_RECORDS, self.delivered);
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! is refused and the agent keeps the batch for a later retry.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -109,6 +110,41 @@ enum Shipment {
     /// `(machine, agent sequence, records)`; `None` = arrival order.
     Batch(MachineId, Option<u64>, Vec<TraceRecord>),
     Name(MachineId, Option<u64>, NameRecord),
+}
+
+/// A collection-server thread died mid-run (panicked), so the records it
+/// held were lost. Surfaced as an error so a study can report the fault
+/// (and whatever the surviving servers collected) instead of aborting
+/// the whole process.
+#[derive(Debug)]
+pub struct CollectionFault {
+    /// Index of the dead server in the pool.
+    pub server: usize,
+    /// The panic payload, when it carried a message.
+    pub message: String,
+}
+
+impl fmt::Display for CollectionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collection server {} panicked: {}",
+            self.server, self.message
+        )
+    }
+}
+
+impl std::error::Error for CollectionFault {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A per-machine handle that ships to the assigned collection server,
@@ -253,14 +289,29 @@ impl CollectorPool {
     /// Every [`CollectorHandle`] must have been dropped first — a live
     /// handle keeps its server's channel open and `finish` would wait for
     /// it (the agents disconnect before the servers shut down, §3).
-    pub fn finish(self) -> CollectionServer {
+    ///
+    /// A panicked server thread is reported as the first
+    /// [`CollectionFault`] (the remaining servers are still joined, so no
+    /// thread is leaked) rather than propagating the panic.
+    pub fn finish(self) -> Result<CollectionServer, CollectionFault> {
         drop(self.senders);
         let mut merged = CollectionServer::new();
-        for h in self.handles {
-            let store = h.join().expect("collection server thread panicked");
-            merged.merge(store);
+        let mut fault = None;
+        for (server, h) in self.handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(store) => merged.merge(store),
+                Err(payload) => {
+                    fault.get_or_insert(CollectionFault {
+                        server,
+                        message: panic_message(payload),
+                    });
+                }
+            }
         }
-        merged
+        match fault {
+            Some(f) => Err(f),
+            None => Ok(merged),
+        }
     }
 }
 
@@ -350,16 +401,30 @@ impl StreamingPool {
 
     /// Closes the streams, joins the servers and sums their accounting.
     /// As with [`CollectorPool::finish`], every handle must be dropped
-    /// first.
-    pub fn finish(self) -> StreamingTotals {
+    /// first, and a panicked forwarding thread (most likely a panic in
+    /// the [`ShipmentConsumer`]) comes back as a [`CollectionFault`].
+    pub fn finish(self) -> Result<StreamingTotals, CollectionFault> {
         drop(self.senders);
         let mut totals = StreamingTotals::default();
-        for h in self.handles {
-            let t = h.join().expect("streaming server thread panicked");
-            totals.total_records += t.total_records;
-            totals.stored_bytes += t.stored_bytes;
+        let mut fault = None;
+        for (server, h) in self.handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(t) => {
+                    totals.total_records += t.total_records;
+                    totals.stored_bytes += t.stored_bytes;
+                }
+                Err(payload) => {
+                    fault.get_or_insert(CollectionFault {
+                        server,
+                        message: panic_message(payload),
+                    });
+                }
+            }
         }
-        totals
+        match fault {
+            Some(f) => Err(f),
+            None => Ok(totals),
+        }
     }
 }
 
@@ -416,7 +481,7 @@ mod tests {
                 });
             }
         });
-        let merged = pool.finish();
+        let merged = pool.finish().expect("no server died");
         assert_eq!(merged.total_records(), 9 * 4 * 50);
         assert_eq!(merged.machines().len(), 9);
         for m in 0..9u32 {
@@ -436,7 +501,7 @@ mod tests {
         // Handles keep their server's channel open; drop them before the
         // pool shuts down.
         drop((a, b, c));
-        pool.finish();
+        pool.finish().expect("no server died");
     }
 
     #[test]
@@ -445,7 +510,7 @@ mod tests {
         let mut h = pool.handle_for(MachineId(0));
         h.ingest(MachineId(0), &[]);
         drop(h);
-        let merged = pool.finish();
+        let merged = pool.finish().expect("no server died");
         assert_eq!(merged.total_records(), 0);
     }
 
@@ -472,7 +537,7 @@ mod tests {
         assert!(h1.ingest_at(MachineId(1), 0, &records, 50));
         assert_eq!(h1.failovers(), 1);
         drop((h, h1));
-        let merged = pool.finish();
+        let merged = pool.finish().expect("no server died");
         assert_eq!(merged.total_records(), 30);
     }
 
@@ -519,19 +584,41 @@ mod tests {
         let mut h = stored.handle_for(MachineId(0));
         ship(&mut h);
         drop(h);
-        let merged = stored.finish();
+        let merged = stored.finish().expect("no server died");
 
         let consumer = Arc::new(Counter::default());
         let streaming = StreamingPool::start(2, consumer.clone() as Arc<dyn ShipmentConsumer>);
         let mut h = streaming.handle_for(MachineId(0));
         ship(&mut h);
         drop(h);
-        let totals = streaming.finish();
+        let totals = streaming.finish().expect("no server died");
 
         assert_eq!(totals.total_records, merged.total_records());
         assert_eq!(totals.stored_bytes, merged.stored_bytes());
         assert_eq!(*consumer.records.lock().unwrap(), totals.total_records);
         assert_eq!(*consumer.names.lock().unwrap(), 4);
+    }
+
+    #[test]
+    fn panicking_consumer_is_a_collection_fault_not_an_abort() {
+        struct Bomb;
+        impl ShipmentConsumer for Bomb {
+            fn batch(&self, _m: MachineId, _seq: Option<u64>, _records: Vec<TraceRecord>) {
+                panic!("consumer exploded");
+            }
+            fn name(&self, _m: MachineId, _seq: Option<u64>, _name: NameRecord) {}
+        }
+        let pool = StreamingPool::start(1, Arc::new(Bomb));
+        let mut h = pool.handle_for(MachineId(0));
+        let records: Vec<TraceRecord> = (0..5).map(rec).collect();
+        h.ingest(MachineId(0), &records);
+        drop(h);
+        // Before finish() returned Result, the dead thread's panic was
+        // re-raised here and took the whole process down.
+        let fault = pool.finish().expect_err("the server thread died");
+        assert_eq!(fault.server, 0);
+        assert!(fault.message.contains("consumer exploded"), "{fault}");
+        assert!(fault.to_string().contains("collection server 0"));
     }
 
     #[test]
@@ -549,7 +636,7 @@ mod tests {
         assert!(h.ingest_at(MachineId(0), 2, &batch(10), 250));
         assert_eq!(h.failovers(), 1);
         drop(h);
-        let merged = pool.finish();
+        let merged = pool.finish().expect("no server died");
         let back = merged.records_for(MachineId(0));
         assert_eq!(back.len(), 15);
         let ids: Vec<u64> = back.iter().map(|r| r.file_object).collect();

@@ -58,6 +58,8 @@ pub struct VmMetrics {
     pub soft_faults: u64,
     /// Bytes brought in by paging reads.
     pub paged_in_bytes: u64,
+    /// Paging reads issued for section faults (one per resident gap).
+    pub paging_read_ios: u64,
     /// Image-section map requests fully served from the standby list —
     /// the warm application restarts §3.3 describes.
     pub warm_image_maps: u64,
@@ -65,6 +67,16 @@ pub struct VmMetrics {
     pub cold_image_maps: u64,
     /// Pages evicted under memory pressure.
     pub evicted_pages: u64,
+}
+
+impl VmMetrics {
+    /// Posts the VM's side of the conservation accounts: section faults
+    /// credit their share of the paging reads the I/O layer debited.
+    pub fn post_conservation(&self, ledger: &mut nt_audit::Ledger) {
+        use nt_audit::accounts::*;
+        ledger.credit(PAGING_READ_IOS, self.paging_read_ios);
+        ledger.credit(PAGING_READ_BYTES, self.paged_in_bytes);
+    }
 }
 
 struct Section {
@@ -157,6 +169,7 @@ impl<K: Ord + Clone> VmManager<K> {
             s.resident.insert(gs, ge);
         }
         self.metrics.hard_faults += 1;
+        self.metrics.paging_read_ios += reads.len() as u64;
         self.resident_pages += new_pages;
         self.evict_to_budget(key);
         reads

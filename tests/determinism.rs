@@ -157,6 +157,71 @@ fn streaming_study_is_deterministic() {
     assert_eq!(a.summary.peak_state_bytes, b.summary.peak_state_bytes);
 }
 
+#[test]
+fn multi_day_faulted_fleet_keeps_streaming_and_batch_tables_identical() {
+    // The full 45-machine fleet over two simulated days with the lossy
+    // fault plan active — agent suspensions, shipping refusals and
+    // network partitions all firing. The gap-excluded fact tables the
+    // two pipelines build (records, open/close instances, names) must
+    // still be bit-for-bit identical: fault windows may only remove
+    // records, never reorder or corrupt what survives, and both
+    // pipelines must exclude exactly the same gaps.
+    //
+    // This run is ~10 M surviving records; it needs the lazy-writer
+    // worklist in `nt-cache` (the per-second scan used to walk every
+    // cache map, which made multi-day simulations quadratic in traced
+    // time and this test infeasible).
+    let mut config = StudyConfig::evaluation(91);
+    config.duration = nt_sim::SimDuration::from_secs(2 * 86_400);
+    config.snapshot_interval = nt_sim::SimDuration::from_secs(86_400);
+    config.files_per_volume = 100;
+    config.web_cache_files = 20;
+    config.faults = nt_study::FaultPlan::lossy();
+    assert_eq!(config.machines.len(), 45, "paper fleet");
+
+    let batch = Study::run(&config);
+    let streamed = Study::run_streaming(
+        &config,
+        &StreamOptions {
+            retain: true,
+            ..StreamOptions::default()
+        },
+    );
+    let lost: u64 = streamed.machines.iter().map(|m| m.loss.lost()).sum();
+    assert!(lost > 0, "the lossy plan should have dropped records");
+    assert!(
+        batch.total_records > 1_000_000,
+        "multi-day scale, got {} records",
+        batch.total_records
+    );
+    assert_eq!(batch.total_records, streamed.total_records, "head-count");
+    assert_eq!(batch.stored_bytes, streamed.stored_bytes, "stored bytes");
+    let rebuilt = streamed
+        .trace_set
+        .as_ref()
+        .expect("retain keeps the fact tables");
+    // `assert!` with `==`, not `assert_eq!`: a failure must not try to
+    // print ten million records.
+    assert!(
+        batch.trace_set.records == rebuilt.records,
+        "record tables diverge ({} batch vs {} streaming rows)",
+        batch.trace_set.records.len(),
+        rebuilt.records.len()
+    );
+    assert!(
+        batch.trace_set.instances == rebuilt.instances,
+        "instance tables diverge ({} batch vs {} streaming rows)",
+        batch.trace_set.instances.len(),
+        rebuilt.instances.len()
+    );
+    assert!(
+        batch.trace_set.names == rebuilt.names,
+        "name tables diverge ({} batch vs {} streaming entries)",
+        batch.trace_set.names.len(),
+        rebuilt.names.len()
+    );
+}
+
 /// The documented memory ceiling for the streaming analysis state at the
 /// paper's 45-machine deployment shape (see EXPERIMENTS.md). The ceiling
 /// covers the per-machine sinks — open-session builders, parked
