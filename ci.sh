@@ -46,11 +46,14 @@ cargo test -q --offline
 step "conservation audit (ledger reconciliation + differential harness)"
 cargo test -q --offline --test audit
 
+step "telemetry non-perturbation (obs suite: fact tables identical on/off)"
+cargo test -q --offline --test obs
+
 step "cargo test --workspace"
 cargo test -q --workspace --offline
 
-step "bench smoke (compile + one iteration per bench)"
-NT_BENCH_ITERS=1 cargo bench -q --offline -p nt-bench --bench streaming
+step "bench smoke + telemetry-off overhead gate (budget 3% vs baseline)"
+NT_BENCH_ITERS=1 NT_BENCH_GATE=1 cargo bench -q --offline -p nt-bench --bench streaming
 
 echo
 echo "CI green."

@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use nt_obs::{Phase, Telemetry};
 use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
 
 use crate::arrivals::ArrivalAccumulator;
@@ -49,6 +50,10 @@ pub struct StreamConfig {
     pub spill_dir: Option<PathBuf>,
     /// Resident samples per spill buffer before a sorted run is written.
     pub spill_buffer: usize,
+    /// Telemetry handle for analysis-ingest spans; off by default. The
+    /// whole streaming fleet shares one handle (the ingest phase has no
+    /// machine identity), so the study-side profiler sees every batch.
+    pub telemetry: Telemetry,
 }
 
 impl Default for StreamConfig {
@@ -57,6 +62,7 @@ impl Default for StreamConfig {
             retain: false,
             spill_dir: None,
             spill_buffer: 65_536,
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -98,6 +104,7 @@ pub struct MachineSink {
     peak_open_sessions: usize,
     peak_parked_records: usize,
     peak_state_bytes: usize,
+    telemetry: Telemetry,
 }
 
 impl MachineSink {
@@ -132,6 +139,7 @@ impl MachineSink {
             peak_open_sessions: 0,
             peak_parked_records: 0,
             peak_state_bytes: 0,
+            telemetry: config.telemetry.clone(),
         }
     }
 
@@ -139,6 +147,7 @@ impl MachineSink {
     /// unstamped ones) are processed immediately; future stamps park
     /// until the gap closes.
     pub fn on_batch(&mut self, seq: Option<u64>, records: Vec<TraceRecord>) {
+        let _span = self.telemetry.span_child(Phase::Analysis, "analysis.batch");
         match seq {
             Some(s) if s > self.next_seq => {
                 self.parked_records += records.len();
@@ -371,6 +380,7 @@ pub struct AnalysisSet {
     index: HashMap<u32, usize>,
     sinks: Vec<Mutex<MachineSink>>,
     retain: bool,
+    telemetry: Telemetry,
 }
 
 impl AnalysisSet {
@@ -389,6 +399,7 @@ impl AnalysisSet {
             index,
             sinks,
             retain: config.retain,
+            telemetry: config.telemetry.clone(),
         }
     }
 
@@ -412,6 +423,9 @@ impl AnalysisSet {
     /// depend on server-thread interleaving — and produces the summary
     /// (plus the exact fact tables under `retain`).
     pub fn finish(self) -> StreamedAnalysis {
+        let _span = self
+            .telemetry
+            .span_child(Phase::Analysis, "analysis.finish");
         let mut summary = StudySummary::default();
         let mut size_spill: Option<SpillRuns> = None;
         let mut duration_spill: Option<SpillRuns> = None;

@@ -7,6 +7,16 @@
 //! land in `BENCH_streaming.json` at the repository root, which is checked
 //! in as the reference measurement (see README.md). `NT_BENCH_ITERS`
 //! controls iterations per bench (default 3; CI smokes with 1).
+//!
+//! With `NT_BENCH_GATE=1` the harness additionally enforces the
+//! telemetry-off overhead budget: the simulate phase of a one-machine
+//! study, normalised against the machine-construction phase measured
+//! beside it (same volume, file table and allocator — only simulate
+//! crosses the instrumented paths), must stay within
+//! `NT_BENCH_TOLERANCE` percent (default 3) of the checked-in baseline
+//! (see [`gate`]). The whole `nt-obs` layer rides
+//! the study hot paths, so this is the regression tripwire proving the
+//! Off configuration stays free.
 
 use std::time::Instant;
 
@@ -23,6 +33,9 @@ use nt_trace::{CollectionServer, MachineId};
 struct Sample {
     name: &'static str,
     ns_per_iter: u128,
+    /// Fastest single iteration — the gate compares this, not the mean,
+    /// so a background compile on the CI host doesn't trip the budget.
+    min_ns: u128,
     /// Work items per iteration (records, events …) for ns/item context.
     elements: u64,
 }
@@ -37,17 +50,132 @@ fn iterations() -> u32 {
 
 fn time<O, F: FnMut() -> O>(name: &'static str, elements: u64, mut f: F) -> Sample {
     let n = iterations();
-    let start = Instant::now();
+    let mut total = 0u128;
+    let mut min_ns = u128::MAX;
     for _ in 0..n {
+        let start = Instant::now();
         std::hint::black_box(f());
+        let ns = start.elapsed().as_nanos();
+        total += ns;
+        min_ns = min_ns.min(ns);
     }
-    let ns_per_iter = start.elapsed().as_nanos() / u128::from(n);
+    let ns_per_iter = total / u128::from(n);
     eprintln!("bench streaming/{name}: {ns_per_iter} ns/iter ({elements} elements)");
     Sample {
         name,
         ns_per_iter,
+        min_ns,
         elements,
     }
+}
+
+/// Pulls `"key": N` out of the checked-in baseline JSON (flat integers
+/// only, so no parser dependency is needed).
+fn baseline_value(json: &str, key: &str) -> Option<u128> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The telemetry-off overhead gate (`NT_BENCH_GATE=1`).
+///
+/// Comparing raw nanoseconds against a baseline recorded in a different
+/// process would gate on host-speed drift (shared CPUs, turbo decay),
+/// which swings far more than the 3% budget. Instead both the baseline
+/// writer and the gate run [`gate_measurements`] and compare the
+/// *ratio* of the simulate phase to the machine-construction phase
+/// measured beside it: ambient slowdown — CPU sharing, cache and
+/// memory-bandwidth pressure — hits both phases alike and cancels,
+/// while a real regression on the instrumented simulate path moves
+/// the ratio.
+fn gate(baseline_path: &str) {
+    let tolerance: f64 = std::env::var("NT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let json = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("bench gate needs {baseline_path}: {e}"));
+    let baseline_min = |name: &str| -> f64 {
+        baseline_value(&json, &format!("{name}_min_ns")).unwrap_or_else(|| {
+            panic!("baseline entry for {name}; regenerate with NT_BENCH_WRITE=1")
+        }) as f64
+    };
+    let baseline_ratio = baseline_min("gate_smoke_serial") / baseline_min("gate_reference");
+    // A real regression is systematic: it shows up in every measurement
+    // round. Host noise is not: it spikes one round and misses the next.
+    // Up to three rounds run, and the best one is judged — a >3% true
+    // slowdown still fails all three.
+    let mut best_delta = f64::INFINITY;
+    for round in 1..=3 {
+        let (study, reference) = gate_measurements();
+        let current_ratio = study as f64 / reference as f64;
+        let delta = 100.0 * (current_ratio - baseline_ratio) / baseline_ratio;
+        best_delta = best_delta.min(delta);
+        let verdict = if delta > tolerance { "FAIL" } else { "ok" };
+        eprintln!(
+            "bench gate round {round}: ratio {current_ratio:.3} vs baseline \
+             {baseline_ratio:.3} ({delta:+.1}%, budget {tolerance}%) {verdict}",
+        );
+        if best_delta <= tolerance {
+            break;
+        }
+    }
+    assert!(
+        best_delta <= tolerance,
+        "telemetry-off overhead exceeds the {tolerance}% budget in every round; \
+         if the regression is intended, regenerate the baseline with NT_BENCH_WRITE=1"
+    );
+}
+
+/// Times the gate's two measurements, interleaved on one thread so both
+/// sample the same host conditions, with enough iterations that the
+/// minima converge to the host's floor. The gated number simulates one
+/// machine straight into a local collection server — single-threaded
+/// (no worker or collector threads to pick up scheduler jitter) yet
+/// crossing every dispatch/cache/vm/trace hot path the telemetry layer
+/// instruments. The reference — populating a §5 content volume — has
+/// the same allocation-heavy namespace-churn profile (so cache and
+/// memory pressure move both and cancel in the ratio) but never touches
+/// those hot paths, so an off-path regression moves only the numerator.
+fn gate_measurements() -> (u128, u128) {
+    let mut config = StudyConfig::smoke_test(13);
+    config.duration = SimDuration::from_secs(120);
+    let spec = config.machines[0].clone();
+    // Per block: time machine construction (the reference — it never
+    // crosses the instrumented dispatch path) and the simulate phase
+    // that runs over it (the numerator — every span/sampler check sits
+    // on it). Both walk the same volume, file table and allocator, so
+    // ambient cache and memory-bandwidth pressure moves them together
+    // and cancels in the ratio. The block ratios are reduced by median
+    // below, which shrugs off the blocks a noisy neighbour landed on.
+    let mut ratios = Vec::new();
+    for block in 0..12 {
+        // Symmetric floors: both sides take the minimum over the same
+        // number of passes, so transient spikes can't bias the ratio
+        // toward either workload.
+        let mut reference_ns = u128::MAX;
+        let mut study_ns = u128::MAX;
+        for _round in 0..3 {
+            let start = Instant::now();
+            let mut run = MachineRun::build(&config, 0, &spec);
+            reference_ns = reference_ns.min(start.elapsed().as_nanos());
+            let mut server = CollectionServer::new();
+            let start = Instant::now();
+            run.simulate(&config, &mut server);
+            std::hint::black_box(server.records_for(MachineId(0)).len());
+            study_ns = study_ns.min(start.elapsed().as_nanos());
+        }
+        // The first blocks warm the allocator and caches; skip them.
+        if block >= 2 {
+            ratios.push((study_ns, reference_ns));
+        }
+    }
+    ratios.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
+    ratios[ratios.len() / 2]
 }
 
 /// One machine-run's worth of records and names, built once.
@@ -127,6 +255,11 @@ fn main() {
     samples.push(time("smoke_study_streaming", 1, || {
         Study::run_streaming(&config, &StreamOptions::default()).total_records
     }));
+    // The same study on one worker thread: scheduler-jitter-free, so the
+    // telemetry-off overhead gate compares against this one.
+    samples.push(time("smoke_study_serial", 1, || {
+        Study::run_with_workers(&config, 1).total_records
+    }));
 
     // Context the timings need: stream volume and the streaming memory
     // footprint at this scale.
@@ -140,8 +273,14 @@ fn main() {
         ),
     ];
 
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    if std::env::var("NT_BENCH_GATE").is_ok() {
+        gate(baseline_path);
+    }
+
     if std::env::var("NT_BENCH_WRITE").is_ok() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+        let (gate_study, gate_reference) = gate_measurements();
+        let path = baseline_path;
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"iterations\": {},\n", iterations()));
         for s in &samples {
@@ -149,8 +288,11 @@ fn main() {
                 "  \"{}_ns_per_iter\": {},\n",
                 s.name, s.ns_per_iter
             ));
+            out.push_str(&format!("  \"{}_min_ns\": {},\n", s.name, s.min_ns));
             out.push_str(&format!("  \"{}_elements\": {},\n", s.name, s.elements));
         }
+        out.push_str(&format!("  \"gate_smoke_serial_min_ns\": {gate_study},\n"));
+        out.push_str(&format!("  \"gate_reference_min_ns\": {gate_reference},\n"));
         for (i, (k, v)) in extras.iter().enumerate() {
             let comma = if i + 1 == extras.len() { "" } else { "," };
             out.push_str(&format!("  \"{k}\": {v}{comma}\n"));

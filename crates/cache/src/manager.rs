@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use nt_obs::{Phase, Telemetry};
 use nt_sim::{SimDuration, SimTime};
 
 use crate::metrics::CacheMetrics;
@@ -166,6 +167,7 @@ pub struct CacheManager<K> {
     // full-map sum.
     resident_total: u64,
     metrics: CacheMetrics,
+    telemetry: Telemetry,
     last_scan: SimTime,
     touch_clock: u64,
 }
@@ -179,9 +181,16 @@ impl<K: Ord + Clone> CacheManager<K> {
             attention: BTreeSet::new(),
             resident_total: 0,
             metrics: CacheMetrics::default(),
+            telemetry: Telemetry::off(),
             last_scan: SimTime::ZERO,
             touch_clock: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; cache spans nest under the owning
+    /// machine's dispatch spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Creates a manager with the NT 4.0 defaults.
@@ -256,6 +265,7 @@ impl<K: Ord + Clone> CacheManager<K> {
         file_size: u64,
         hints: CacheOpenHints,
     ) -> ReadOutcome {
+        let _span = self.telemetry.span_child(Phase::Cache, "cache.read");
         let initiated = self.ensure(key, file_size, hints);
         self.touch_clock += 1;
         let clock = self.touch_clock;
@@ -401,6 +411,7 @@ impl<K: Ord + Clone> CacheManager<K> {
         file_size: u64,
         hints: CacheOpenHints,
     ) -> WriteOutcome {
+        let _span = self.telemetry.span_child(Phase::Cache, "cache.write");
         let initiated = self.ensure(key, file_size, hints);
         self.touch_clock += 1;
         let clock = self.touch_clock;
@@ -479,6 +490,7 @@ impl<K: Ord + Clone> CacheManager<K> {
     /// [`CacheConfig::lazy_write_interval`]. Returns the paging writes to
     /// issue, plus the keys whose deferred close can now complete.
     pub fn lazy_scan(&mut self, now: SimTime) -> (Vec<PagingAction<K>>, Vec<K>) {
+        let _span = self.telemetry.span(Phase::Cache, "cache.lazy_scan", now);
         self.last_scan = now;
         let mut actions = Vec::new();
         let mut closable = Vec::new();

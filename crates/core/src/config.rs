@@ -1,5 +1,6 @@
 //! Deployment configuration (§2 of the paper).
 
+use nt_obs::TelemetryConfig;
 use nt_sim::SimDuration;
 use nt_workload::UsageCategory;
 
@@ -58,6 +59,10 @@ pub struct StudyConfig {
     /// buffers can squeeze, servers and the network can go down). The
     /// default plan injects nothing.
     pub faults: FaultPlan,
+    /// Telemetry: spans, time-series sampling and runtime
+    /// self-profiling (`nt-obs`). Off in every preset; enabling it must
+    /// not change any fact table or ledger (`tests/obs.rs`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl StudyConfig {
@@ -96,6 +101,7 @@ impl StudyConfig {
             disable_readahead: false,
             force_write_through: false,
             faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::Off,
         }
     }
 
@@ -129,6 +135,7 @@ impl StudyConfig {
             disable_readahead: false,
             force_write_through: false,
             faults: FaultPlan::none(),
+            telemetry: TelemetryConfig::Off,
         }
     }
 }

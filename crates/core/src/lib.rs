@@ -32,6 +32,9 @@ pub mod synthetic;
 pub use audit::{differential_check, AuditFailure, AuditedStudy, DifferentialReport, TableDrift};
 pub use config::{MachineSpec, StudyConfig};
 pub use fault::{FaultPlan, FaultSchedule, MachineFaults};
+pub use nt_obs::{
+    MachineTelemetry, Phase, RuntimeProfile, Telemetry, TelemetryConfig, TelemetryOptions,
+};
 pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
 pub use run::MachineRun;
 pub use study::{

@@ -2,6 +2,7 @@
 
 use nt_fs::VolumeConfig;
 use nt_io::{DiskParams, Machine, MachineConfig, ProcessId};
+use nt_obs::Telemetry;
 use nt_sim::{rng_for, Engine, SimDuration, SimRng, SimTime};
 use nt_trace::{MachineId, RecordSink, Snapshot, SnapshotWalker, TraceFilter};
 use nt_workload::{
@@ -26,6 +27,10 @@ pub struct MachineRun {
     rng: SimRng,
     /// Snapshots taken so far.
     pub snapshots: Vec<Snapshot>,
+    telemetry: Telemetry,
+    /// Simulated cadence of the gauge/counter sampler; `None` when
+    /// telemetry is off (the engine then carries no sampler events).
+    sample_interval: Option<SimDuration>,
 }
 
 impl MachineRun {
@@ -54,11 +59,17 @@ impl MachineRun {
         machine_config.disable_fastio = config.disable_fastio;
         machine_config.cache.readahead_enabled = !config.disable_readahead;
         machine_config.cache.force_write_through = config.force_write_through;
-        let filter = match faults.buffer_capacity {
+        let telemetry = match config.telemetry.options() {
+            Some(opts) => Telemetry::for_machine(id.0, opts),
+            None => Telemetry::off(),
+        };
+        let mut filter = match faults.buffer_capacity {
             Some(cap) => TraceFilter::with_capacity(id, cap),
             None => TraceFilter::new(id),
         };
+        filter.set_telemetry(telemetry.clone());
         let mut machine = Machine::new(machine_config, filter);
+        machine.set_telemetry(telemetry.clone());
 
         // §2 hardware: scientific machines have 9–18 GB SCSI disks,
         // everyone else 2–6 GB IDE.
@@ -138,6 +149,12 @@ impl MachineRun {
             user,
             rng,
             snapshots: Vec::new(),
+            telemetry,
+            sample_interval: config
+                .telemetry
+                .options()
+                .map(|o| o.sample_interval)
+                .filter(|d| *d > SimDuration::ZERO && *d < SimDuration::MAX),
         }
     }
 
@@ -222,6 +239,7 @@ impl MachineRun {
             // §7: applications start, live a heavy-tailed lifetime, exit.
             live: Vec<(ProcessId, SimTime)>,
             next_pid: u32,
+            sample_every: Option<SimDuration>,
         }
         fn lazy_tick<S: RecordSink + 'static>(
             w: &mut World<'_, S>,
@@ -230,6 +248,52 @@ impl MachineRun {
             w.run.machine.lazy_tick(eng.now());
             if eng.now() < w.end {
                 eng.schedule_in(SimDuration::from_secs(1), lazy_tick);
+            }
+        }
+        // The telemetry sampler: reads gauges off the machine and the
+        // engine, touches no RNG and no machine state, and re-arms on
+        // aligned multiples of the cadence so stamps line up across the
+        // fleet for exact aggregation. Only scheduled when telemetry is
+        // on, so a disabled run carries zero extra events.
+        fn sample<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
+            use nt_obs::SeriesKind::{Counter, Gauge};
+            let m = &w.run.machine;
+            let io = m.metrics();
+            let ops = io.opens
+                + io.open_failures
+                + io.read_dispatches
+                + io.write_dispatches
+                + io.control_ops
+                + io.cleanups
+                + io.closes;
+            let lost = m.observer().ledger().lost();
+            w.run.telemetry.record_many(
+                eng.now(),
+                &[
+                    (
+                        "cache.resident_bytes",
+                        Gauge,
+                        m.cache_resident_bytes() as f64,
+                    ),
+                    ("cache.dirty_bytes", Gauge, m.residual_dirty_bytes() as f64),
+                    (
+                        "cache.map_inits",
+                        Counter,
+                        m.cache_metrics().cache_inits as f64,
+                    ),
+                    ("engine.queue_depth", Gauge, eng.queue_depth() as f64),
+                    ("engine.events_fired", Counter, eng.events_fired() as f64),
+                    ("io.open_handles", Gauge, m.open_handles() as f64),
+                    ("io.ops", Counter, ops as f64),
+                    ("io.bytes_read", Counter, io.bytes_read as f64),
+                    ("io.bytes_written", Counter, io.bytes_written as f64),
+                    ("trace.lost_records", Counter, lost as f64),
+                ],
+            );
+            if let Some(d) = w.sample_every {
+                if eng.now() < w.end {
+                    eng.schedule_at(eng.now() + d, sample);
+                }
             }
         }
         fn ship<S: RecordSink + 'static>(w: &mut World<'_, S>, eng: &mut Engine<World<'_, S>>) {
@@ -324,6 +388,13 @@ impl MachineRun {
             );
             engine.schedule_at(now, session);
             engine.schedule_in(SimDuration::from_secs(20), rearm_watch);
+            let sample_every = self.sample_interval;
+            if let Some(d) = sample_every {
+                // First sample on the first cadence multiple at or after
+                // the logon sequence, keeping stamps fleet-aligned.
+                let first = now.ticks().div_ceil(d.ticks()) * d.ticks();
+                engine.schedule_at(SimTime::from_ticks(first), sample);
+            }
             // Fault windows were materialized up front from the study
             // seed's dedicated fault stream; enact each boundary as a
             // timed event. The connection drops; the agent suspends
@@ -361,6 +432,7 @@ impl MachineRun {
                 shell_watch: shell_handle,
                 live: Vec::new(),
                 next_pid: 8,
+                sample_every,
             };
             engine.run_until(&mut world, end);
         }
@@ -415,6 +487,12 @@ impl MachineRun {
     /// the cache's dirty-lifecycle conservation account.
     pub fn residual_dirty_bytes(&self) -> u64 {
         self.machine.residual_dirty_bytes()
+    }
+
+    /// Everything telemetry recorded for this machine; `None` when the
+    /// study runs with [`nt_obs::TelemetryConfig::Off`].
+    pub fn telemetry_report(&self) -> Option<nt_obs::MachineTelemetry> {
+        self.telemetry.report()
     }
 }
 

@@ -6,6 +6,7 @@ use std::fmt;
 
 use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
 use nt_analysis::TraceSet;
+use nt_obs::{MachineTelemetry, Phase, RuntimeProfile, Telemetry};
 use nt_trace::{
     CollectionFault, CollectorPool, LossLedger, MachineId, ShipmentConsumer, Snapshot,
     StreamingPool,
@@ -36,6 +37,9 @@ pub struct MachineOutput {
     /// Dirty bytes still resident in the cache at end of run — the
     /// closing balance of the dirty-lifecycle conservation account.
     pub residual_dirty_bytes: u64,
+    /// Telemetry snapshot (profile, ring series, span-log line count);
+    /// `None` when the study runs with telemetry off.
+    pub telemetry: Option<MachineTelemetry>,
 }
 
 /// Why a study run could not complete cleanly. Collection faults carry
@@ -87,6 +91,9 @@ pub struct StudyData {
     pub total_records: usize,
     /// Compressed footprint at the collection server, bytes.
     pub stored_bytes: usize,
+    /// Wall-clock attribution across the fleet plus the analysis ingest;
+    /// all-zero with telemetry off.
+    pub profile: RuntimeProfile,
 }
 
 impl StudyData {
@@ -164,13 +171,66 @@ impl Study {
                 )
             })
             .collect();
+        // The batch path's analysis ingest happens here, not in the
+        // machine workers; give it a study-side profiler span.
+        let analysis_telemetry = match config.telemetry.is_on() {
+            true => Telemetry::profiler(),
+            false => Telemetry::off(),
+        };
+        let trace_set = {
+            let _span = analysis_telemetry.span_child(Phase::Analysis, "analysis.trace_set_build");
+            TraceSet::build(streams)
+        };
+        let profile = fleet_profile(&machines, &analysis_telemetry);
+        write_telemetry_artefacts(config, &machines);
         Ok(StudyData {
             config: config.clone(),
-            trace_set: TraceSet::build(streams),
+            trace_set,
             machines,
             total_records,
             stored_bytes,
+            profile,
         })
+    }
+}
+
+/// Merges every machine's profile with the study-side analysis profiler.
+fn fleet_profile(machines: &[MachineOutput], analysis: &Telemetry) -> RuntimeProfile {
+    let mut profile = RuntimeProfile::default();
+    for m in machines {
+        if let Some(t) = &m.telemetry {
+            profile.merge(&t.profile);
+        }
+    }
+    if let Some(report) = analysis.report() {
+        profile.merge(&report.profile);
+    }
+    profile
+}
+
+/// Writes the fleet-aggregated `timeseries.jsonl` when telemetry is on
+/// and an artefact directory is configured. Telemetry export must never
+/// fail the study; write errors are reported and swallowed.
+fn write_telemetry_artefacts(config: &StudyConfig, machines: &[MachineOutput]) {
+    let Some(dir) = config.telemetry.options().and_then(|o| o.dir.as_ref()) else {
+        return;
+    };
+    let labelled: Vec<(u32, String, &MachineTelemetry)> = machines
+        .iter()
+        .filter_map(|m| {
+            m.telemetry
+                .as_ref()
+                .map(|t| (m.id.0, format!("{:?}", m.category), t))
+        })
+        .collect();
+    let borrowed: Vec<(u32, &str, &MachineTelemetry)> = labelled
+        .iter()
+        .map(|(id, cat, t)| (*id, cat.as_str(), *t))
+        .collect();
+    let rows = nt_obs::export::fleet_rows(&borrowed);
+    let path = dir.join("timeseries.jsonl");
+    if let Err(e) = nt_obs::write_timeseries_jsonl(&path, &rows) {
+        eprintln!("nt-obs: cannot write {}: {e}", path.display());
     }
 }
 
@@ -212,6 +272,7 @@ where
                         vm: run.vm_metrics(),
                         loss: run.loss_ledger(),
                         residual_dirty_bytes: run.residual_dirty_bytes(),
+                        telemetry: run.telemetry_report(),
                     });
                 }
                 out
@@ -272,6 +333,9 @@ pub struct StreamedStudyData {
     /// Compressed footprint the batches would occupy on a collection
     /// server (accounting parity with the legacy path).
     pub stored_bytes: usize,
+    /// Wall-clock attribution across the fleet plus the analysis ingest;
+    /// all-zero with telemetry off.
+    pub profile: RuntimeProfile,
 }
 
 impl StreamedStudyData {
@@ -314,11 +378,16 @@ impl Study {
             .min(n.max(1));
         let schedule = FaultSchedule::materialize(config, 3);
         let machine_ids: Vec<u32> = (0..n as u32).collect();
+        let analysis_telemetry = match config.telemetry.is_on() {
+            true => Telemetry::profiler(),
+            false => Telemetry::off(),
+        };
         let consumer = Arc::new(AnalysisSet::new(
             &machine_ids,
             &StreamConfig {
                 retain: options.retain,
                 spill_dir: options.spill_dir.clone(),
+                telemetry: analysis_telemetry.clone(),
                 ..StreamConfig::default()
             },
         ));
@@ -341,6 +410,8 @@ impl Study {
         let consumer = Arc::try_unwrap(consumer)
             .unwrap_or_else(|_| panic!("server threads still hold the consumer after finish"));
         let analysis = consumer.finish();
+        let profile = fleet_profile(&machines, &analysis_telemetry);
+        write_telemetry_artefacts(config, &machines);
         Ok(StreamedStudyData {
             config: config.clone(),
             summary: analysis.summary,
@@ -348,6 +419,7 @@ impl Study {
             machines,
             total_records: totals.total_records,
             stored_bytes: totals.stored_bytes,
+            profile,
         })
     }
 }

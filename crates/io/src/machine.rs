@@ -20,6 +20,7 @@ use nt_cache::{CacheConfig, CacheManager, CacheOpenHints};
 use nt_fs::{
     FileAttributes, FileTimes, FsError, Namespace, NodeId, NtPath, VolumeConfig, VolumeId,
 };
+use nt_obs::{Phase, Telemetry};
 use nt_sim::{SimDuration, SimTime};
 use nt_vm::{SectionKind, VmConfig, VmManager};
 use rand::rngs::SmallRng;
@@ -41,6 +42,23 @@ pub type FileKey = (VolumeId, NodeId);
 /// One pended change-notification: `(handle, file object, fcb, process,
 /// registration time)`.
 type WatchEntry = (HandleId, FileObjectId, FcbId, ProcessId, SimTime);
+
+/// Hands one trace event to the observer, counting it either way.
+///
+/// The `IoEvent` expression is only evaluated when the observer consumes
+/// records (`O::ENABLED`): a machine running with `NullObserver` skips
+/// the whole struct construction on its request hot path. The counter
+/// still advances so the conservation ledger's TRACE_EVENTS debit stays
+/// identical whether or not anyone is listening.
+macro_rules! emit_event {
+    ($self:ident, $ev:expr) => {{
+        $self.metrics.events_emitted += 1;
+        if O::ENABLED {
+            let ev = $ev;
+            $self.observer.event(&ev);
+        }
+    }};
+}
 
 /// Result of one I/O operation.
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +82,7 @@ impl OpReply {
 }
 
 /// Machine-wide request counters (the §8/§10 denominators).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoMetrics {
     /// Successful opens.
     pub opens: u64,
@@ -261,6 +279,7 @@ pub struct Machine<O: IoObserver> {
     /// Share-mode arbitration and byte-range locks, keyed by file.
     shares: crate::sharing::ShareRegistry,
     metrics: IoMetrics,
+    telemetry: Telemetry,
     config: MachineConfig,
     /// False while the network link to the file servers is partitioned;
     /// requests against redirector volumes then fail with
@@ -289,9 +308,18 @@ impl<O: IoObserver> Machine<O> {
             watches: HashMap::new(),
             shares: crate::sharing::ShareRegistry::new(),
             metrics: IoMetrics::default(),
+            telemetry: Telemetry::off(),
             config,
             network_up: true,
         }
+    }
+
+    /// Attaches a telemetry handle, sharing it with the cache and VM
+    /// managers so their spans nest under this machine's dispatch spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.cache.set_telemetry(telemetry.clone());
+        self.vm.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// True when the link to the file servers is up.
@@ -382,6 +410,11 @@ impl<O: IoObserver> Machine<O> {
         self.handles.len()
     }
 
+    /// Bytes currently resident in the cache manager (sampler gauge).
+    pub fn cache_resident_bytes(&self) -> u64 {
+        self.cache.resident_bytes()
+    }
+
     fn schedule(&mut self, due: SimTime, action: Pending) {
         let seq = self.pending_seq;
         self.pending_seq += 1;
@@ -432,36 +465,34 @@ impl<O: IoObserver> Machine<O> {
             .ok()
             .and_then(|v| v.file_size(node).ok())
             .unwrap_or(0);
-        self.emit(IoEvent {
-            kind: EventKind::Irp(MajorFunction::Close),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local: self.ns.is_local(volume),
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::Irp(MajorFunction::Close),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local: self.ns.is_local(volume),
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         self.metrics.closes += 1;
         self.fcbs.close(fcb);
-    }
-
-    fn emit(&mut self, ev: IoEvent) {
-        self.metrics.events_emitted += 1;
-        self.observer.event(&ev);
     }
 
     /// Completes any deferred closes queued on `key` — the cache map is
@@ -532,14 +563,19 @@ impl<O: IoObserver> Machine<O> {
         now: SimTime,
     ) -> (OpReply, Option<HandleId>) {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "create", now);
         let fo = self.next_file_object();
-        self.observer.file_object(&FileObjectInfo {
-            id: fo,
-            volume: volume.0,
-            path: path.to_string(),
-            process,
-            at: now,
-        });
+        // The name record (and its path copy) only exists for a real
+        // observer; an untraced machine never builds it.
+        if O::ENABLED {
+            self.observer.file_object(&FileObjectInfo {
+                id: fo,
+                volume: volume.0,
+                path: path.to_string(),
+                process,
+                at: now,
+            });
+        }
         let local = self.ns.is_local(volume);
 
         // A partitioned network link fails the open before the redirector
@@ -548,29 +584,32 @@ impl<O: IoObserver> Machine<O> {
             let end = now + self.latency.metadata_op();
             self.metrics.open_failures += 1;
             self.metrics.network_failures += 1;
-            self.emit(IoEvent {
-                kind: EventKind::Irp(MajorFunction::Create),
-                file_object: fo,
-                fcb: FcbId(u64::MAX),
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: 0,
-                byte_offset: 0,
-                status: NtStatus::NetworkUnreachable,
-                start: now,
-                end,
-                access: Some(access),
-                disposition: Some(disposition),
-                options: Some(options),
-                set_info: None,
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::Irp(MajorFunction::Create),
+                    file_object: fo,
+                    fcb: FcbId(u64::MAX),
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset: 0,
+                    length: 0,
+                    transferred: 0,
+                    file_size: 0,
+                    byte_offset: 0,
+                    status: NtStatus::NetworkUnreachable,
+                    start: now,
+                    end,
+                    access: Some(access),
+                    disposition: Some(disposition),
+                    options: Some(options),
+                    set_info: None,
+                    created: false,
+                }
+            );
             return (OpReply::at(NtStatus::NetworkUnreachable, end), None);
         }
 
@@ -583,29 +622,32 @@ impl<O: IoObserver> Machine<O> {
                 let end = now + self.latency.metadata_op();
                 self.metrics.open_failures += 1;
                 self.metrics.sharing_violations += 1;
-                self.emit(IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Create),
-                    file_object: fo,
-                    fcb: FcbId(u64::MAX),
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: 0,
-                    length: 0,
-                    transferred: 0,
-                    file_size: 0,
-                    byte_offset: 0,
-                    status: NtStatus::SharingViolation,
-                    start: now,
-                    end,
-                    access: Some(access),
-                    disposition: Some(disposition),
-                    options: Some(options),
-                    set_info: None,
-                    created: false,
-                });
+                emit_event!(
+                    self,
+                    IoEvent {
+                        kind: EventKind::Irp(MajorFunction::Create),
+                        file_object: fo,
+                        fcb: FcbId(u64::MAX),
+                        process,
+                        volume: volume.0,
+                        local,
+                        paging_io: false,
+                        readahead: false,
+                        offset: 0,
+                        length: 0,
+                        transferred: 0,
+                        file_size: 0,
+                        byte_offset: 0,
+                        status: NtStatus::SharingViolation,
+                        start: now,
+                        end,
+                        access: Some(access),
+                        disposition: Some(disposition),
+                        options: Some(options),
+                        set_info: None,
+                        created: false,
+                    }
+                );
                 return (OpReply::at(NtStatus::SharingViolation, end), None);
             }
         }
@@ -614,29 +656,32 @@ impl<O: IoObserver> Machine<O> {
         match resolved {
             Err(status) => {
                 self.metrics.open_failures += 1;
-                self.emit(IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Create),
-                    file_object: fo,
-                    fcb: FcbId(u64::MAX),
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: 0,
-                    length: 0,
-                    transferred: 0,
-                    file_size: 0,
-                    byte_offset: 0,
-                    status,
-                    start: now,
-                    end,
-                    access: Some(access),
-                    disposition: Some(disposition),
-                    options: Some(options),
-                    set_info: None,
-                    created: false,
-                });
+                emit_event!(
+                    self,
+                    IoEvent {
+                        kind: EventKind::Irp(MajorFunction::Create),
+                        file_object: fo,
+                        fcb: FcbId(u64::MAX),
+                        process,
+                        volume: volume.0,
+                        local,
+                        paging_io: false,
+                        readahead: false,
+                        offset: 0,
+                        length: 0,
+                        transferred: 0,
+                        file_size: 0,
+                        byte_offset: 0,
+                        status,
+                        start: now,
+                        end,
+                        access: Some(access),
+                        disposition: Some(disposition),
+                        options: Some(options),
+                        set_info: None,
+                        created: false,
+                    }
+                );
                 (OpReply::at(status, end), None)
             }
             Ok((node, truncated, created)) => {
@@ -696,29 +741,32 @@ impl<O: IoObserver> Machine<O> {
                     },
                 );
                 self.metrics.opens += 1;
-                self.emit(IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Create),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: 0,
-                    length: 0,
-                    transferred: 0,
-                    file_size,
-                    byte_offset: 0,
-                    status: NtStatus::Success,
-                    start: now,
-                    end,
-                    access: Some(access),
-                    disposition: Some(disposition),
-                    options: Some(options),
-                    set_info: None,
-                    created,
-                });
+                emit_event!(
+                    self,
+                    IoEvent {
+                        kind: EventKind::Irp(MajorFunction::Create),
+                        file_object: fo,
+                        fcb,
+                        process,
+                        volume: volume.0,
+                        local,
+                        paging_io: false,
+                        readahead: false,
+                        offset: 0,
+                        length: 0,
+                        transferred: 0,
+                        file_size,
+                        byte_offset: 0,
+                        status: NtStatus::Success,
+                        start: now,
+                        end,
+                        access: Some(access),
+                        disposition: Some(disposition),
+                        options: Some(options),
+                        set_info: None,
+                        created,
+                    }
+                );
                 (
                     OpReply {
                         status: NtStatus::Success,
@@ -798,6 +846,7 @@ impl<O: IoObserver> Machine<O> {
         now: SimTime,
     ) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "read", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -816,29 +865,32 @@ impl<O: IoObserver> Machine<O> {
             let end = now + self.latency.irp_cached(0);
             self.metrics.network_failures += 1;
             self.metrics.irp_reads += 1;
-            self.emit(IoEvent {
-                kind: EventKind::Irp(MajorFunction::Read),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred: 0,
-                file_size: 0,
-                byte_offset,
-                status: NtStatus::NetworkUnreachable,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::Irp(MajorFunction::Read),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset,
+                    length: len,
+                    transferred: 0,
+                    file_size: 0,
+                    byte_offset,
+                    status: NtStatus::NetworkUnreachable,
+                    start: now,
+                    end,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: None,
+                    created: false,
+                }
+            );
             return OpReply::at(NtStatus::NetworkUnreachable, end);
         }
 
@@ -855,29 +907,32 @@ impl<O: IoObserver> Machine<O> {
             let end = now + self.latency.irp_cached(0);
             self.metrics.read_errors += 1;
             self.metrics.irp_reads += 1;
-            self.emit(IoEvent {
-                kind: EventKind::Irp(MajorFunction::Read),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred: 0,
-                file_size,
-                byte_offset,
-                status: NtStatus::EndOfFile,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::Irp(MajorFunction::Read),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset,
+                    length: len,
+                    transferred: 0,
+                    file_size,
+                    byte_offset,
+                    status: NtStatus::EndOfFile,
+                    start: now,
+                    end,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: None,
+                    created: false,
+                }
+            );
             return OpReply::at(NtStatus::EndOfFile, end);
         }
 
@@ -1059,29 +1114,32 @@ impl<O: IoObserver> Machine<O> {
         start: SimTime,
         end: SimTime,
     ) {
-        self.emit(IoEvent {
-            kind,
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: paging,
-            readahead,
-            offset,
-            length,
-            transferred,
-            file_size,
-            byte_offset,
-            status: NtStatus::Success,
-            start,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind,
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: paging,
+                readahead,
+                offset,
+                length,
+                transferred,
+                file_size,
+                byte_offset,
+                status: NtStatus::Success,
+                start,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
     }
 
     fn advance_offset(&mut self, handle: HandleId, new_offset: u64) {
@@ -1099,6 +1157,7 @@ impl<O: IoObserver> Machine<O> {
         now: SimTime,
     ) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "write", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -1117,29 +1176,32 @@ impl<O: IoObserver> Machine<O> {
             let end = now + self.latency.irp_cached(0);
             self.metrics.network_failures += 1;
             self.metrics.irp_writes += 1;
-            self.emit(IoEvent {
-                kind: EventKind::Irp(MajorFunction::Write),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred: 0,
-                file_size: 0,
-                byte_offset,
-                status: NtStatus::NetworkUnreachable,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::Irp(MajorFunction::Write),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset,
+                    length: len,
+                    transferred: 0,
+                    file_size: 0,
+                    byte_offset,
+                    status: NtStatus::NetworkUnreachable,
+                    start: now,
+                    end,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: None,
+                    created: false,
+                }
+            );
             return OpReply::at(NtStatus::NetworkUnreachable, end);
         }
 
@@ -1301,29 +1363,32 @@ impl<O: IoObserver> Machine<O> {
         start: SimTime,
         end: SimTime,
     ) {
-        self.emit(IoEvent {
-            kind,
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: paging,
-            readahead: false,
-            offset,
-            length,
-            transferred: length,
-            file_size,
-            byte_offset,
-            status: NtStatus::Success,
-            start,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind,
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: paging,
+                readahead: false,
+                offset,
+                length,
+                transferred: length,
+                file_size,
+                byte_offset,
+                status: NtStatus::Success,
+                start,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1334,6 +1399,7 @@ impl<O: IoObserver> Machine<O> {
     /// dominant explicit strategy was flushing after every write).
     pub fn flush(&mut self, handle: HandleId, now: SimTime) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "flush", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -1372,29 +1438,32 @@ impl<O: IoObserver> Machine<O> {
             );
         }
         self.metrics.control_ops += 1;
-        self.emit(IoEvent {
-            kind: EventKind::Irp(MajorFunction::FlushBuffers),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::Irp(MajorFunction::FlushBuffers),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply::at(NtStatus::Success, end)
     }
 
@@ -1420,29 +1489,32 @@ impl<O: IoObserver> Machine<O> {
         if status.is_error() {
             self.metrics.control_failures += 1;
         }
-        self.emit(IoEvent {
-            kind,
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size: 0,
-            byte_offset: 0,
-            status,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind,
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                status,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info,
+                created: false,
+            }
+        );
         OpReply::at(status, end)
     }
 
@@ -1473,29 +1545,32 @@ impl<O: IoObserver> Machine<O> {
         let local = self.ns.is_local(volume);
         let end = now + self.latency.fastio_metadata();
         self.metrics.control_ops += 1;
-        self.emit(IoEvent {
-            kind: EventKind::FastIo(FastIoKind::QueryBasicInfo),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size: 0,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::FastIo(FastIoKind::QueryBasicInfo),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply::at(NtStatus::Success, end)
     }
 
@@ -1511,29 +1586,32 @@ impl<O: IoObserver> Machine<O> {
         let local = self.ns.is_local(volume);
         let end = now + self.latency.fastio_metadata();
         self.metrics.control_ops += 1;
-        self.emit(IoEvent {
-            kind: EventKind::Irp(MajorFunction::FileSystemControl),
-            file_object: FileObjectId(0),
-            fcb: FcbId(u64::MAX),
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size: 0,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::Irp(MajorFunction::FileSystemControl),
+                file_object: FileObjectId(0),
+                fcb: FcbId(u64::MAX),
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply::at(NtStatus::Success, end)
     }
 
@@ -1556,29 +1634,32 @@ impl<O: IoObserver> Machine<O> {
         if status.is_error() {
             self.metrics.control_failures += 1;
         }
-        self.emit(IoEvent {
-            kind: EventKind::Irp(MajorFunction::QueryVolumeInformation),
-            file_object: FileObjectId(0),
-            fcb: FcbId(u64::MAX),
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size: 0,
-            byte_offset: 0,
-            status,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::Irp(MajorFunction::QueryVolumeInformation),
+                file_object: FileObjectId(0),
+                fcb: FcbId(u64::MAX),
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                status,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply::at(status, end)
     }
 
@@ -1731,6 +1812,7 @@ impl<O: IoObserver> Machine<O> {
     /// Returns up to `batch` entries per call; NoMoreFiles terminates.
     pub fn query_directory(&mut self, handle: HandleId, batch: usize, now: SimTime) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "query_directory", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -1761,29 +1843,32 @@ impl<O: IoObserver> Machine<O> {
         }
         let end = now + self.latency.metadata_op();
         self.metrics.control_ops += 1;
-        self.emit(IoEvent {
-            kind: EventKind::Irp(MajorFunction::DirectoryControl),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: cursor as u64,
-            length: batch as u64,
-            transferred: returned as u64,
-            file_size: entries.len() as u64,
-            byte_offset: 0,
-            status,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::Irp(MajorFunction::DirectoryControl),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: cursor as u64,
+                length: batch as u64,
+                transferred: returned as u64,
+                file_size: entries.len() as u64,
+                byte_offset: 0,
+                status,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply {
             status,
             transferred: returned as u64,
@@ -1842,29 +1927,32 @@ impl<O: IoObserver> Machine<O> {
         let local = self.ns.is_local(volume);
         for (_, fo, fcb, process, registered) in waiters {
             self.metrics.control_ops += 1;
-            self.emit(IoEvent {
-                kind: EventKind::Irp(MajorFunction::DirectoryControl),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 1,
-                file_size: 0,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: registered,
-                end: now,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::Irp(MajorFunction::DirectoryControl),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset: 0,
+                    length: 0,
+                    transferred: 1,
+                    file_size: 0,
+                    byte_offset: 0,
+                    status: NtStatus::Success,
+                    start: registered,
+                    end: now,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: None,
+                    created: false,
+                }
+            );
         }
     }
 
@@ -1895,29 +1983,32 @@ impl<O: IoObserver> Machine<O> {
         let (fo, fcb, volume, process) = (h.fo, h.fcb, h.volume, h.process);
         let local = self.ns.is_local(volume);
         let end = now + self.latency.fastio_metadata();
-        self.emit(IoEvent {
-            kind: EventKind::FastIo(kind),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset,
-            length: len,
-            transferred: 0,
-            file_size: 0,
-            byte_offset: 0,
-            status,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::FastIo(kind),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset,
+                length: len,
+                transferred: 0,
+                file_size: 0,
+                byte_offset: 0,
+                status,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply::at(status, end)
     }
 
@@ -1982,6 +2073,7 @@ impl<O: IoObserver> Machine<O> {
         path: &NtPath,
         now: SimTime,
     ) -> OpReply {
+        let _span = self.telemetry.span(Phase::Dispatch, "load_image", now);
         let (reply, handle) = self.create(
             process,
             volume,
@@ -2008,29 +2100,32 @@ impl<O: IoObserver> Machine<O> {
         let t = reply.end;
         // Section acquisition rides FastIO.
         let acq_end = t + self.latency.fastio_metadata();
-        self.emit(IoEvent {
-            kind: EventKind::FastIo(FastIoKind::AcquireFileForNtCreateSection),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size: size,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: t,
-            end: acq_end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::FastIo(FastIoKind::AcquireFileForNtCreateSection),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: size,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: t,
+                end: acq_end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         let reads = self.vm.load_image(&key, size, acq_end);
         let mut done = acq_end;
         for r in &reads {
@@ -2058,29 +2153,32 @@ impl<O: IoObserver> Machine<O> {
                 fin,
             );
         }
-        self.emit(IoEvent {
-            kind: EventKind::FastIo(FastIoKind::ReleaseFileForNtCreateSection),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size: size,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: done,
-            end: done + self.latency.fastio_metadata(),
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::FastIo(FastIoKind::ReleaseFileForNtCreateSection),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset: 0,
+                length: 0,
+                transferred: 0,
+                file_size: size,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: done,
+                end: done + self.latency.fastio_metadata(),
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         let close = self.close(handle, done + self.latency.fastio_metadata());
         OpReply {
             status: NtStatus::Success,
@@ -2124,6 +2222,7 @@ impl<O: IoObserver> Machine<O> {
         now: SimTime,
     ) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "mapped_read", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -2183,6 +2282,7 @@ impl<O: IoObserver> Machine<O> {
     /// clients.
     pub fn mdl_read(&mut self, handle: HandleId, offset: u64, len: u64, now: SimTime) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "mdl_read", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -2241,54 +2341,60 @@ impl<O: IoObserver> Machine<O> {
         let end = done + self.latency.fastio_metadata();
         self.metrics.fastio_reads += 1;
         self.metrics.bytes_read += transferred;
-        self.emit(IoEvent {
-            kind: EventKind::FastIo(FastIoKind::MdlRead),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset,
-            length: len,
-            transferred,
-            file_size,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::FastIo(FastIoKind::MdlRead),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset,
+                length: len,
+                transferred,
+                file_size,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: now,
+                end,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         // The caller releases the MDL when done.
         let rel = end + self.latency.fastio_metadata();
-        self.emit(IoEvent {
-            kind: EventKind::FastIo(FastIoKind::MdlReadComplete),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset,
-            length: len,
-            transferred,
-            file_size,
-            byte_offset: 0,
-            status: NtStatus::Success,
-            start: end,
-            end: rel,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::FastIo(FastIoKind::MdlReadComplete),
+                file_object: fo,
+                fcb,
+                process,
+                volume: volume.0,
+                local,
+                paging_io: false,
+                readahead: false,
+                offset,
+                length: len,
+                transferred,
+                file_size,
+                byte_offset: 0,
+                status: NtStatus::Success,
+                start: end,
+                end: rel,
+                access: None,
+                disposition: None,
+                options: None,
+                set_info: None,
+                created: false,
+            }
+        );
         OpReply {
             status: NtStatus::Success,
             transferred,
@@ -2300,6 +2406,7 @@ impl<O: IoObserver> Machine<O> {
     /// (PrepareMdlWrite / MdlWriteComplete).
     pub fn mdl_write(&mut self, handle: HandleId, offset: u64, len: u64, now: SimTime) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "mdl_write", now);
         let Some(h) = self.handles.get(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -2365,29 +2472,32 @@ impl<O: IoObserver> Machine<O> {
                 end + self.latency.fastio_metadata(),
             ),
         ] {
-            self.emit(IoEvent {
-                kind: EventKind::FastIo(kind),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred: len,
-                file_size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: s,
-                end: e,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::FastIo(kind),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset,
+                    length: len,
+                    transferred: len,
+                    file_size,
+                    byte_offset: 0,
+                    status: NtStatus::Success,
+                    start: s,
+                    end: e,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: None,
+                    created: false,
+                }
+            );
         }
         OpReply {
             status: NtStatus::Success,
@@ -2405,6 +2515,7 @@ impl<O: IoObserver> Machine<O> {
     /// drains the dirty pages (1–4 s) for write-cached ones.
     pub fn close(&mut self, handle: HandleId, now: SimTime) -> OpReply {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "close", now);
         let Some(h) = self.handles.remove(&handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
@@ -2425,37 +2536,10 @@ impl<O: IoObserver> Machine<O> {
 
         let end = now + self.latency.metadata_op();
         self.metrics.cleanups += 1;
-        self.emit(IoEvent {
-            kind: EventKind::Irp(MajorFunction::Cleanup),
-            file_object: fo,
-            fcb,
-            process,
-            volume: volume.0,
-            local,
-            paging_io: false,
-            readahead: false,
-            offset: 0,
-            length: 0,
-            transferred: 0,
-            file_size,
-            byte_offset: h.byte_offset,
-            status: NtStatus::Success,
-            start: now,
-            end,
-            access: None,
-            disposition: None,
-            options: None,
-            set_info: None,
-            created: false,
-        });
-
-        // Release byte-range locks and the share registration with the
-        // cleanup, as NT does; held locks produce an UnlockAll call.
-        let share_key = Self::share_key(volume, node);
-        let dropped = self.shares.locks_mut(share_key).unlock_all(handle);
-        if dropped > 0 {
-            self.emit(IoEvent {
-                kind: EventKind::FastIo(FastIoKind::UnlockAll),
+        emit_event!(
+            self,
+            IoEvent {
+                kind: EventKind::Irp(MajorFunction::Cleanup),
                 file_object: fo,
                 fcb,
                 process,
@@ -2464,19 +2548,52 @@ impl<O: IoObserver> Machine<O> {
                 paging_io: false,
                 readahead: false,
                 offset: 0,
-                length: dropped as u64,
+                length: 0,
                 transferred: 0,
                 file_size,
-                byte_offset: 0,
+                byte_offset: h.byte_offset,
                 status: NtStatus::Success,
                 start: now,
-                end: now + self.latency.fastio_metadata(),
+                end,
                 access: None,
                 disposition: None,
                 options: None,
                 set_info: None,
                 created: false,
-            });
+            }
+        );
+
+        // Release byte-range locks and the share registration with the
+        // cleanup, as NT does; held locks produce an UnlockAll call.
+        let share_key = Self::share_key(volume, node);
+        let dropped = self.shares.locks_mut(share_key).unlock_all(handle);
+        if dropped > 0 {
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::FastIo(FastIoKind::UnlockAll),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset: 0,
+                    length: dropped as u64,
+                    transferred: 0,
+                    file_size,
+                    byte_offset: 0,
+                    status: NtStatus::Success,
+                    start: now,
+                    end: now + self.latency.fastio_metadata(),
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: None,
+                    created: false,
+                }
+            );
         }
         self.shares.close(share_key, handle);
 
@@ -2538,29 +2655,32 @@ impl<O: IoObserver> Machine<O> {
             // §8.3: the cache manager trims page-granular lazy writes back
             // to the true end of file before close.
             let se = end + SimDuration::from_ticks(self.latency.params().metadata_ticks);
-            self.emit(IoEvent {
-                kind: EventKind::Irp(MajorFunction::SetInformation),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: file_size,
-                length: 0,
-                transferred: 0,
-                file_size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: end,
-                end: se,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: Some(SetInfoKind::EndOfFile),
-                created: false,
-            });
+            emit_event!(
+                self,
+                IoEvent {
+                    kind: EventKind::Irp(MajorFunction::SetInformation),
+                    file_object: fo,
+                    fcb,
+                    process,
+                    volume: volume.0,
+                    local,
+                    paging_io: false,
+                    readahead: false,
+                    offset: file_size,
+                    length: 0,
+                    transferred: 0,
+                    file_size,
+                    byte_offset: 0,
+                    status: NtStatus::Success,
+                    start: end,
+                    end: se,
+                    access: None,
+                    disposition: None,
+                    options: None,
+                    set_info: Some(SetInfoKind::EndOfFile),
+                    created: false,
+                }
+            );
             self.metrics.control_ops += 1;
         }
         match outcome.close_after {
@@ -2598,6 +2718,7 @@ impl<O: IoObserver> Machine<O> {
     /// maps back under the memory budget.
     pub fn lazy_tick(&mut self, now: SimTime) {
         self.pump(now);
+        let _span = self.telemetry.span(Phase::Dispatch, "lazy_tick", now);
         let (actions, closable) = self.cache.lazy_scan(now);
         for action in actions {
             let (volume, node) = action.key;
@@ -3362,6 +3483,63 @@ mod tests {
         m.close(h, t(2));
         assert_eq!(m.observer().objects.len(), 1);
         assert_eq!(m.observer().objects[0].path, r"\hello.txt");
+    }
+
+    #[test]
+    fn null_observer_keeps_metrics_parity() {
+        // `NullObserver` skips building `IoEvent` values entirely
+        // (`O::ENABLED`), but the machine's counters — `events_emitted`
+        // in particular, which the conservation ledger debits — must
+        // count exactly what a recording observer would have seen.
+        fn drive<O: IoObserver>(mut m: Machine<O>) -> (IoMetrics, Machine<O>) {
+            let vol = m.add_local_volume(
+                'C',
+                VolumeConfig::local_ntfs(1 << 30),
+                DiskParams::local_ide(),
+            );
+            let (reply, h) = m.create(
+                P,
+                vol,
+                &NtPath::parse(r"\parity.dat"),
+                AccessMode::ReadWrite,
+                Disposition::OpenIf,
+                CreateOptions::default(),
+                t(1),
+            );
+            assert_eq!(reply.status, NtStatus::Success);
+            let h = h.expect("open succeeded");
+            m.write(h, Some(0), 16_384, t(2));
+            let mut at = t(3);
+            for _ in 0..4 {
+                at = m.read(h, Some(0), 4_096, at).end;
+            }
+            m.flush(h, at);
+            m.close(h, at + SimDuration::from_secs(1));
+            m.lazy_tick(at + SimDuration::from_secs(10));
+            (m.metrics(), m)
+        }
+
+        let (null_metrics, _) = drive(Machine::new(
+            MachineConfig {
+                seed: 9,
+                ..MachineConfig::default()
+            },
+            crate::observer::NullObserver,
+        ));
+        let (vec_metrics, watched) = drive(Machine::new(
+            MachineConfig {
+                seed: 9,
+                ..MachineConfig::default()
+            },
+            VecObserver::default(),
+        ));
+        assert_eq!(null_metrics, vec_metrics);
+        assert!(null_metrics.events_emitted > 0);
+        assert_eq!(
+            vec_metrics.events_emitted,
+            watched.observer().events.len() as u64,
+            "every counted emission reached the recording observer"
+        );
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub struct FileObjectInfo {
 
 /// A filter driver layered over the machine's file systems.
 pub trait IoObserver {
+    /// Whether this observer consumes records at all. When `false` the
+    /// machine skips building `IoEvent`/`FileObjectInfo` values entirely
+    /// — an untraced machine pays nothing on the request hot path. The
+    /// constant is resolved at monomorphisation time, so the enabled
+    /// path carries no branch either.
+    const ENABLED: bool = true;
+
     /// A new file object came into existence (successful or failed open).
     fn file_object(&mut self, info: &FileObjectInfo);
 
@@ -41,6 +48,8 @@ pub trait IoObserver {
 pub struct NullObserver;
 
 impl IoObserver for NullObserver {
+    const ENABLED: bool = false;
+
     fn file_object(&mut self, _info: &FileObjectInfo) {}
 
     fn event(&mut self, _event: &IoEvent) {}

@@ -1,0 +1,206 @@
+//! Fleet aggregation and the `timeseries.jsonl` artefact.
+//!
+//! One line per (scope, series): fleet-wide sums first, then
+//! per-category sums, then each machine's own rings. Samples are taken
+//! on a shared simulated cadence (every machine samples at the same
+//! multiples of the interval), so summing values at equal tick stamps is
+//! exact, not an interpolation.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::series::{SeriesData, SeriesKind};
+use crate::MachineTelemetry;
+
+/// One exported line: a series under a scope (`fleet`,
+/// `category:<name>` or `machine:<id>`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesRow {
+    /// Aggregation scope.
+    pub scope: String,
+    /// The (possibly summed) series.
+    pub series: SeriesData,
+}
+
+/// Sums series across machines at aligned tick stamps. `machines` pairs
+/// each machine id with its §2 usage-category label and telemetry
+/// snapshot; rows come back fleet-first, categories next, machines last.
+pub fn fleet_rows(machines: &[(u32, &str, &MachineTelemetry)]) -> Vec<SeriesRow> {
+    let mut rows = Vec::new();
+    rows.extend(sum_scope("fleet", machines.iter().map(|&(_, _, t)| t)));
+    let mut categories: Vec<&str> = machines.iter().map(|&(_, c, _)| c).collect();
+    categories.sort_unstable();
+    categories.dedup();
+    for cat in categories {
+        rows.extend(sum_scope(
+            &format!("category:{cat}"),
+            machines
+                .iter()
+                .filter(|&&(_, c, _)| c == cat)
+                .map(|&(_, _, t)| t),
+        ));
+    }
+    for &(id, _, telemetry) in machines {
+        for series in &telemetry.series {
+            rows.push(SeriesRow {
+                scope: format!("machine:{id}"),
+                series: series.clone(),
+            });
+        }
+    }
+    rows
+}
+
+/// Sums one group of machines into per-series rows under `scope`.
+fn sum_scope<'a>(scope: &str, group: impl Iterator<Item = &'a MachineTelemetry>) -> Vec<SeriesRow> {
+    // Preserve first-seen series order; the per-name maps keep stamps
+    // sorted so summed points come out in time order.
+    let mut order: Vec<(String, SeriesKind)> = Vec::new();
+    let mut sums: BTreeMap<String, BTreeMap<u64, f64>> = BTreeMap::new();
+    let mut dropped: BTreeMap<String, u64> = BTreeMap::new();
+    for telemetry in group {
+        for series in &telemetry.series {
+            if !order.iter().any(|(n, _)| n == &series.name) {
+                order.push((series.name.clone(), series.kind));
+            }
+            let points = sums.entry(series.name.clone()).or_default();
+            for &(t, v) in &series.points {
+                *points.entry(t).or_insert(0.0) += v;
+            }
+            *dropped.entry(series.name.clone()).or_default() += series.dropped;
+        }
+    }
+    order
+        .into_iter()
+        .map(|(name, kind)| SeriesRow {
+            scope: scope.to_string(),
+            series: SeriesData {
+                points: sums.remove(&name).unwrap_or_default().into_iter().collect(),
+                dropped: dropped.remove(&name).unwrap_or_default(),
+                name,
+                kind,
+            },
+        })
+        .collect()
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one row as a JSONL line (no trailing newline).
+pub fn row_to_json(row: &SeriesRow) -> String {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(64 + row.series.points.len() * 16);
+    line.push_str("{\"series\":");
+    push_json_string(&mut line, &row.series.name);
+    line.push_str(",\"scope\":");
+    push_json_string(&mut line, &row.scope);
+    let _ = write!(
+        line,
+        ",\"kind\":\"{}\",\"dropped\":{},\"points\":[",
+        row.series.kind.name(),
+        row.series.dropped
+    );
+    for (i, &(t, v)) in row.series.points.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let v = if v.is_finite() { v } else { 0.0 };
+        let _ = write!(line, "[{t},{v}]");
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Writes the rows to `path` as JSONL, creating parent directories.
+pub fn write_timeseries_jsonl(path: &Path, rows: &[SeriesRow]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    for row in rows {
+        writeln!(out, "{}", row_to_json(row))?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimeProfile;
+
+    fn machine(id: u32, points: &[(u64, f64)]) -> MachineTelemetry {
+        MachineTelemetry {
+            machine: id,
+            profile: RuntimeProfile::default(),
+            series: vec![SeriesData {
+                name: "cache.resident_bytes".into(),
+                kind: SeriesKind::Gauge,
+                points: points.to_vec(),
+                dropped: 0,
+            }],
+            spans_logged: 0,
+        }
+    }
+
+    #[test]
+    fn fleet_rows_sum_aligned_stamps() {
+        let a = machine(0, &[(10, 1.0), (20, 2.0)]);
+        let b = machine(1, &[(10, 5.0), (30, 7.0)]);
+        let rows = fleet_rows(&[(0, "Pool", &a), (1, "Personal", &b)]);
+        let fleet = rows.iter().find(|r| r.scope == "fleet").unwrap();
+        assert_eq!(fleet.series.points, vec![(10, 6.0), (20, 2.0), (30, 7.0)]);
+        assert!(rows.iter().any(|r| r.scope == "category:Pool"));
+        assert!(rows.iter().any(|r| r.scope == "machine:1"));
+        // fleet + 2 categories + 2 machines, one series each.
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn json_lines_are_wellformed() {
+        let row = SeriesRow {
+            scope: "fleet".into(),
+            series: SeriesData {
+                name: "io.ops".into(),
+                kind: SeriesKind::Counter,
+                points: vec![(300000000, 12.0)],
+                dropped: 3,
+            },
+        };
+        let line = row_to_json(&row);
+        assert_eq!(
+            line,
+            "{\"series\":\"io.ops\",\"scope\":\"fleet\",\"kind\":\"counter\",\"dropped\":3,\"points\":[[300000000,12]]}"
+        );
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_row() {
+        let dir = std::env::temp_dir().join(format!("nt-obs-export-{}", std::process::id()));
+        let path = dir.join("timeseries.jsonl");
+        let a = machine(0, &[(10, 1.0)]);
+        let rows = fleet_rows(&[(0, "Scientific", &a)]);
+        write_timeseries_jsonl(&path, &rows).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), rows.len());
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,76 @@
+//! Terminal sparklines for the fleet dashboard.
+
+/// Eight-level block ramp.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a unicode sparkline at most `width` glyphs wide.
+/// Longer inputs are resampled by averaging equal-length buckets; a flat
+/// (or empty) series renders at the lowest level.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets = resample(values, width);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &buckets {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    buckets
+        .iter()
+        .map(|&v| {
+            if range <= 0.0 || !range.is_finite() {
+                BARS[0]
+            } else {
+                let level = ((v - lo) / range * (BARS.len() - 1) as f64).round() as usize;
+                BARS[level.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Averages `values` down to at most `width` buckets.
+fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let start = i * values.len() / width;
+            let end = ((i + 1) * values.len() / width).max(start + 1);
+            let slice = &values[start..end];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_from_low_to_high() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn flat_series_renders_low() {
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0], 8), "▁▁▁");
+    }
+
+    #[test]
+    fn long_series_resamples_to_width() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = sparkline(&values, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+}

@@ -65,8 +65,12 @@ pub struct Engine<W> {
     next_seq: u64,
     // Cancellation is lazy: a cancelled event stays in the heap and is
     // dropped when popped. `cancelled` is a bitmap indexed by seq-relative
-    // slot; compacted whenever the heap drains.
+    // slot (fired events mark their slot too, so a stale cancel is a
+    // no-op); compacted whenever the heap drains.
     cancelled: Vec<bool>,
+    // Cancelled entries still sitting in the heap, so `queue_depth` can
+    // report the live count without walking the heap.
+    cancelled_pending: usize,
     fired: u64,
 }
 
@@ -84,6 +88,7 @@ impl<W> Engine<W> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             cancelled: Vec::new(),
+            cancelled_pending: 0,
             fired: 0,
         }
     }
@@ -101,6 +106,13 @@ impl<W> Engine<W> {
     /// Number of events currently pending (including lazily-cancelled ones).
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Number of *live* pending events — lazily-cancelled entries still
+    /// in the heap are excluded. This is the telemetry sampler's
+    /// queue-depth gauge; it is O(1), not a heap walk.
+    pub fn queue_depth(&self) -> usize {
+        self.heap.len() - self.cancelled_pending
     }
 
     /// Schedules `action` to fire at absolute time `at`.
@@ -145,10 +157,25 @@ impl<W> Engine<W> {
                 let slot = off as usize;
                 let was = self.cancelled[slot];
                 self.cancelled[slot] = true;
+                if !was {
+                    self.cancelled_pending += 1;
+                }
                 !was
             }
             // Already fired (slot compacted away) or never existed.
             _ => false,
+        }
+    }
+
+    /// Marks a seq's slot dead once its entry leaves the heap, so a later
+    /// `cancel` of the same id correctly reports `false` instead of
+    /// ghost-cancelling a fired event.
+    fn mark_dead(&mut self, seq: u64) {
+        let base = self.next_seq - self.cancelled.len() as u64;
+        if let Some(off) = seq.checked_sub(base) {
+            if (off as usize) < self.cancelled.len() {
+                self.cancelled[off as usize] = true;
+            }
         }
     }
 
@@ -178,8 +205,10 @@ impl<W> Engine<W> {
             };
             debug_assert!(entry.at >= self.now);
             if self.slot_cancelled(entry.seq, entry.cancelled_slot) {
+                self.cancelled_pending -= 1;
                 continue;
             }
+            self.mark_dead(entry.seq);
             self.now = entry.at;
             self.fired += 1;
             (entry.action)(world, self);
@@ -206,6 +235,7 @@ impl<W> Engine<W> {
             while let Some(head) = self.heap.peek() {
                 if self.slot_cancelled(head.seq, head.cancelled_slot) {
                     self.heap.pop();
+                    self.cancelled_pending -= 1;
                 } else {
                     break;
                 }
@@ -228,7 +258,9 @@ impl<W> Engine<W> {
     fn compact(&mut self) {
         // With the heap empty every outstanding slot is dead; reset the
         // table so `cancelled` cannot grow without bound over a long run.
+        debug_assert_eq!(self.cancelled_pending, 0);
         self.cancelled.clear();
+        self.cancelled_pending = 0;
     }
 }
 
@@ -347,6 +379,28 @@ mod tests {
         let mut seen = Vec::new();
         eng.run_until(&mut seen, SimTime::from_millis(5));
         assert_eq!(seen, vec![2]);
+    }
+
+    #[test]
+    fn queue_depth_excludes_cancelled_entries() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let a = eng.schedule_at(SimTime::from_millis(1), |w, _| w.push(1));
+        let b = eng.schedule_at(SimTime::from_millis(2), |w, _| w.push(2));
+        eng.schedule_at(SimTime::from_millis(3), |w, _| w.push(3));
+        assert_eq!(eng.queue_depth(), 3);
+        eng.cancel(b);
+        assert_eq!(eng.pending(), 3, "lazy cancel leaves the entry in place");
+        assert_eq!(eng.queue_depth(), 2);
+        let mut seen = Vec::new();
+        assert!(eng.step(&mut seen));
+        assert_eq!(eng.queue_depth(), 1);
+        // Cancelling an already-fired event must not corrupt the count.
+        assert!(!eng.cancel(a), "cancel after firing reports false");
+        assert_eq!(eng.queue_depth(), 1);
+        eng.run(&mut seen);
+        assert_eq!(seen, vec![1, 3]);
+        assert_eq!(eng.queue_depth(), 0);
+        assert_eq!(eng.pending(), 0);
     }
 
     #[test]

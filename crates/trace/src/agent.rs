@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use nt_io::observer::FileObjectInfo;
 use nt_io::{IoEvent, IoObserver};
+use nt_obs::{Phase, Telemetry};
 
 use crate::buffer::TripleBuffer;
 use crate::collector::MachineId;
@@ -55,6 +56,7 @@ pub struct TraceFilter {
     downtime_ticks: u64,
     /// Tick at which the current suspension began, when suspended.
     suspended_at: Option<u64>,
+    telemetry: Telemetry,
 }
 
 impl TraceFilter {
@@ -82,7 +84,14 @@ impl TraceFilter {
             batches_retried: 0,
             downtime_ticks: 0,
             suspended_at: None,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle; shipping spans inherit the machine's
+    /// simulated clock from the enclosing dispatch span high-water mark.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The machine this filter instruments.
@@ -199,6 +208,9 @@ impl TraceFilter {
     /// collector outage blocked delivery; the batches stay pending and the
     /// caller should retry later (with backoff).
     pub fn ship_at<S: RecordSink>(&mut self, sink: &mut S, now_ticks: u64) -> bool {
+        // span_child, not span: `ship` passes u64::MAX for "no outage",
+        // which must not poison the simulated high-water mark.
+        let _span = self.telemetry.span_child(Phase::Trace, "trace.ship");
         self.enqueue_ready();
         self.deliver_pending(sink, now_ticks)
     }
@@ -207,6 +219,7 @@ impl TraceFilter {
     /// The final flush models the study's controlled shutdown: the
     /// collection servers are back up, so nothing is refused.
     pub fn final_flush<S: RecordSink>(&mut self, sink: &mut S) {
+        let _span = self.telemetry.span_child(Phase::Trace, "trace.final_flush");
         self.deliver_pending(sink, u64::MAX);
         let rest = self.buffer.drain_all();
         let seq = self.next_batch_seq;

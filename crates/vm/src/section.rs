@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use nt_cache::{RangeSet, PAGE_SIZE};
+use nt_obs::{Phase, Telemetry};
 use nt_sim::SimTime;
 
 fn page_floor(x: u64) -> u64 {
@@ -95,6 +96,7 @@ pub struct VmManager<K> {
     sections: BTreeMap<K, Section>,
     resident_pages: u64,
     metrics: VmMetrics,
+    telemetry: Telemetry,
 }
 
 impl<K: Ord + Clone> VmManager<K> {
@@ -105,7 +107,14 @@ impl<K: Ord + Clone> VmManager<K> {
             sections: BTreeMap::new(),
             resident_pages: 0,
             metrics: VmMetrics::default(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle; paging spans nest under the owning
+    /// machine's dispatch spans.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Creates a manager with defaults for a 64 MB study machine.
@@ -142,6 +151,7 @@ impl<K: Ord + Clone> VmManager<K> {
     /// Touches `[offset, offset + len)` of a mapped section, returning the
     /// paging reads needed for the non-resident pages.
     pub fn fault(&mut self, key: &K, offset: u64, len: u64, now: SimTime) -> Vec<PagingRead> {
+        let _span = self.telemetry.span(Phase::Vm, "vm.fault", now);
         let Some(s) = self.sections.get_mut(key) else {
             return Vec::new();
         };
@@ -179,6 +189,7 @@ impl<K: Ord + Clone> VmManager<K> {
     /// loader touches headers plus code pages). Returns the paging reads;
     /// an empty result is a warm start.
     pub fn load_image(&mut self, key: &K, size: u64, now: SimTime) -> Vec<PagingRead> {
+        let _span = self.telemetry.span(Phase::Vm, "vm.load_image", now);
         self.map(key, SectionKind::Image, size, now);
         let reads = self.fault(key, 0, size, now);
         if reads.is_empty() {

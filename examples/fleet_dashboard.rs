@@ -1,0 +1,151 @@
+//! Watching the fleet run: the `nt-obs` telemetry layer end to end.
+//!
+//! Runs the faulted 45-machine deployment with telemetry on, then renders
+//! what the layer captured — the wall-clock attribution table
+//! ([`nt_study::RuntimeProfile`]), terminal sparklines over the fleet
+//! time-series, per-category operation rates, and the artefact paths
+//! (`spans-mNN.jsonl` per machine, `timeseries.jsonl` for the fleet).
+//!
+//! ```bash
+//! cargo run --release --example fleet_dashboard
+//! ```
+
+use std::path::PathBuf;
+
+use nt_obs::sparkline::sparkline;
+use nt_obs::SeriesData;
+use nt_sim::SimDuration;
+use nt_study::{FaultPlan, Study, StudyConfig, StudyData, TelemetryConfig, TelemetryOptions};
+
+/// The faulted paper-shaped fleet at smoke duration, watched.
+fn config(dir: PathBuf) -> StudyConfig {
+    let mut c = StudyConfig::paper_scale(7);
+    c.duration = SimDuration::from_secs(900);
+    c.snapshot_interval = SimDuration::from_secs(300);
+    c.files_per_volume = 1_200;
+    c.web_cache_files = 150;
+    c.faults = FaultPlan::lossy();
+    c.telemetry = TelemetryConfig::On(TelemetryOptions {
+        dir: Some(dir),
+        sample_interval: SimDuration::from_secs(30),
+        ..TelemetryOptions::default()
+    });
+    c
+}
+
+/// One dashboard line: sparkline plus min/max/last of a fleet series.
+fn strip(label: &str, series: &SeriesData) {
+    let values = series.values();
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "  {label:<22} {}  min {:>12.0}  max {:>12.0}  last {:>12.0}",
+        sparkline(&values, 40),
+        min,
+        max,
+        series.last().unwrap_or(0.0),
+    );
+}
+
+/// Sums one series across a set of machines at aligned sample stamps.
+fn fleet_series(data: &StudyData, name: &str) -> Option<SeriesData> {
+    let mut merged: Option<SeriesData> = None;
+    for m in &data.machines {
+        let series = m.telemetry.as_ref()?.series(name)?;
+        match merged.as_mut() {
+            None => merged = Some(series.clone()),
+            Some(acc) => {
+                for (point, &(t, v)) in acc.points.iter_mut().zip(&series.points) {
+                    debug_assert_eq!(point.0, t, "sampler stamps are fleet-aligned");
+                    point.1 += v;
+                }
+            }
+        }
+    }
+    merged
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("nt-fleet-dashboard");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("running the faulted 45-machine fleet with telemetry on …");
+    let data = Study::run(&config(dir.clone()));
+
+    println!();
+    println!("== runtime profile (host wall-clock per subsystem phase) ==");
+    print!("{}", data.profile);
+
+    println!();
+    println!("== fleet time-series (sampled every simulated 30 s) ==");
+    for name in [
+        "cache.resident_bytes",
+        "cache.dirty_bytes",
+        "engine.queue_depth",
+        "io.open_handles",
+        "io.ops",
+        "io.bytes_read",
+        "io.bytes_written",
+        "trace.lost_records",
+    ] {
+        match fleet_series(&data, name) {
+            Some(series) => strip(name, &series),
+            None => println!("  {name:<22} (no samples)"),
+        }
+    }
+
+    println!();
+    println!("== per-category op rates (ops per sample interval, averaged) ==");
+    let mut categories: Vec<_> = data.machines.iter().map(|m| m.category).collect();
+    categories.sort_by_key(|c| format!("{c:?}"));
+    categories.dedup();
+    for category in categories {
+        let mut rates: Vec<f64> = Vec::new();
+        for m in data.machines.iter().filter(|m| m.category == category) {
+            if let Some(series) = m.telemetry.as_ref().and_then(|t| t.series("io.ops")) {
+                let r = series.rates();
+                if rates.is_empty() {
+                    rates = r;
+                } else {
+                    for (acc, v) in rates.iter_mut().zip(&r) {
+                        *acc += v;
+                    }
+                }
+            }
+        }
+        let mean = if rates.is_empty() {
+            0.0
+        } else {
+            rates.iter().sum::<f64>() / rates.len() as f64
+        };
+        println!(
+            "  {:<16} {}  mean {:>10.1}",
+            format!("{category:?}"),
+            sparkline(&rates, 40),
+            mean,
+        );
+    }
+
+    println!();
+    println!("== study headline ==");
+    println!(
+        "  records: {}   compressed bytes: {}   lost to faults: {}",
+        data.total_records,
+        data.stored_bytes,
+        data.total_lost(),
+    );
+    let spans: u64 = data
+        .machines
+        .iter()
+        .filter_map(|m| m.telemetry.as_ref())
+        .map(|t| t.spans_logged)
+        .sum();
+    println!("  spans logged across the fleet: {spans}");
+
+    println!();
+    println!("== artefacts ==");
+    println!("  {}", dir.join("timeseries.jsonl").display());
+    println!(
+        "  {}  (one per machine, 45 files)",
+        dir.join("spans-m00.jsonl").display()
+    );
+}

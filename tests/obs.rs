@@ -1,0 +1,168 @@
+//! Telemetry must observe without perturbing.
+//!
+//! The §3 filter driver's cardinal rule — instrumentation must not change
+//! the workload it watches — applies to `nt-obs` too: running the faulted
+//! 45-machine fleet with spans, samplers and the span log all enabled has
+//! to produce bit-identical fact tables and loss ledgers to a silent run,
+//! while still leaving behind well-formed artefacts (per-machine span
+//! JSONL with monotone simulated timestamps, the fleet `timeseries.jsonl`,
+//! and a populated [`nt_study::RuntimeProfile`]).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use nt_study::{FaultPlan, Study, StudyConfig, TelemetryConfig, TelemetryOptions};
+
+/// The faulted 45-machine smoke fleet: paper topology, short period.
+fn faulted_fleet(seed: u64) -> StudyConfig {
+    let mut c = StudyConfig::paper_scale(seed);
+    c.duration = nt_sim::SimDuration::from_secs(600);
+    c.snapshot_interval = nt_sim::SimDuration::from_secs(300);
+    c.files_per_volume = 1_200;
+    c.web_cache_files = 150;
+    c.faults = FaultPlan::lossy();
+    c
+}
+
+fn artefact_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nt-obs-it-{tag}-{}", std::process::id()))
+}
+
+/// Pulls the integer value of a `"key":N` field out of a hand-rolled
+/// JSONL line (the span log never nests objects).
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check_span_log(path: &Path, machine: u64) {
+    let text = fs::read_to_string(path).expect("span log readable");
+    let mut last_sim = 0u64;
+    let mut lines = 0usize;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "span line is a JSON object: {line}"
+        );
+        assert_eq!(json_u64(line, "m"), Some(machine), "machine id: {line}");
+        for key in ["sim", "host_enter_ns", "host_ns", "self_ns", "depth"] {
+            assert!(json_u64(line, key).is_some(), "field {key} in {line}");
+        }
+        let sim = json_u64(line, "sim").unwrap();
+        assert!(
+            sim >= last_sim,
+            "sim stamps are monotone per machine: {sim} after {last_sim}"
+        );
+        last_sim = sim;
+        let total = json_u64(line, "host_ns").unwrap();
+        assert!(json_u64(line, "self_ns").unwrap() <= total);
+        lines += 1;
+    }
+    assert!(lines > 0, "machine {machine} logged at least one span");
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_study() {
+    let dir = artefact_dir("fleet");
+    let _ = fs::remove_dir_all(&dir);
+
+    let silent = Study::run(&faulted_fleet(4_040));
+
+    let mut watched_config = faulted_fleet(4_040);
+    watched_config.telemetry = TelemetryConfig::On(TelemetryOptions {
+        dir: Some(dir.clone()),
+        sample_interval: nt_sim::SimDuration::from_secs(30),
+        ..TelemetryOptions::default()
+    });
+    let watched = Study::run(&watched_config);
+
+    // The whole point: watching the fleet changes nothing it produces.
+    // `assert!` rather than `assert_eq!` — a failure diff over these
+    // tables would be megabytes of unreadable output.
+    assert!(
+        silent.trace_set.records == watched.trace_set.records,
+        "record streams are bit-identical with telemetry on"
+    );
+    assert!(
+        silent.trace_set.instances == watched.trace_set.instances,
+        "instance tables are bit-identical with telemetry on"
+    );
+    assert!(
+        silent.trace_set.names == watched.trace_set.names,
+        "name tables are bit-identical with telemetry on"
+    );
+    assert_eq!(silent.total_records, watched.total_records);
+    assert_eq!(silent.stored_bytes, watched.stored_bytes);
+    assert!(
+        watched.total_lost() > 0,
+        "the lossy plan visibly dropped records, so the ledgers are live"
+    );
+    for (s, w) in silent.machines.iter().zip(watched.machines.iter()) {
+        assert_eq!(s.id, w.id);
+        assert_eq!(s.loss, w.loss, "machine {:?} ledger unchanged", s.id);
+        assert_eq!(s.residual_dirty_bytes, w.residual_dirty_bytes);
+        // The conservation-audit ledgers are posted from these counters,
+        // so equality here is equality of every audit account too.
+        assert_eq!(s.io, w.io, "machine {:?} io counters unchanged", s.id);
+        assert_eq!(s.cache, w.cache, "machine {:?} cache counters", s.id);
+        assert_eq!(s.vm, w.vm, "machine {:?} vm counters", s.id);
+    }
+
+    // The silent run carries no telemetry at all; the watched run's
+    // profile attributes wall-clock to the phases the fleet exercised.
+    assert!(silent.profile.is_empty(), "telemetry off leaves no profile");
+    assert!(silent.machines.iter().all(|m| m.telemetry.is_none()));
+    let profile = watched.profile;
+    for phase in [
+        nt_study::Phase::Dispatch,
+        nt_study::Phase::Cache,
+        nt_study::Phase::Trace,
+        nt_study::Phase::Analysis,
+    ] {
+        assert!(
+            profile.phase(phase).spans > 0,
+            "phase {phase:?} recorded spans"
+        );
+    }
+    assert!(profile.total_self_ns() > 0);
+
+    // Span logs: one per machine, well-formed JSONL, monotone sim stamps.
+    for m in &watched.machines {
+        let telemetry = m.telemetry.as_ref().expect("telemetry report present");
+        assert!(telemetry.spans_logged > 0);
+        let log = dir.join(format!("spans-m{:02}.jsonl", m.id.0));
+        check_span_log(&log, u64::from(m.id.0));
+        // The sampler landed the headline gauges for this machine.
+        for name in ["cache.resident_bytes", "engine.queue_depth", "io.ops"] {
+            let series = telemetry
+                .series(name)
+                .unwrap_or_else(|| panic!("series {name} on machine {:?}", m.id));
+            assert!(!series.points.is_empty());
+        }
+    }
+
+    // The fleet time-series artefact: fleet-scope rows with points.
+    let text = fs::read_to_string(dir.join("timeseries.jsonl")).expect("timeseries.jsonl written");
+    let fleet_rows: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"scope\":\"fleet\""))
+        .collect();
+    assert!(!fleet_rows.is_empty(), "fleet-scope rows exported");
+    assert!(
+        fleet_rows
+            .iter()
+            .any(|l| l.contains("\"series\":\"trace.lost_records\"") && l.contains("\"points\":[[")),
+        "fleet loss counter has sampled points"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"scope\":\"category:")),
+        "per-category rollups exported"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
