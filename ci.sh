@@ -49,6 +49,12 @@ cargo test -q --offline --test audit
 step "telemetry non-perturbation (obs suite: fact tables identical on/off)"
 cargo test -q --offline --test obs
 
+step "driver stack (FastIO fallback equivalence + conservation under veto)"
+cargo test -q --offline --test filter_stack
+
+step "cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
+
 step "cargo test --workspace"
 cargo test -q --workspace --offline
 

@@ -59,7 +59,7 @@ pub mod accounts {
     /// + dropped while suspended).
     pub const TRACE_EVENTS: &str = "trace.events";
     /// Records the agent accepted vs their fate (delivered + dropped on
-    /// buffer overflow) — the [`LossLedger`] identity, as an account.
+    /// buffer overflow) — the `LossLedger` identity, as an account.
     pub const TRACE_RECORDS: &str = "trace.records";
     /// Records delivered to the collection tier vs records the analysis
     /// sinks actually analysed for this machine.

@@ -218,6 +218,43 @@ fn main() {
         rs.covered_bytes()
     }));
 
+    // Driver-stack dispatch: 100k warm FastIO reads through a machine
+    // whose stack holds only the (non-intercepting) observer layer — the
+    // shape every production machine has with telemetry off. The number
+    // is the per-op floor of the trait-object stack; the NT_BENCH_GATE
+    // ratio below proves the refactor kept the end-to-end simulate phase
+    // within budget of the pre-refactor baseline.
+    samples.push(time("machine_dispatch_warm_read_100k", 100_000, || {
+        use nt_fs::{NtPath, VolumeConfig};
+        use nt_io::{
+            AccessMode, CreateOptions, DiskParams, Disposition, Machine, MachineConfig,
+            NullObserver, ProcessId,
+        };
+        let mut m = Machine::new(MachineConfig::default(), NullObserver);
+        let vol = m.add_local_volume(
+            'C',
+            VolumeConfig::local_ntfs(1 << 30),
+            DiskParams::local_ide(),
+        );
+        let (reply, h) = m.create(
+            ProcessId(1),
+            vol,
+            &NtPath::parse(r"\bench.dat"),
+            AccessMode::ReadWrite,
+            Disposition::OpenIf,
+            CreateOptions::default(),
+            SimTime::from_secs(1),
+        );
+        assert!(reply.status.is_success());
+        let h = h.expect("open succeeded");
+        let mut at = SimTime::from_secs(2);
+        at = m.write(h, Some(0), 65_536, at).end;
+        for _ in 0..100_000u32 {
+            at = m.read(h, Some(0), 4_096, at).end;
+        }
+        m.metrics().fastio_reads
+    }));
+
     // Sketch ingestion: the per-record overhead the streaming sinks add.
     samples.push(time("histogram_sketch_record_100k", 100_000, || {
         let mut h = HistogramSketch::new();

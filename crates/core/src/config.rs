@@ -51,6 +51,14 @@ pub struct StudyConfig {
     pub web_cache_files: usize,
     /// Ablation: force every data request down the IRP path (§10).
     pub disable_fastio: bool,
+    /// Attach a [`FastIoVeto`](nt_io::FastIoVeto) filter to every
+    /// machine, opting the whole FastIO table out so each procedural
+    /// call takes its documented IRP fallback. Unlike
+    /// [`disable_fastio`](Self::disable_fastio) — a latency-level
+    /// ablation that charges the slow path — the veto only relabels the
+    /// records (`tests/filter_stack.rs` proves the fact tables match
+    /// modulo the `EventKind`).
+    pub force_irp_fallback: bool,
     /// Ablation: disable read-ahead (§9.1).
     pub disable_readahead: bool,
     /// Ablation: force write-through caching (§9.2).
@@ -98,6 +106,7 @@ impl StudyConfig {
             files_per_volume: 28_000,
             web_cache_files: 4_000,
             disable_fastio: false,
+            force_irp_fallback: false,
             disable_readahead: false,
             force_write_through: false,
             faults: FaultPlan::none(),
@@ -132,6 +141,7 @@ impl StudyConfig {
             files_per_volume: 1_200,
             web_cache_files: 150,
             disable_fastio: false,
+            force_irp_fallback: false,
             disable_readahead: false,
             force_write_through: false,
             faults: FaultPlan::none(),

@@ -13,9 +13,16 @@
 //!   manager (`nt-cache`), the VM manager (`nt-vm`), FCB and handle
 //!   tables, per-volume disk models, and the I/O manager dispatch logic
 //!   (FastIO attempt, IRP fallback, paging I/O, two-stage close).
-//! * [`IoObserver`] — the filter-driver attachment point: every IRP and
-//!   FastIO call is reported with dual 100 ns timestamps, exactly the
-//!   payload of the study's trace records (§3.2).
+//! * [`DriverStack`] / [`FilterDriver`] — the layered driver chain
+//!   itself: every request descends the stack `IoCallDriver`-style, each
+//!   layer may complete, modify or pass it, and each layer's
+//!   [`FastIoDispatch`] table can opt individual FastIO routines out,
+//!   forcing the documented IRP fallback (§10).
+//! * [`IoObserver`] — the study's instrument: every IRP and FastIO call
+//!   is reported with dual 100 ns timestamps, exactly the payload of the
+//!   trace records (§3.2). It attaches to the stack as a filter driver
+//!   ([`ObserverFilter`]), alongside the span layer ([`SpanFilter`]) and
+//!   the example third-party scanner ([`AntivirusFilter`]).
 //! * [`LatencyModel`] — service-time model for cache copies, IRP
 //!   overhead, local IDE/SCSI disks and redirector round-trips, producing
 //!   the figure-13 latency split between the four major request types.
@@ -26,21 +33,28 @@
 //! and applied by an explicit [`Machine::pump`] at the next operation or
 //! lazy-writer tick.
 
+pub mod fastio;
 pub mod fcb;
+pub mod filters;
 pub mod latency;
 pub mod machine;
 pub mod observer;
+pub mod ops;
 pub mod request;
 pub mod sharing;
+pub mod stack;
 pub mod status;
 pub mod types;
 
+pub use fastio::{irp_fallback, FastIoDispatch};
 pub use fcb::{Fcb, FcbTable};
+pub use filters::{AntivirusFilter, FastIoVeto, ObserverFilter, SpanFilter};
 pub use latency::{DiskParams, LatencyModel, LatencyParams};
 pub use machine::{IoMetrics, Machine, MachineConfig, OpReply};
-pub use observer::{IoObserver, NullObserver};
+pub use observer::{FileObjectInfo, IoObserver, NullObserver, VecObserver};
 pub use request::{EventKind, FastIoKind, IoEvent, MajorFunction, SetInfoKind};
 pub use sharing::{LockTable, ShareRegistry};
+pub use stack::{DriverStack, FilterAction, FilterDriver, IrpFrame, LayerCounters};
 pub use status::NtStatus;
 pub use types::{
     AccessMode, CreateOptions, Disposition, FcbId, FileObjectId, HandleId, ProcessId, ShareMode,

@@ -1,11 +1,17 @@
 //! One traced workstation: volumes, cache, VM, FCBs, handles and the I/O
-//! manager dispatch logic.
+//! manager's dispatch engine.
 //!
 //! Requests enter through Win32-level methods ([`Machine::create`],
-//! [`Machine::read`], …). Each computes its completion time through the
-//! latency model and reports every IRP and FastIO call — including the
-//! paging I/O triggered by the cache and VM managers — to the attached
-//! [`IoObserver`], which is where the study's filter driver sits.
+//! [`Machine::read`], … — implemented in the [`crate::ops`] modules).
+//! Each builds an [`IrpFrame`] and hands it to `Machine::dispatch`,
+//! which walks the attached [`DriverStack`] `IoCallDriver`-style: every
+//! filter sees the packet on the way down (and may complete it, adjust
+//! its clock, or pass it on) and the completed reply on the way back up.
+//! The FSD plus cache-manager/VM fast path at the bottom computes the
+//! completion time through the latency model and reports every IRP and
+//! FastIO call — including the paging I/O triggered by the cache and VM
+//! managers — to the stack, where the study's filter driver
+//! ([`crate::filters::ObserverFilter`]) consumes the records.
 //!
 //! Background activity (read-ahead completions, the deferred second stage
 //! of the two-stage close) is queued internally with its due time and
@@ -15,25 +21,25 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::marker::PhantomData;
 
 use nt_cache::{CacheConfig, CacheManager, CacheOpenHints};
-use nt_fs::{
-    FileAttributes, FileTimes, FsError, Namespace, NodeId, NtPath, VolumeConfig, VolumeId,
-};
-use nt_obs::{Phase, Telemetry};
-use nt_sim::{SimDuration, SimTime};
-use nt_vm::{SectionKind, VmConfig, VmManager};
+use nt_fs::{FileAttributes, Namespace, NodeId, VolumeConfig, VolumeId};
+use nt_obs::Telemetry;
+use nt_sim::SimTime;
+use nt_vm::{VmConfig, VmManager};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::fastio::irp_fallback;
 use crate::fcb::FcbTable;
+use crate::filters::ObserverFilter;
 use crate::latency::{DiskParams, LatencyModel, LatencyParams};
-use crate::observer::{FileObjectInfo, IoObserver};
-use crate::request::{EventKind, FastIoKind, IoEvent, MajorFunction, SetInfoKind};
+use crate::observer::IoObserver;
+use crate::request::{EventKind, FastIoKind, IoEvent, MajorFunction};
+use crate::stack::{DriverStack, FilterAction, FilterDriver, IrpFrame};
 use crate::status::NtStatus;
-use crate::types::{
-    AccessMode, CreateOptions, Disposition, FcbId, FileObjectId, HandleId, ProcessId,
-};
+use crate::types::{AccessMode, CreateOptions, FcbId, FileObjectId, HandleId, ProcessId};
 
 /// Stable identity of a file for cache/VM keying: sections and cache maps
 /// outlive FCBs (image pages survive process exit, §3.3).
@@ -41,24 +47,26 @@ pub type FileKey = (VolumeId, NodeId);
 
 /// One pended change-notification: `(handle, file object, fcb, process,
 /// registration time)`.
-type WatchEntry = (HandleId, FileObjectId, FcbId, ProcessId, SimTime);
+pub(crate) type WatchEntry = (HandleId, FileObjectId, FcbId, ProcessId, SimTime);
 
-/// Hands one trace event to the observer, counting it either way.
+/// Hands one trace event to the driver stack, counting it either way.
 ///
-/// The `IoEvent` expression is only evaluated when the observer consumes
-/// records (`O::ENABLED`): a machine running with `NullObserver` skips
-/// the whole struct construction on its request hot path. The counter
-/// still advances so the conservation ledger's TRACE_EVENTS debit stays
-/// identical whether or not anyone is listening.
+/// The `IoEvent` expression is only evaluated when some attached layer
+/// consumes records ([`DriverStack::events_wanted`]): a machine whose
+/// observer is `NullObserver` skips the whole struct construction on its
+/// request hot path. The counter still advances so the conservation
+/// ledger's TRACE_EVENTS debit stays identical whether or not anyone is
+/// listening.
 macro_rules! emit_event {
     ($self:ident, $ev:expr) => {{
         $self.metrics.events_emitted += 1;
-        if O::ENABLED {
+        if $self.stack.events_wanted() {
             let ev = $ev;
-            $self.observer.event(&ev);
+            $self.stack.event(&ev);
         }
     }};
 }
+pub(crate) use emit_event;
 
 /// Result of one I/O operation.
 #[derive(Clone, Copy, Debug)]
@@ -72,7 +80,7 @@ pub struct OpReply {
 }
 
 impl OpReply {
-    fn at(status: NtStatus, end: SimTime) -> Self {
+    pub(crate) fn at(status: NtStatus, end: SimTime) -> Self {
         OpReply {
             status,
             transferred: 0,
@@ -207,7 +215,10 @@ pub struct MachineConfig {
     pub cache_budget_bytes: u64,
     /// Ablation: remove the FastIO dispatch table, forcing every data
     /// request down the IRP path (what a filter driver that fails to
-    /// implement the FastIO methods does to a system, §10).
+    /// implement the FastIO methods does to a system, §10). Unlike a
+    /// [`crate::filters::FastIoVeto`] — which relabels the call but keeps
+    /// the cache-copy service time — this ablation also charges the IRP
+    /// path's latency.
     pub disable_fastio: bool,
 }
 
@@ -224,20 +235,20 @@ impl Default for MachineConfig {
     }
 }
 
-struct OpenHandle {
-    fo: FileObjectId,
-    fcb: FcbId,
-    volume: VolumeId,
-    node: NodeId,
-    process: ProcessId,
-    access: AccessMode,
-    options: CreateOptions,
-    byte_offset: u64,
-    dir_cursor: usize,
-    mapped: bool,
+pub(crate) struct OpenHandle {
+    pub(crate) fo: FileObjectId,
+    pub(crate) fcb: FcbId,
+    pub(crate) volume: VolumeId,
+    pub(crate) node: NodeId,
+    pub(crate) process: ProcessId,
+    pub(crate) access: AccessMode,
+    pub(crate) options: CreateOptions,
+    pub(crate) byte_offset: u64,
+    pub(crate) dir_cursor: usize,
+    pub(crate) mapped: bool,
 }
 
-enum Pending {
+pub(crate) enum Pending {
     RaComplete {
         key: FileKey,
         offset: u64,
@@ -253,50 +264,59 @@ enum Pending {
 }
 
 /// One simulated workstation.
+///
+/// The type parameter is the machine's primary observer — the trace
+/// agent, a test vector, or [`crate::observer::NullObserver`] — which
+/// [`Machine::new`] wraps in an [`ObserverFilter`] at the bottom of the
+/// driver stack. Further layers attach above it through
+/// [`Machine::attach_filter`].
 pub struct Machine<O: IoObserver> {
-    ns: Namespace,
-    fcbs: FcbTable,
-    cache: CacheManager<FileKey>,
-    vm: VmManager<FileKey>,
-    latency: LatencyModel,
-    observer: O,
-    rng: SmallRng,
-    handles: HashMap<u64, OpenHandle>,
-    next_fo: u64,
-    next_handle: u64,
-    pending: BinaryHeap<Reverse<(SimTime, u64)>>,
-    pending_actions: HashMap<u64, Pending>,
-    pending_seq: u64,
+    pub(crate) ns: Namespace,
+    pub(crate) fcbs: FcbTable,
+    pub(crate) cache: CacheManager<FileKey>,
+    pub(crate) vm: VmManager<FileKey>,
+    pub(crate) latency: LatencyModel,
+    pub(crate) stack: DriverStack,
+    pub(crate) rng: SmallRng,
+    pub(crate) handles: HashMap<u64, OpenHandle>,
+    pub(crate) next_fo: u64,
+    pub(crate) next_handle: u64,
+    pub(crate) pending: BinaryHeap<Reverse<(SimTime, u64)>>,
+    pub(crate) pending_actions: HashMap<u64, Pending>,
+    pub(crate) pending_seq: u64,
     /// File objects whose deferred close waits for the lazy writer to
     /// drain; several opens of the same file can be queued at once. The
     /// stored time is each cleanup's completion, which its close IRP
     /// must not precede.
-    deferred_close: HashMap<FileKey, Vec<(FileObjectId, FcbId, ProcessId, SimTime)>>,
+    pub(crate) deferred_close: HashMap<FileKey, Vec<(FileObjectId, FcbId, ProcessId, SimTime)>>,
     /// Pending change-notification IRPs per watched directory. The IRP
     /// stays pended from registration until a change in the directory
     /// completes it (FindFirstChangeNotification).
-    watches: HashMap<FileKey, Vec<WatchEntry>>,
+    pub(crate) watches: HashMap<FileKey, Vec<WatchEntry>>,
     /// Share-mode arbitration and byte-range locks, keyed by file.
-    shares: crate::sharing::ShareRegistry,
-    metrics: IoMetrics,
-    telemetry: Telemetry,
-    config: MachineConfig,
+    pub(crate) shares: crate::sharing::ShareRegistry,
+    pub(crate) metrics: IoMetrics,
+    pub(crate) config: MachineConfig,
     /// False while the network link to the file servers is partitioned;
     /// requests against redirector volumes then fail with
     /// [`NtStatus::NetworkUnreachable`].
-    network_up: bool,
+    pub(crate) network_up: bool,
+    _observer: PhantomData<O>,
 }
 
 impl<O: IoObserver> Machine<O> {
-    /// Creates a machine with no volumes.
+    /// Creates a machine with no volumes, its observer attached as the
+    /// lowest filter in the driver stack.
     pub fn new(config: MachineConfig, observer: O) -> Self {
+        let mut stack = DriverStack::new();
+        stack.attach(Box::new(ObserverFilter::new(observer)));
         Machine {
             ns: Namespace::new(),
             fcbs: FcbTable::new(),
             cache: CacheManager::new(config.cache.clone()),
             vm: VmManager::new(config.vm.clone()),
             latency: LatencyModel::new(config.latency.clone(), Vec::new()),
-            observer,
+            stack,
             rng: SmallRng::seed_from_u64(config.seed),
             handles: HashMap::new(),
             next_fo: 1,
@@ -308,18 +328,18 @@ impl<O: IoObserver> Machine<O> {
             watches: HashMap::new(),
             shares: crate::sharing::ShareRegistry::new(),
             metrics: IoMetrics::default(),
-            telemetry: Telemetry::off(),
             config,
             network_up: true,
+            _observer: PhantomData,
         }
     }
 
     /// Attaches a telemetry handle, sharing it with the cache and VM
-    /// managers so their spans nest under this machine's dispatch spans.
+    /// managers so their spans nest under the dispatch spans a
+    /// [`crate::filters::SpanFilter`] opens.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.cache.set_telemetry(telemetry.clone());
-        self.vm.set_telemetry(telemetry.clone());
-        self.telemetry = telemetry;
+        self.vm.set_telemetry(telemetry);
     }
 
     /// True when the link to the file servers is up.
@@ -334,7 +354,7 @@ impl<O: IoObserver> Machine<O> {
         self.network_up = up;
     }
 
-    fn share_key(volume: VolumeId, node: NodeId) -> u64 {
+    pub(crate) fn share_key(volume: VolumeId, node: NodeId) -> u64 {
         ((volume.0 as u64) << 32) | node.index() as u64
     }
 
@@ -373,14 +393,36 @@ impl<O: IoObserver> Machine<O> {
         &mut self.ns
     }
 
-    /// The attached observer.
+    /// The driver stack the machine dispatches through.
+    pub fn stack(&self) -> &DriverStack {
+        &self.stack
+    }
+
+    /// Mutable stack access (inspection, [`DriverStack::find_mut`]).
+    pub fn stack_mut(&mut self) -> &mut DriverStack {
+        &mut self.stack
+    }
+
+    /// Attaches `filter` at the top of the driver stack, above every
+    /// layer already present (including the machine's own observer).
+    pub fn attach_filter(&mut self, filter: Box<dyn FilterDriver>) {
+        self.stack.attach(filter);
+    }
+
+    /// The machine's primary observer (the one [`Machine::new`] wrapped).
     pub fn observer(&self) -> &O {
-        &self.observer
+        self.stack
+            .find::<ObserverFilter<O>>()
+            .expect("Machine::new attaches the observer filter")
+            .inner()
     }
 
     /// Mutable observer access (e.g. to drain collected records).
     pub fn observer_mut(&mut self) -> &mut O {
-        &mut self.observer
+        self.stack
+            .find_mut::<ObserverFilter<O>>()
+            .expect("Machine::new attaches the observer filter")
+            .inner_mut()
     }
 
     /// Request counters.
@@ -415,7 +457,84 @@ impl<O: IoObserver> Machine<O> {
         self.cache.resident_bytes()
     }
 
-    fn schedule(&mut self, due: SimTime, action: Pending) {
+    /// Number of files whose close is still waiting on the lazy writer.
+    pub fn deferred_closes(&self) -> usize {
+        self.deferred_close.len()
+    }
+
+    // ------------------------------------------------------------------
+    // IRP dispatch through the driver stack
+    // ------------------------------------------------------------------
+
+    /// Sends `frame` down the driver stack and, if no filter completes
+    /// it, into the FSD closure; the reply ascends back through every
+    /// layer the packet passed.
+    ///
+    /// When no attached filter intercepts packets the descent is skipped
+    /// outright, so an observation-only stack costs dispatch nothing —
+    /// the <3 % overhead budget of the streaming bench gate.
+    pub(crate) fn dispatch_with<R: Default>(
+        &mut self,
+        mut frame: IrpFrame,
+        fsd: impl FnOnce(&mut Self, &IrpFrame) -> (OpReply, R),
+    ) -> (OpReply, R) {
+        if !self.stack.intercepting() {
+            let out = fsd(self, &frame);
+            self.stack.note_fsd_completion();
+            return out;
+        }
+        let layers = self.stack.len();
+        let mut depth = layers;
+        let mut short_circuit = None;
+        for i in 0..layers {
+            match self.stack.pre(i, &mut frame) {
+                FilterAction::Pass => {}
+                FilterAction::Complete(reply) => {
+                    depth = i;
+                    short_circuit = Some(reply);
+                    break;
+                }
+            }
+        }
+        let (mut reply, value) = match short_circuit {
+            Some(reply) => (reply, R::default()),
+            None => {
+                let out = fsd(self, &frame);
+                self.stack.note_fsd_completion();
+                out
+            }
+        };
+        for i in (0..depth).rev() {
+            self.stack.post(i, &frame, &mut reply);
+        }
+        (reply, value)
+    }
+
+    /// [`Machine::dispatch_with`] for operations with no extra result.
+    pub(crate) fn dispatch(
+        &mut self,
+        frame: IrpFrame,
+        fsd: impl FnOnce(&mut Self, &IrpFrame) -> OpReply,
+    ) -> OpReply {
+        self.dispatch_with(frame, |m, f| (fsd(m, f), ())).0
+    }
+
+    /// The event kind a FastIO call of `kind` actually rides: the
+    /// procedural path when every layer's table implements it, or the
+    /// documented IRP fallback when some layer opted out (§10).
+    pub(crate) fn fastio_event_kind(&self, kind: FastIoKind) -> EventKind {
+        if self.stack.fastio_supported(kind) {
+            EventKind::FastIo(kind)
+        } else {
+            EventKind::Irp(irp_fallback(kind))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background completions
+    // ------------------------------------------------------------------
+
+    pub(crate) fn schedule(&mut self, due: SimTime, action: Pending) {
         let seq = self.pending_seq;
         self.pending_seq += 1;
         self.pending.push(Reverse((due, seq)));
@@ -449,7 +568,7 @@ impl<O: IoObserver> Machine<O> {
         }
     }
 
-    fn emit_close_irp(
+    pub(crate) fn emit_close_irp(
         &mut self,
         fo: FileObjectId,
         fcb: FcbId,
@@ -498,7 +617,7 @@ impl<O: IoObserver> Machine<O> {
     /// Completes any deferred closes queued on `key` — the cache map is
     /// about to be purged (delete/overwrite), so the lazy writer will
     /// never signal the drain.
-    fn release_deferred(&mut self, key: FileKey, now: SimTime) {
+    pub(crate) fn release_deferred(&mut self, key: FileKey, now: SimTime) {
         if let Some(waiters) = self.deferred_close.remove(&key) {
             let (volume, node) = key;
             for (fo, fcb, process, cleaned) in waiters {
@@ -508,13 +627,13 @@ impl<O: IoObserver> Machine<O> {
         }
     }
 
-    fn next_file_object(&mut self) -> FileObjectId {
+    pub(crate) fn next_file_object(&mut self) -> FileObjectId {
         let id = FileObjectId(self.next_fo);
         self.next_fo += 1;
         id
     }
 
-    fn parent_of(&self, volume: VolumeId, node: NodeId) -> Option<NodeId> {
+    pub(crate) fn parent_of(&self, volume: VolumeId, node: NodeId) -> Option<NodeId> {
         self.ns
             .volume(volume)
             .ok()
@@ -522,7 +641,7 @@ impl<O: IoObserver> Machine<O> {
             .and_then(|n| n.parent)
     }
 
-    fn is_compressed(&self, volume: VolumeId, node: NodeId) -> bool {
+    pub(crate) fn is_compressed(&self, volume: VolumeId, node: NodeId) -> bool {
         self.ns
             .volume(volume)
             .ok()
@@ -532,7 +651,7 @@ impl<O: IoObserver> Machine<O> {
             .unwrap_or(false)
     }
 
-    fn hints_for(options: CreateOptions) -> CacheOpenHints {
+    pub(crate) fn hints_for(options: CreateOptions) -> CacheOpenHints {
         CacheOpenHints {
             sequential_only: options.sequential_only,
             write_through: options.write_through,
@@ -540,563 +659,14 @@ impl<O: IoObserver> Machine<O> {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Create / open
-    // ------------------------------------------------------------------
-
-    /// Opens or creates a file (IRP_MJ_CREATE).
-    ///
-    /// Returns the reply and, on success, a handle. Failed opens emit the
-    /// create IRP with its failure status, which is how the §8.4 error
-    /// rates enter the trace.
-    // NtCreateFile takes this many parameters; mirroring it is clearer
-    // than bundling.
-    #[allow(clippy::too_many_arguments)]
-    pub fn create(
-        &mut self,
-        process: ProcessId,
-        volume: VolumeId,
-        path: &NtPath,
-        access: AccessMode,
-        disposition: Disposition,
-        options: CreateOptions,
-        now: SimTime,
-    ) -> (OpReply, Option<HandleId>) {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "create", now);
-        let fo = self.next_file_object();
-        // The name record (and its path copy) only exists for a real
-        // observer; an untraced machine never builds it.
-        if O::ENABLED {
-            self.observer.file_object(&FileObjectInfo {
-                id: fo,
-                volume: volume.0,
-                path: path.to_string(),
-                process,
-                at: now,
-            });
-        }
-        let local = self.ns.is_local(volume);
-
-        // A partitioned network link fails the open before the redirector
-        // reaches the server; nothing on the remote volume changes.
-        if !local && !self.network_up {
-            let end = now + self.latency.metadata_op();
-            self.metrics.open_failures += 1;
-            self.metrics.network_failures += 1;
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Create),
-                    file_object: fo,
-                    fcb: FcbId(u64::MAX),
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: 0,
-                    length: 0,
-                    transferred: 0,
-                    file_size: 0,
-                    byte_offset: 0,
-                    status: NtStatus::NetworkUnreachable,
-                    start: now,
-                    end,
-                    access: Some(access),
-                    disposition: Some(disposition),
-                    options: Some(options),
-                    set_info: None,
-                    created: false,
-                }
-            );
-            return (OpReply::at(NtStatus::NetworkUnreachable, end), None);
-        }
-
-        // Share-mode arbitration happens before any side effect of the
-        // open (in particular before a truncating disposition destroys
-        // data).
-        if let Ok(node) = self.ns.volume(volume).and_then(|v| v.lookup(path)) {
-            let share_key = Self::share_key(volume, node);
-            if !self.shares.compatible(share_key, access, options.share) {
-                let end = now + self.latency.metadata_op();
-                self.metrics.open_failures += 1;
-                self.metrics.sharing_violations += 1;
-                emit_event!(
-                    self,
-                    IoEvent {
-                        kind: EventKind::Irp(MajorFunction::Create),
-                        file_object: fo,
-                        fcb: FcbId(u64::MAX),
-                        process,
-                        volume: volume.0,
-                        local,
-                        paging_io: false,
-                        readahead: false,
-                        offset: 0,
-                        length: 0,
-                        transferred: 0,
-                        file_size: 0,
-                        byte_offset: 0,
-                        status: NtStatus::SharingViolation,
-                        start: now,
-                        end,
-                        access: Some(access),
-                        disposition: Some(disposition),
-                        options: Some(options),
-                        set_info: None,
-                        created: false,
-                    }
-                );
-                return (OpReply::at(NtStatus::SharingViolation, end), None);
-            }
-        }
-        let resolved = self.resolve_create(volume, path, disposition, options, now);
-        let end = now + self.latency.metadata_op();
-        match resolved {
-            Err(status) => {
-                self.metrics.open_failures += 1;
-                emit_event!(
-                    self,
-                    IoEvent {
-                        kind: EventKind::Irp(MajorFunction::Create),
-                        file_object: fo,
-                        fcb: FcbId(u64::MAX),
-                        process,
-                        volume: volume.0,
-                        local,
-                        paging_io: false,
-                        readahead: false,
-                        offset: 0,
-                        length: 0,
-                        transferred: 0,
-                        file_size: 0,
-                        byte_offset: 0,
-                        status,
-                        start: now,
-                        end,
-                        access: Some(access),
-                        disposition: Some(disposition),
-                        options: Some(options),
-                        set_info: None,
-                        created: false,
-                    }
-                );
-                (OpReply::at(status, end), None)
-            }
-            Ok((node, truncated, created)) => {
-                let fcb = self.fcbs.open(volume, node);
-                if truncated {
-                    // §6.3: an overwrite may find unwritten dirty pages in
-                    // the cache; they are purged, never written — and any
-                    // close still waiting on the old data completes now.
-                    self.release_deferred((volume, node), now);
-                    self.cache.purge(&(volume, node));
-                    self.vm.purge(&(volume, node));
-                    self.metrics.overwrite_truncates += 1;
-                }
-                if options.temporary {
-                    let _ = self.ns.volume_mut(volume).and_then(|v| {
-                        let attrs = v
-                            .node(node)
-                            .ok()
-                            .and_then(|n| n.file().map(|f| f.attributes))
-                            .unwrap_or_default();
-                        v.set_attributes(node, attrs | FileAttributes::TEMPORARY)
-                    });
-                }
-                let file_size = self
-                    .ns
-                    .volume(volume)
-                    .ok()
-                    .and_then(|v| v.file_size(node).ok())
-                    .unwrap_or(0);
-                if created || truncated {
-                    if let Some(parent) = self.parent_of(volume, node) {
-                        self.fire_watches(volume, parent, now);
-                    }
-                }
-                let handle = HandleId(self.next_handle);
-                self.next_handle += 1;
-                let registered = self.shares.try_open(
-                    Self::share_key(volume, node),
-                    handle,
-                    access,
-                    options.share,
-                );
-                debug_assert!(registered, "compatibility was checked above");
-                self.handles.insert(
-                    handle.0,
-                    OpenHandle {
-                        fo,
-                        fcb,
-                        volume,
-                        node,
-                        process,
-                        access,
-                        options,
-                        byte_offset: 0,
-                        dir_cursor: 0,
-                        mapped: false,
-                    },
-                );
-                self.metrics.opens += 1;
-                emit_event!(
-                    self,
-                    IoEvent {
-                        kind: EventKind::Irp(MajorFunction::Create),
-                        file_object: fo,
-                        fcb,
-                        process,
-                        volume: volume.0,
-                        local,
-                        paging_io: false,
-                        readahead: false,
-                        offset: 0,
-                        length: 0,
-                        transferred: 0,
-                        file_size,
-                        byte_offset: 0,
-                        status: NtStatus::Success,
-                        start: now,
-                        end,
-                        access: Some(access),
-                        disposition: Some(disposition),
-                        options: Some(options),
-                        set_info: None,
-                        created,
-                    }
-                );
-                (
-                    OpReply {
-                        status: NtStatus::Success,
-                        transferred: 0,
-                        end,
-                    },
-                    Some(handle),
-                )
-            }
-        }
-    }
-
-    fn resolve_create(
-        &mut self,
-        volume: VolumeId,
-        path: &NtPath,
-        disposition: Disposition,
-        options: CreateOptions,
-        now: SimTime,
-    ) -> Result<(NodeId, bool, bool), NtStatus> {
-        let vol = self.ns.volume_mut(volume).map_err(NtStatus::from)?;
-        match vol.lookup(path) {
-            Ok(node) => {
-                let is_dir = vol
-                    .node(node)
-                    .map(|n| n.kind.is_directory())
-                    .unwrap_or(false);
-                if is_dir && !options.directory {
-                    // Opening a directory as a file is allowed for control
-                    // access in NT; only data access fails. We allow it.
-                }
-                if !is_dir && options.directory {
-                    return Err(NtStatus::NotADirectory);
-                }
-                match disposition {
-                    Disposition::Create => Err(NtStatus::ObjectNameCollision),
-                    Disposition::Open | Disposition::OpenIf => Ok((node, false, false)),
-                    Disposition::Overwrite | Disposition::OverwriteIf | Disposition::Supersede => {
-                        if is_dir {
-                            return Err(NtStatus::FileIsADirectory);
-                        }
-                        vol.overwrite(node, now).map_err(NtStatus::from)?;
-                        Ok((node, true, false))
-                    }
-                }
-            }
-            Err(FsError::NotFound) => {
-                if !disposition.may_create() {
-                    return Err(NtStatus::ObjectNameNotFound);
-                }
-                let parent_path = path.parent();
-                let parent = vol
-                    .lookup(&parent_path)
-                    .map_err(|_| NtStatus::ObjectPathNotFound)?;
-                let name = path.file_name().ok_or(NtStatus::InvalidParameter)?;
-                let node = if options.directory {
-                    vol.mkdir(parent, name, now).map_err(NtStatus::from)?
-                } else {
-                    vol.create_file(parent, name, now).map_err(NtStatus::from)?
-                };
-                Ok((node, false, true))
-            }
-            Err(e) => Err(NtStatus::from(e)),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Read / write
-    // ------------------------------------------------------------------
-
-    /// Reads `len` bytes at `offset` (or the current byte offset).
-    pub fn read(
-        &mut self,
-        handle: HandleId,
-        offset: Option<u64>,
-        len: u64,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "read", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        if !h.access.can_read() {
-            return OpReply::at(NtStatus::AccessDenied, now);
-        }
-        let (fo, fcb, volume, node, process, options) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.options);
-        let byte_offset = h.byte_offset;
-        let offset = offset.unwrap_or(byte_offset);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        self.metrics.read_dispatches += 1;
-
-        if !local && !self.network_up {
-            let end = now + self.latency.irp_cached(0);
-            self.metrics.network_failures += 1;
-            self.metrics.irp_reads += 1;
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Read),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset,
-                    length: len,
-                    transferred: 0,
-                    file_size: 0,
-                    byte_offset,
-                    status: NtStatus::NetworkUnreachable,
-                    start: now,
-                    end,
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: None,
-                    created: false,
-                }
-            );
-            return OpReply::at(NtStatus::NetworkUnreachable, end);
-        }
-
-        let file_size = match self.ns.volume(volume).and_then(|v| v.file_size(node)) {
-            Ok(s) => s,
-            Err(e) => {
-                self.metrics.read_stat_failures += 1;
-                return OpReply::at(NtStatus::from(e), now);
-            }
-        };
-
-        if offset >= file_size {
-            // §8.4: reads past end-of-file are the only read errors seen.
-            let end = now + self.latency.irp_cached(0);
-            self.metrics.read_errors += 1;
-            self.metrics.irp_reads += 1;
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Read),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset,
-                    length: len,
-                    transferred: 0,
-                    file_size,
-                    byte_offset,
-                    status: NtStatus::EndOfFile,
-                    start: now,
-                    end,
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: None,
-                    created: false,
-                }
-            );
-            return OpReply::at(NtStatus::EndOfFile, end);
-        }
-
-        // Byte-range locks: another handle's exclusive lock blocks reads.
-        let share_key = Self::share_key(volume, node);
-        if let Some(t) = self.shares.locks(share_key) {
-            if !t.read_allowed(handle, offset, len) {
-                self.metrics.lock_conflicts += 1;
-                self.metrics.read_lock_conflicts += 1;
-                let end = now + self.latency.irp_cached(0);
-                return OpReply::at(NtStatus::FileLockConflict, end);
-            }
-        }
-        let transferred = len.min(file_size - offset);
-        let _ = self
-            .ns
-            .volume_mut(volume)
-            .and_then(|v| v.note_read(node, now));
-
-        if options.no_intermediate_buffering {
-            // §9: caching disabled at open; everything takes the IRP path
-            // straight to the disk.
-            let end = self
-                .latency
-                .disk_io(volume.0 as usize, transferred, now, &mut self.rng);
-            self.metrics.irp_reads += 1;
-            self.metrics.bytes_read += transferred;
-            self.emit_read_event(
-                EventKind::Irp(MajorFunction::Read),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                false,
-                false,
-                offset,
-                len,
-                transferred,
-                file_size,
-                byte_offset,
-                now,
-                end,
-            );
-            self.advance_offset(handle, offset + transferred);
-            return OpReply {
-                status: NtStatus::Success,
-                transferred,
-                end,
-            };
-        }
-
-        let was_cached = self.cache.is_cached(&key);
-        let outcome = self
-            .cache
-            .read(&key, offset, len, file_size, Self::hints_for(options));
-        self.metrics.cached_read_requested_bytes += transferred;
-
-        // NTFS compression: half the bytes move on the disk, and every
-        // cache copy pays a decompression penalty (the follow-up traces
-        // the paper mentions looked at exactly these reads).
-        let compressed = self.is_compressed(volume, node);
-
-        // Issue background read-ahead regardless of path.
-        let mut demand_done = now;
-        for io in &outcome.ios {
-            let disk_bytes = if compressed { io.len / 2 } else { io.len };
-            let done = self
-                .latency
-                .disk_io(volume.0 as usize, disk_bytes, now, &mut self.rng);
-            self.metrics.paging_reads += 1;
-            self.metrics.paging_read_bytes += io.len;
-            self.emit_read_event(
-                EventKind::Irp(MajorFunction::Read),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                io.readahead,
-                io.offset,
-                io.len,
-                io.len,
-                file_size,
-                byte_offset,
-                now,
-                done,
-            );
-            if io.readahead && was_cached {
-                // Run-length-triggered read-ahead streams in the
-                // background; pages appear when the disk delivers them.
-                self.schedule(
-                    done,
-                    Pending::RaComplete {
-                        key,
-                        offset: io.offset,
-                        len: io.len,
-                    },
-                );
-            } else {
-                // Demand misses, and the caching-initiation prefetch: the
-                // first IRP read blocks until the read-ahead unit is in
-                // the cache (§9.1's "single prefetch" behaviour).
-                self.cache.complete_paging_read(&key, io.offset, io.len);
-                demand_done = demand_done.max(done);
-            }
-        }
-
-        let (kind, end) = if was_cached && outcome.hit && !self.config.disable_fastio {
-            // §10: data directly from the cache through the FastIO path;
-            // compressed files ride the ReadCompressed entry point and
-            // pay the decompression cost.
-            self.metrics.fastio_reads += 1;
-            if compressed {
-                (
-                    EventKind::FastIo(FastIoKind::ReadCompressed),
-                    now + self.latency.fastio_copy(transferred) * 2,
-                )
-            } else {
-                (
-                    EventKind::FastIo(FastIoKind::Read),
-                    now + self.latency.fastio_copy(transferred),
-                )
-            }
-        } else {
-            // First read (caching initiation) or a miss the FastIO attempt
-            // bounced back to the IRP path.
-            self.metrics.irp_reads += 1;
-            let end = if outcome.hit {
-                now + self.latency.irp_cached(transferred)
-            } else {
-                demand_done + self.latency.fastio_copy(transferred)
-            };
-            (EventKind::Irp(MajorFunction::Read), end)
-        };
-        self.metrics.bytes_read += transferred;
-        self.emit_read_event(
-            kind,
-            fo,
-            fcb,
-            process,
-            volume,
-            local,
-            false,
-            false,
-            offset,
-            len,
-            transferred,
-            file_size,
-            byte_offset,
-            now,
-            end,
-        );
-        self.advance_offset(handle, offset + transferred);
-        OpReply {
-            status: NtStatus::Success,
-            transferred,
-            end,
+    pub(crate) fn advance_offset(&mut self, handle: HandleId, new_offset: u64) {
+        if let Some(h) = self.handles.get_mut(&handle.0) {
+            h.byte_offset = new_offset;
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn emit_read_event(
+    pub(crate) fn emit_read_event(
         &mut self,
         kind: EventKind,
         fo: FileObjectId,
@@ -1142,212 +712,8 @@ impl<O: IoObserver> Machine<O> {
         );
     }
 
-    fn advance_offset(&mut self, handle: HandleId, new_offset: u64) {
-        if let Some(h) = self.handles.get_mut(&handle.0) {
-            h.byte_offset = new_offset;
-        }
-    }
-
-    /// Writes `len` bytes at `offset` (or the current byte offset).
-    pub fn write(
-        &mut self,
-        handle: HandleId,
-        offset: Option<u64>,
-        len: u64,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "write", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        if !h.access.can_write() {
-            return OpReply::at(NtStatus::AccessDenied, now);
-        }
-        let (fo, fcb, volume, node, process, options) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.options);
-        let byte_offset = h.byte_offset;
-        let offset = offset.unwrap_or(byte_offset);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        self.metrics.write_dispatches += 1;
-
-        if !local && !self.network_up {
-            let end = now + self.latency.irp_cached(0);
-            self.metrics.network_failures += 1;
-            self.metrics.irp_writes += 1;
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::Irp(MajorFunction::Write),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset,
-                    length: len,
-                    transferred: 0,
-                    file_size: 0,
-                    byte_offset,
-                    status: NtStatus::NetworkUnreachable,
-                    start: now,
-                    end,
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: None,
-                    created: false,
-                }
-            );
-            return OpReply::at(NtStatus::NetworkUnreachable, end);
-        }
-
-        // Byte-range locks: any other handle's overlapping lock blocks
-        // writes.
-        let share_key = Self::share_key(volume, node);
-        if let Some(t) = self.shares.locks(share_key) {
-            if !t.write_allowed(handle, offset, len) {
-                self.metrics.lock_conflicts += 1;
-                self.metrics.write_lock_conflicts += 1;
-                let end = now + self.latency.irp_cached(0);
-                return OpReply::at(NtStatus::FileLockConflict, end);
-            }
-        }
-        // Extend the file; disk-full is the only write failure mode and
-        // the study saw none (workloads stay within capacity).
-        if let Err(e) = self
-            .ns
-            .volume_mut(volume)
-            .and_then(|v| v.note_write(node, offset, len, now))
-        {
-            self.metrics.write_stat_failures += 1;
-            let end = now + self.latency.irp_cached(0);
-            return OpReply::at(NtStatus::from(e), end);
-        }
-        if let Some(fcb_entry) = self.fcbs.get_mut(fcb) {
-            fcb_entry.written = true;
-        }
-        let file_size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-
-        if options.no_intermediate_buffering {
-            let end = self
-                .latency
-                .disk_io(volume.0 as usize, len, now, &mut self.rng);
-            self.metrics.irp_writes += 1;
-            self.metrics.bytes_written += len;
-            self.emit_write_event(
-                EventKind::Irp(MajorFunction::Write),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                false,
-                offset,
-                len,
-                file_size,
-                byte_offset,
-                now,
-                end,
-            );
-            self.advance_offset(handle, offset + len);
-            return OpReply {
-                status: NtStatus::Success,
-                transferred: len,
-                end,
-            };
-        }
-
-        let was_cached = self.cache.is_cached(&key);
-        let outcome = self
-            .cache
-            .write(&key, offset, len, file_size, Self::hints_for(options));
-
-        // Write-through paging writes go to disk now; the request waits.
-        let mut forced_done = now;
-        for io in &outcome.ios {
-            let done = self
-                .latency
-                .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
-            forced_done = forced_done.max(done);
-            self.metrics.paging_writes += 1;
-            self.metrics.paging_write_bytes += io.len;
-            self.emit_write_event(
-                EventKind::Irp(MajorFunction::Write),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                io.offset,
-                io.len,
-                file_size,
-                byte_offset,
-                now,
-                done,
-            );
-        }
-
-        let compressed = self.is_compressed(volume, node);
-        let (kind, end) = if was_cached && outcome.ios.is_empty() && !self.config.disable_fastio {
-            // §10: 96 % of writes ride FastIO into the cache; compressed
-            // files pay the compression cost on the WriteCompressed path.
-            self.metrics.fastio_writes += 1;
-            if compressed {
-                (
-                    EventKind::FastIo(FastIoKind::WriteCompressed),
-                    now + self.latency.fastio_copy(len) * 2,
-                )
-            } else {
-                (
-                    EventKind::FastIo(FastIoKind::Write),
-                    now + self.latency.fastio_copy(len),
-                )
-            }
-        } else {
-            self.metrics.irp_writes += 1;
-            let end = if outcome.ios.is_empty() {
-                now + self.latency.irp_cached(len)
-            } else {
-                forced_done
-            };
-            (EventKind::Irp(MajorFunction::Write), end)
-        };
-        self.metrics.bytes_written += len;
-        self.emit_write_event(
-            kind,
-            fo,
-            fcb,
-            process,
-            volume,
-            local,
-            false,
-            offset,
-            len,
-            file_size,
-            byte_offset,
-            now,
-            end,
-        );
-        self.advance_offset(handle, offset + len);
-        OpReply {
-            status: NtStatus::Success,
-            transferred: len,
-            end,
-        }
-    }
-
     #[allow(clippy::too_many_arguments)]
-    fn emit_write_event(
+    pub(crate) fn emit_write_event(
         &mut self,
         kind: EventKind,
         fo: FileObjectId,
@@ -1389,2214 +755,5 @@ impl<O: IoObserver> Machine<O> {
                 created: false,
             }
         );
-    }
-
-    // ------------------------------------------------------------------
-    // Control, query, directory
-    // ------------------------------------------------------------------
-
-    /// FlushFileBuffers: forces the file's dirty pages to disk (§9.2 — the
-    /// dominant explicit strategy was flushing after every write).
-    pub fn flush(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "flush", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (fo, fcb, volume, node, process) = (h.fo, h.fcb, h.volume, h.node, h.process);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        let ios = self.cache.flush(&key);
-        let mut end = now + self.latency.metadata_op();
-        let file_size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-        for io in &ios {
-            let done = self
-                .latency
-                .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
-            end = end.max(done);
-            self.metrics.paging_writes += 1;
-            self.metrics.paging_write_bytes += io.len;
-            self.emit_write_event(
-                EventKind::Irp(MajorFunction::Write),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                io.offset,
-                io.len,
-                file_size,
-                0,
-                now,
-                done,
-            );
-        }
-        self.metrics.control_ops += 1;
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::Irp(MajorFunction::FlushBuffers),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply::at(NtStatus::Success, end)
-    }
-
-    /// Generic metadata operation helper (query information, set basic
-    /// information, volume queries, FSCTLs). `ok` decides the §8.4
-    /// control-failure accounting.
-    fn metadata_irp(
-        &mut self,
-        kind: EventKind,
-        handle: Option<HandleId>,
-        set_info: Option<SetInfoKind>,
-        status: NtStatus,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let (fo, fcb, volume, process) = match handle.and_then(|h| self.handles.get(&h.0)) {
-            Some(h) => (h.fo, h.fcb, h.volume, h.process),
-            None => (FileObjectId(0), FcbId(u64::MAX), VolumeId(0), ProcessId(0)),
-        };
-        let local = self.ns.is_local(volume);
-        let end = now + self.latency.metadata_op();
-        self.metrics.control_ops += 1;
-        if status.is_error() {
-            self.metrics.control_failures += 1;
-        }
-        emit_event!(
-            self,
-            IoEvent {
-                kind,
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: 0,
-                byte_offset: 0,
-                status,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info,
-                created: false,
-            }
-        );
-        OpReply::at(status, end)
-    }
-
-    /// IRP_MJ_QUERY_INFORMATION on an open handle (attributes, sizes).
-    pub fn query_information(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        let ok = self.handles.contains_key(&handle.0);
-        self.metadata_irp(
-            EventKind::Irp(MajorFunction::QueryInformation),
-            ok.then_some(handle),
-            None,
-            if ok {
-                NtStatus::Success
-            } else {
-                NtStatus::InvalidHandle
-            },
-            now,
-        )
-    }
-
-    /// FastIO QueryBasicInfo — the procedural metadata path the Win32
-    /// GetFileAttributes family rides when the file is already open.
-    pub fn fast_query_basic(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (fo, fcb, volume, process) = (h.fo, h.fcb, h.volume, h.process);
-        let local = self.ns.is_local(volume);
-        let end = now + self.latency.fastio_metadata();
-        self.metrics.control_ops += 1;
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::FastIo(FastIoKind::QueryBasicInfo),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: 0,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply::at(NtStatus::Success, end)
-    }
-
-    /// The "is volume mounted" FSCTL — §8.3: issued by the Win32 runtime
-    /// during name validation, up to 40 times a second on a busy system.
-    pub fn is_volume_mounted(
-        &mut self,
-        process: ProcessId,
-        volume: VolumeId,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let local = self.ns.is_local(volume);
-        let end = now + self.latency.fastio_metadata();
-        self.metrics.control_ops += 1;
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::Irp(MajorFunction::FileSystemControl),
-                file_object: FileObjectId(0),
-                fcb: FcbId(u64::MAX),
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: 0,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply::at(NtStatus::Success, end)
-    }
-
-    /// IRP_MJ_QUERY_VOLUME_INFORMATION — the free-space check
-    /// applications run before large writes.
-    pub fn query_volume_information(
-        &mut self,
-        process: ProcessId,
-        volume: VolumeId,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let status = match self.ns.volume(volume) {
-            Ok(_) => NtStatus::Success,
-            Err(e) => NtStatus::from(e),
-        };
-        let local = self.ns.is_local(volume);
-        let end = now + self.latency.metadata_op();
-        self.metrics.control_ops += 1;
-        if status.is_error() {
-            self.metrics.control_failures += 1;
-        }
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::Irp(MajorFunction::QueryVolumeInformation),
-                file_object: FileObjectId(0),
-                fcb: FcbId(u64::MAX),
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: 0,
-                byte_offset: 0,
-                status,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply::at(status, end)
-    }
-
-    /// The free bytes remaining on a volume (what the query reports).
-    pub fn volume_free_bytes(&self, volume: VolumeId) -> u64 {
-        self.ns
-            .volume(volume)
-            .map(|v| {
-                let s = v.stats();
-                s.capacity.saturating_sub(s.allocated_bytes)
-            })
-            .unwrap_or(0)
-    }
-
-    /// An unsupported device control — a §8.4 control failure.
-    pub fn invalid_control(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.metadata_irp(
-            EventKind::Irp(MajorFunction::DeviceControl),
-            Some(handle),
-            None,
-            NtStatus::InvalidDeviceRequest,
-            now,
-        )
-    }
-
-    /// SetEndOfFile (IRP_MJ_SET_INFORMATION / FileEndOfFileInformation).
-    pub fn set_end_of_file(&mut self, handle: HandleId, size: u64, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (volume, node) = (h.volume, h.node);
-        let status = match self
-            .ns
-            .volume_mut(volume)
-            .and_then(|v| v.set_file_size(node, size, now))
-        {
-            Ok(()) => NtStatus::Success,
-            Err(e) => NtStatus::from(e),
-        };
-        self.metadata_irp(
-            EventKind::Irp(MajorFunction::SetInformation),
-            Some(handle),
-            Some(SetInfoKind::EndOfFile),
-            status,
-            now,
-        )
-    }
-
-    /// Marks the file delete-on-close (FileDispositionInformation) — the
-    /// §6.3 explicit-delete path used by Win32 DeleteFile.
-    pub fn set_delete_disposition(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (volume, node, fcb) = (h.volume, h.node, h.fcb);
-        let status = match self
-            .ns
-            .volume_mut(volume)
-            .and_then(|v| v.set_delete_pending(node, true))
-        {
-            Ok(()) => {
-                if let Some(f) = self.fcbs.get_mut(fcb) {
-                    f.delete_pending = true;
-                }
-                NtStatus::Success
-            }
-            Err(e) => NtStatus::from(e),
-        };
-        self.metadata_irp(
-            EventKind::Irp(MajorFunction::SetInformation),
-            Some(handle),
-            Some(SetInfoKind::Disposition),
-            status,
-            now,
-        )
-    }
-
-    /// Renames the file (FileRenameInformation).
-    pub fn rename(&mut self, handle: HandleId, new_path: &NtPath, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (volume, node) = (h.volume, h.node);
-        let old_parent = self.parent_of(volume, node);
-        let mut new_parent = None;
-        let status = (|| -> Result<(), NtStatus> {
-            let vol = self.ns.volume_mut(volume).map_err(NtStatus::from)?;
-            let parent = vol
-                .lookup(&new_path.parent())
-                .map_err(|_| NtStatus::ObjectPathNotFound)?;
-            let name = new_path.file_name().ok_or(NtStatus::InvalidParameter)?;
-            vol.rename(node, parent, name, now)
-                .map_err(NtStatus::from)?;
-            new_parent = Some(parent);
-            Ok(())
-        })()
-        .err()
-        .unwrap_or(NtStatus::Success);
-        if status.is_success() {
-            if let Some(p) = old_parent {
-                self.fire_watches(volume, p, now);
-            }
-            if let Some(p) = new_parent.filter(|p| old_parent != Some(*p)) {
-                self.fire_watches(volume, p, now);
-            }
-        }
-        self.metadata_irp(
-            EventKind::Irp(MajorFunction::SetInformation),
-            Some(handle),
-            Some(SetInfoKind::Rename),
-            status,
-            now,
-        )
-    }
-
-    /// Sets timestamps/attributes (FileBasicInformation) — what installers
-    /// use to back-date creation times (§5).
-    pub fn set_basic_information(
-        &mut self,
-        handle: HandleId,
-        times: FileTimes,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (volume, node) = (h.volume, h.node);
-        let status = match self
-            .ns
-            .volume_mut(volume)
-            .and_then(|v| v.set_times(node, times))
-        {
-            Ok(()) => NtStatus::Success,
-            Err(e) => NtStatus::from(e),
-        };
-        self.metadata_irp(
-            EventKind::Irp(MajorFunction::SetInformation),
-            Some(handle),
-            Some(SetInfoKind::Basic),
-            status,
-            now,
-        )
-    }
-
-    /// Directory enumeration (IRP_MJ_DIRECTORY_CONTROL / QueryDirectory).
-    /// Returns up to `batch` entries per call; NoMoreFiles terminates.
-    pub fn query_directory(&mut self, handle: HandleId, batch: usize, now: SimTime) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "query_directory", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (fo, fcb, volume, node, process, cursor) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.dir_cursor);
-        let local = self.ns.is_local(volume);
-        let entries = match self.ns.volume(volume).and_then(|v| v.read_dir(node)) {
-            Ok(e) => e,
-            Err(e) => {
-                return self.metadata_irp(
-                    EventKind::Irp(MajorFunction::DirectoryControl),
-                    Some(handle),
-                    None,
-                    NtStatus::from(e),
-                    now,
-                )
-            }
-        };
-        let remaining = entries.len().saturating_sub(cursor);
-        let returned = remaining.min(batch.max(1));
-        let status = if returned == 0 {
-            NtStatus::NoMoreFiles
-        } else {
-            NtStatus::Success
-        };
-        if let Some(h) = self.handles.get_mut(&handle.0) {
-            h.dir_cursor += returned;
-        }
-        let end = now + self.latency.metadata_op();
-        self.metrics.control_ops += 1;
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::Irp(MajorFunction::DirectoryControl),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: cursor as u64,
-                length: batch as u64,
-                transferred: returned as u64,
-                file_size: entries.len() as u64,
-                byte_offset: 0,
-                status,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply {
-            status,
-            transferred: returned as u64,
-            end,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Directory change notification
-    // ------------------------------------------------------------------
-
-    /// Registers a change-notification IRP on an open directory handle
-    /// (FindFirstChangeNotification). The IRP stays pended; it completes
-    /// — and appears in the trace with its full waiting time as latency —
-    /// when something changes in the directory. One-shot: applications
-    /// re-arm after each notification.
-    pub fn watch_directory(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let is_dir = self
-            .ns
-            .volume(h.volume)
-            .ok()
-            .and_then(|v| v.node(h.node).ok())
-            .map(|n| n.kind.is_directory())
-            .unwrap_or(false);
-        if !is_dir {
-            return self.metadata_irp(
-                EventKind::Irp(MajorFunction::DirectoryControl),
-                Some(handle),
-                None,
-                NtStatus::NotADirectory,
-                now,
-            );
-        }
-        let key: FileKey = (h.volume, h.node);
-        let entry = (handle, h.fo, h.fcb, h.process, now);
-        let waiters = self.watches.entry(key).or_default();
-        // Re-arming an already-pending watch is a no-op (the application
-        // keeps one notification outstanding per handle).
-        if !waiters.iter().any(|(wh, ..)| *wh == handle) {
-            waiters.push(entry);
-        }
-        // The request pends: nothing completes yet, so the reply returns
-        // control to the caller immediately.
-        OpReply::at(NtStatus::Success, now + self.latency.fastio_metadata())
-    }
-
-    /// Completes any change-notification IRPs watching `dir`.
-    fn fire_watches(&mut self, volume: VolumeId, dir: NodeId, now: SimTime) {
-        let Some(waiters) = self.watches.remove(&(volume, dir)) else {
-            return;
-        };
-        let local = self.ns.is_local(volume);
-        for (_, fo, fcb, process, registered) in waiters {
-            self.metrics.control_ops += 1;
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::Irp(MajorFunction::DirectoryControl),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: 0,
-                    length: 0,
-                    transferred: 1,
-                    file_size: 0,
-                    byte_offset: 0,
-                    status: NtStatus::Success,
-                    start: registered,
-                    end: now,
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: None,
-                    created: false,
-                }
-            );
-        }
-    }
-
-    /// Drops a handle's pending watches (handle cleanup).
-    fn cancel_watches(&mut self, handle: HandleId) {
-        for waiters in self.watches.values_mut() {
-            waiters.retain(|(h, ..)| *h != handle);
-        }
-        self.watches.retain(|_, v| !v.is_empty());
-    }
-
-    // ------------------------------------------------------------------
-    // Byte-range locks (FastIoLock / FastIoUnlockSingle)
-    // ------------------------------------------------------------------
-
-    fn lock_event(
-        &mut self,
-        kind: FastIoKind,
-        handle: HandleId,
-        offset: u64,
-        len: u64,
-        status: NtStatus,
-        now: SimTime,
-    ) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (fo, fcb, volume, process) = (h.fo, h.fcb, h.volume, h.process);
-        let local = self.ns.is_local(volume);
-        let end = now + self.latency.fastio_metadata();
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::FastIo(kind),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred: 0,
-                file_size: 0,
-                byte_offset: 0,
-                status,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply::at(status, end)
-    }
-
-    /// Takes a byte-range lock on the current handle's file.
-    pub fn lock(
-        &mut self,
-        handle: HandleId,
-        offset: u64,
-        len: u64,
-        exclusive: bool,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let key = Self::share_key(h.volume, h.node);
-        let granted = self
-            .shares
-            .locks_mut(key)
-            .lock(handle, offset, len, exclusive);
-        if granted {
-            self.metrics.locks_granted += 1;
-        } else {
-            self.metrics.lock_conflicts += 1;
-        }
-        let status = if granted {
-            NtStatus::Success
-        } else {
-            NtStatus::FileLockConflict
-        };
-        self.lock_event(FastIoKind::Lock, handle, offset, len, status, now)
-    }
-
-    /// Releases a byte-range lock.
-    pub fn unlock(&mut self, handle: HandleId, offset: u64, len: u64, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let key = Self::share_key(h.volume, h.node);
-        let ok = self.shares.locks_mut(key).unlock(handle, offset, len);
-        let status = if ok {
-            NtStatus::Success
-        } else {
-            NtStatus::InvalidParameter
-        };
-        self.lock_event(FastIoKind::UnlockSingle, handle, offset, len, status, now)
-    }
-
-    // ------------------------------------------------------------------
-    // Memory-mapped access (§3.3)
-    // ------------------------------------------------------------------
-
-    /// Loads an executable image through a section: create, section
-    /// acquire, paging reads (or a warm standby hit), handle close. The
-    /// image stays resident after [`Machine::unload_image`] per §3.3.
-    pub fn load_image(
-        &mut self,
-        process: ProcessId,
-        volume: VolumeId,
-        path: &NtPath,
-        now: SimTime,
-    ) -> OpReply {
-        let _span = self.telemetry.span(Phase::Dispatch, "load_image", now);
-        let (reply, handle) = self.create(
-            process,
-            volume,
-            path,
-            AccessMode::Read,
-            Disposition::Open,
-            CreateOptions::default(),
-            now,
-        );
-        let Some(handle) = handle else {
-            return reply;
-        };
-        let h = self.handles.get(&handle.0).expect("just created");
-        let (fo, fcb, node) = (h.fo, h.fcb, h.node);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        let size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-
-        let t = reply.end;
-        // Section acquisition rides FastIO.
-        let acq_end = t + self.latency.fastio_metadata();
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::FastIo(FastIoKind::AcquireFileForNtCreateSection),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: t,
-                end: acq_end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        let reads = self.vm.load_image(&key, size, acq_end);
-        let mut done = acq_end;
-        for r in &reads {
-            let fin = self
-                .latency
-                .disk_io(volume.0 as usize, r.len, acq_end, &mut self.rng);
-            done = done.max(fin);
-            self.metrics.paging_reads += 1;
-            self.metrics.paging_read_bytes += r.len;
-            self.emit_read_event(
-                EventKind::Irp(MajorFunction::Read),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                false,
-                r.offset,
-                r.len,
-                r.len,
-                size,
-                0,
-                acq_end,
-                fin,
-            );
-        }
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::FastIo(FastIoKind::ReleaseFileForNtCreateSection),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size: size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: done,
-                end: done + self.latency.fastio_metadata(),
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        let close = self.close(handle, done + self.latency.fastio_metadata());
-        OpReply {
-            status: NtStatus::Success,
-            transferred: size,
-            end: close.end,
-        }
-    }
-
-    /// Releases a process's reference on an image section; the pages stay
-    /// on the standby list.
-    pub fn unload_image(&mut self, volume: VolumeId, path: &NtPath) {
-        if let Ok(fr) = self.ns.resolve(volume, path) {
-            self.vm.unmap(&(fr.volume, fr.node));
-        }
-    }
-
-    /// Maps an open file as a data section (scientific codes, §6.1).
-    pub fn map_file(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.pump(now);
-        let Some(h) = self.handles.get_mut(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        h.mapped = true;
-        let (volume, node) = (h.volume, h.node);
-        let size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-        self.vm.map(&(volume, node), SectionKind::Data, size, now);
-        OpReply::at(NtStatus::Success, now + self.latency.fastio_metadata())
-    }
-
-    /// Touches a mapped range; page faults become paging reads (§3.3).
-    pub fn mapped_read(
-        &mut self,
-        handle: HandleId,
-        offset: u64,
-        len: u64,
-        now: SimTime,
-    ) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "mapped_read", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (fo, fcb, volume, node, process) = (h.fo, h.fcb, h.volume, h.node, h.process);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        let size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-        let reads = self.vm.fault(&key, offset, len, now);
-        let mut end = now + SimDuration::from_micros(1);
-        for r in &reads {
-            let fin = self
-                .latency
-                .disk_io(volume.0 as usize, r.len, now, &mut self.rng);
-            end = end.max(fin);
-            self.metrics.paging_reads += 1;
-            self.metrics.paging_read_bytes += r.len;
-            self.emit_read_event(
-                EventKind::Irp(MajorFunction::Read),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                false,
-                r.offset,
-                r.len,
-                r.len,
-                size,
-                0,
-                now,
-                fin,
-            );
-        }
-        self.metrics.bytes_read += len.min(size.saturating_sub(offset));
-        OpReply {
-            status: NtStatus::Success,
-            transferred: len.min(size.saturating_sub(offset)),
-            end,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // MDL (zero-copy) interface — §10's closing observation
-    // ------------------------------------------------------------------
-
-    /// An MDL read: the caller is handed a memory descriptor list over
-    /// the cache pages instead of a copy. §10: "the cache manager has
-    /// functionality to avoid a copy of the data through a direct memory
-    /// interface … we observed that only kernel-based services use this
-    /// functionality" — in this model, the CIFS server serving remote
-    /// clients.
-    pub fn mdl_read(&mut self, handle: HandleId, offset: u64, len: u64, now: SimTime) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "mdl_read", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        if !h.access.can_read() {
-            return OpReply::at(NtStatus::AccessDenied, now);
-        }
-        let (fo, fcb, volume, node, process, options) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.options);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        let file_size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-        if offset >= file_size {
-            let end = now + self.latency.fastio_metadata();
-            return OpReply::at(NtStatus::EndOfFile, end);
-        }
-        self.metrics.read_dispatches += 1;
-        let transferred = len.min(file_size - offset);
-        // The pages must be resident; misses page in like any read.
-        let outcome = self
-            .cache
-            .read(&key, offset, len, file_size, Self::hints_for(options));
-        self.metrics.cached_read_requested_bytes += transferred;
-        let mut done = now;
-        for io in &outcome.ios {
-            let fin = self
-                .latency
-                .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
-            self.metrics.paging_reads += 1;
-            self.metrics.paging_read_bytes += io.len;
-            self.cache.complete_paging_read(&key, io.offset, io.len);
-            done = done.max(fin);
-            self.emit_read_event(
-                EventKind::Irp(MajorFunction::Read),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                io.readahead,
-                io.offset,
-                io.len,
-                io.len,
-                file_size,
-                0,
-                now,
-                fin,
-            );
-        }
-        // No copy: only the descriptor setup cost.
-        let end = done + self.latency.fastio_metadata();
-        self.metrics.fastio_reads += 1;
-        self.metrics.bytes_read += transferred;
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::FastIo(FastIoKind::MdlRead),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred,
-                file_size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        // The caller releases the MDL when done.
-        let rel = end + self.latency.fastio_metadata();
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::FastIo(FastIoKind::MdlReadComplete),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset,
-                length: len,
-                transferred,
-                file_size,
-                byte_offset: 0,
-                status: NtStatus::Success,
-                start: end,
-                end: rel,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-        OpReply {
-            status: NtStatus::Success,
-            transferred,
-            end: rel,
-        }
-    }
-
-    /// An MDL write: the caller fills cache pages directly
-    /// (PrepareMdlWrite / MdlWriteComplete).
-    pub fn mdl_write(&mut self, handle: HandleId, offset: u64, len: u64, now: SimTime) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "mdl_write", now);
-        let Some(h) = self.handles.get(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        if !h.access.can_write() {
-            return OpReply::at(NtStatus::AccessDenied, now);
-        }
-        let (fo, fcb, volume, node, process, options) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.options);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        if let Err(e) = self
-            .ns
-            .volume_mut(volume)
-            .and_then(|v| v.note_write(node, offset, len, now))
-        {
-            return OpReply::at(NtStatus::from(e), now);
-        }
-        if let Some(f) = self.fcbs.get_mut(fcb) {
-            f.written = true;
-        }
-        self.metrics.write_dispatches += 1;
-        let file_size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-        let outcome = self
-            .cache
-            .write(&key, offset, len, file_size, Self::hints_for(options));
-        let mut done = now;
-        for io in &outcome.ios {
-            let fin = self
-                .latency
-                .disk_io(volume.0 as usize, io.len, now, &mut self.rng);
-            self.metrics.paging_writes += 1;
-            self.metrics.paging_write_bytes += io.len;
-            done = done.max(fin);
-            self.emit_write_event(
-                EventKind::Irp(MajorFunction::Write),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                io.offset,
-                io.len,
-                file_size,
-                0,
-                now,
-                fin,
-            );
-        }
-        let end = done + self.latency.fastio_metadata();
-        self.metrics.fastio_writes += 1;
-        self.metrics.bytes_written += len;
-        for (kind, s, e) in [
-            (FastIoKind::PrepareMdlWrite, now, end),
-            (
-                FastIoKind::MdlWriteComplete,
-                end,
-                end + self.latency.fastio_metadata(),
-            ),
-        ] {
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::FastIo(kind),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset,
-                    length: len,
-                    transferred: len,
-                    file_size,
-                    byte_offset: 0,
-                    status: NtStatus::Success,
-                    start: s,
-                    end: e,
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: None,
-                    created: false,
-                }
-            );
-        }
-        OpReply {
-            status: NtStatus::Success,
-            transferred: len,
-            end: end + self.latency.fastio_metadata(),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Close (two-stage, §8.1)
-    // ------------------------------------------------------------------
-
-    /// Closes a handle: emits the cleanup IRP now; the close IRP follows
-    /// 4–10 µs later for read-cached files, or after the lazy writer
-    /// drains the dirty pages (1–4 s) for write-cached ones.
-    pub fn close(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "close", now);
-        let Some(h) = self.handles.remove(&handle.0) else {
-            return OpReply::at(NtStatus::InvalidHandle, now);
-        };
-        let (fo, fcb, volume, node, process, options) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.options);
-        if h.mapped {
-            self.vm.unmap(&(volume, node));
-        }
-        self.cancel_watches(handle);
-        let local = self.ns.is_local(volume);
-        let key: FileKey = (volume, node);
-        let file_size = self
-            .ns
-            .volume(volume)
-            .ok()
-            .and_then(|v| v.file_size(node).ok())
-            .unwrap_or(0);
-
-        let end = now + self.latency.metadata_op();
-        self.metrics.cleanups += 1;
-        emit_event!(
-            self,
-            IoEvent {
-                kind: EventKind::Irp(MajorFunction::Cleanup),
-                file_object: fo,
-                fcb,
-                process,
-                volume: volume.0,
-                local,
-                paging_io: false,
-                readahead: false,
-                offset: 0,
-                length: 0,
-                transferred: 0,
-                file_size,
-                byte_offset: h.byte_offset,
-                status: NtStatus::Success,
-                start: now,
-                end,
-                access: None,
-                disposition: None,
-                options: None,
-                set_info: None,
-                created: false,
-            }
-        );
-
-        // Release byte-range locks and the share registration with the
-        // cleanup, as NT does; held locks produce an UnlockAll call.
-        let share_key = Self::share_key(volume, node);
-        let dropped = self.shares.locks_mut(share_key).unlock_all(handle);
-        if dropped > 0 {
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::FastIo(FastIoKind::UnlockAll),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: 0,
-                    length: dropped as u64,
-                    transferred: 0,
-                    file_size,
-                    byte_offset: 0,
-                    status: NtStatus::Success,
-                    start: now,
-                    end: now + self.latency.fastio_metadata(),
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: None,
-                    created: false,
-                }
-            );
-        }
-        self.shares.close(share_key, handle);
-
-        let last_handle = self.fcbs.cleanup(fcb);
-        if !last_handle {
-            // Other handles remain: the file object closes quickly, the
-            // FCB stays.
-            self.schedule(
-                end + self.config.cache.clean_close_delay,
-                Pending::CloseIrp {
-                    fo,
-                    fcb,
-                    volume,
-                    node,
-                    process,
-                },
-            );
-            return OpReply::at(NtStatus::Success, end);
-        }
-
-        let deleting = options.delete_on_close
-            || options.temporary
-            || self
-                .fcbs
-                .get(fcb)
-                .map(|f| f.delete_pending)
-                .unwrap_or(false);
-
-        if deleting {
-            // §6.3: unwritten dirty pages may still be in the cache.
-            self.release_deferred(key, end);
-            self.cache.purge(&key);
-            self.vm.purge(&key);
-            let parent = self.parent_of(volume, node);
-            let _ = self.ns.volume_mut(volume).and_then(|v| v.remove(node, now));
-            if let Some(parent) = parent {
-                self.fire_watches(volume, parent, now);
-            }
-            if options.temporary || options.delete_on_close {
-                self.metrics.delete_on_close += 1;
-            } else {
-                self.metrics.explicit_deletes += 1;
-            }
-            self.schedule(
-                end + self.config.cache.clean_close_delay,
-                Pending::CloseIrp {
-                    fo,
-                    fcb,
-                    volume,
-                    node,
-                    process,
-                },
-            );
-            return OpReply::at(NtStatus::Success, end);
-        }
-
-        let outcome = self.cache.cleanup(&key, file_size);
-        if outcome.set_end_of_file.is_some() {
-            // §8.3: the cache manager trims page-granular lazy writes back
-            // to the true end of file before close.
-            let se = end + SimDuration::from_ticks(self.latency.params().metadata_ticks);
-            emit_event!(
-                self,
-                IoEvent {
-                    kind: EventKind::Irp(MajorFunction::SetInformation),
-                    file_object: fo,
-                    fcb,
-                    process,
-                    volume: volume.0,
-                    local,
-                    paging_io: false,
-                    readahead: false,
-                    offset: file_size,
-                    length: 0,
-                    transferred: 0,
-                    file_size,
-                    byte_offset: 0,
-                    status: NtStatus::Success,
-                    start: end,
-                    end: se,
-                    access: None,
-                    disposition: None,
-                    options: None,
-                    set_info: Some(SetInfoKind::EndOfFile),
-                    created: false,
-                }
-            );
-            self.metrics.control_ops += 1;
-        }
-        match outcome.close_after {
-            Some(delay) => {
-                self.schedule(
-                    end + delay,
-                    Pending::CloseIrp {
-                        fo,
-                        fcb,
-                        volume,
-                        node,
-                        process,
-                    },
-                );
-            }
-            None => {
-                // Close follows the lazy-writer drain (§8.1: 1–4 s).
-                self.deferred_close
-                    .entry(key)
-                    .or_default()
-                    .push((fo, fcb, process, end));
-            }
-        }
-        OpReply::at(NtStatus::Success, end)
-    }
-
-    // ------------------------------------------------------------------
-    // Lazy writer
-    // ------------------------------------------------------------------
-
-    /// One lazy-writer scan; call once per second of virtual time.
-    ///
-    /// Issues the paging writes the cache manager selects, completes any
-    /// deferred closes whose dirty data has drained, and trims cold cache
-    /// maps back under the memory budget.
-    pub fn lazy_tick(&mut self, now: SimTime) {
-        self.pump(now);
-        let _span = self.telemetry.span(Phase::Dispatch, "lazy_tick", now);
-        let (actions, closable) = self.cache.lazy_scan(now);
-        for action in actions {
-            let (volume, node) = action.key;
-            let local = self.ns.is_local(volume);
-            let done = self
-                .latency
-                .disk_io(volume.0 as usize, action.io.len, now, &mut self.rng);
-            self.metrics.paging_writes += 1;
-            self.metrics.paging_write_bytes += action.io.len;
-            let (fo, fcb, process, _) = self
-                .deferred_close
-                .get(&action.key)
-                .and_then(|v| v.last().copied())
-                .unwrap_or((FileObjectId(0), FcbId(u64::MAX), ProcessId(4), now));
-            let file_size = self
-                .ns
-                .volume(volume)
-                .ok()
-                .and_then(|v| v.file_size(node).ok())
-                .unwrap_or(0);
-            self.emit_write_event(
-                EventKind::Irp(MajorFunction::Write),
-                fo,
-                fcb,
-                process,
-                volume,
-                local,
-                true,
-                action.io.offset,
-                action.io.len,
-                file_size,
-                0,
-                now,
-                done,
-            );
-        }
-        for key in closable {
-            if let Some(waiters) = self.deferred_close.remove(&key) {
-                let (volume, node) = key;
-                for (fo, fcb, process, cleaned) in waiters {
-                    // Catch-up scans may run with a timestamp before the
-                    // cleanup that registered this close; the close IRP
-                    // never precedes its cleanup.
-                    let at = now.max(cleaned + self.config.cache.clean_close_delay);
-                    self.emit_close_irp(fo, fcb, volume, node, process, at);
-                }
-            }
-        }
-        // Keep resident cache data within the machine's memory budget by
-        // dropping the coldest clean maps (standby-list reclaim).
-        self.cache.trim(self.config.cache_budget_bytes);
-    }
-
-    /// Number of files whose close is still waiting on the lazy writer.
-    pub fn deferred_closes(&self) -> usize {
-        self.deferred_close.len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::observer::VecObserver;
-    use crate::types::ShareMode;
-
-    fn machine() -> (Machine<VecObserver>, VolumeId) {
-        let mut m = Machine::new(MachineConfig::default(), VecObserver::default());
-        let vol = m.add_local_volume(
-            'C',
-            VolumeConfig::local_ntfs(1 << 30),
-            DiskParams::local_ide(),
-        );
-        (m, vol)
-    }
-
-    const P: ProcessId = ProcessId(7);
-
-    fn t(secs: u64) -> SimTime {
-        SimTime::from_secs(secs)
-    }
-
-    fn open_new(m: &mut Machine<VecObserver>, vol: VolumeId, path: &str, at: SimTime) -> HandleId {
-        let (reply, h) = m.create(
-            P,
-            vol,
-            &NtPath::parse(path),
-            AccessMode::ReadWrite,
-            Disposition::OpenIf,
-            CreateOptions::default(),
-            at,
-        );
-        assert_eq!(reply.status, NtStatus::Success);
-        h.expect("open succeeded")
-    }
-
-    #[test]
-    fn open_missing_file_fails_not_found() {
-        let (mut m, vol) = machine();
-        let (reply, h) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\missing.txt"),
-            AccessMode::Read,
-            Disposition::Open,
-            CreateOptions::default(),
-            t(1),
-        );
-        assert_eq!(reply.status, NtStatus::ObjectNameNotFound);
-        assert!(h.is_none());
-        assert_eq!(m.metrics().open_failures, 1);
-        let ev = &m.observer().events[0];
-        assert_eq!(ev.kind, EventKind::Irp(MajorFunction::Create));
-        assert_eq!(ev.status, NtStatus::ObjectNameNotFound);
-    }
-
-    #[test]
-    fn create_collision_fails() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\a.txt", t(1));
-        m.close(h, t(2));
-        let (reply, _) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\a.txt"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions::default(),
-            t(3),
-        );
-        assert_eq!(reply.status, NtStatus::ObjectNameCollision);
-    }
-
-    #[test]
-    fn first_read_is_irp_subsequent_are_fastio() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\data.bin", t(1));
-        m.write(h, Some(0), 20_000, t(1));
-        m.close(h, t(2));
-        // Drain the lazy writer so the close completes.
-        for s in 3..10 {
-            m.lazy_tick(t(s));
-        }
-        let h = open_new(&mut m, vol, r"\data.bin", t(20));
-        let r1 = m.read(h, Some(0), 4_096, t(20));
-        assert_eq!(r1.status, NtStatus::Success);
-        assert_eq!(r1.transferred, 4_096);
-        let r2 = m.read(h, None, 4_096, r1.end + SimDuration::from_millis(1));
-        assert_eq!(r2.transferred, 4_096, "sequential read from byte offset");
-        let reads: Vec<_> = m
-            .observer()
-            .events
-            .iter()
-            .filter(|e| e.kind.is_read() && !e.paging_io)
-            .collect();
-        assert!(reads.len() >= 2);
-        // The cache was still warm from the writes, so even the first read
-        // hits; what matters is the split exists and FastIO is used once
-        // cached.
-        assert!(m.metrics().fastio_reads >= 1, "metrics: {:?}", m.metrics());
-    }
-
-    #[test]
-    fn cold_read_pays_disk_latency_then_hits() {
-        let (mut m, vol) = machine();
-        // Build the file directly in the namespace (pre-existing content).
-        {
-            let v = m.namespace_mut().volume_mut(vol).unwrap();
-            let root = v.root();
-            let f = v.create_file(root, "big.dat", t(0)).unwrap();
-            v.set_file_size(f, 200_000, t(0)).unwrap();
-        }
-        let h = open_new(&mut m, vol, r"\big.dat", t(1));
-        let r1 = m.read(h, Some(0), 4_096, t(1));
-        let lat1 = r1.end.saturating_since(t(1));
-        assert!(
-            lat1 >= SimDuration::from_millis(1),
-            "cold read hits the disk, got {lat1}"
-        );
-        assert_eq!(m.metrics().irp_reads, 1);
-        assert!(m.metrics().paging_reads >= 1, "demand paging read issued");
-        let t2 = r1.end + SimDuration::from_millis(1);
-        let r2 = m.read(h, None, 4_096, t2);
-        let lat2 = r2.end.saturating_since(t2);
-        assert!(
-            lat2 < SimDuration::from_millis(1),
-            "warm read is a cache copy, got {lat2}"
-        );
-        assert_eq!(m.metrics().fastio_reads, 1);
-    }
-
-    #[test]
-    fn read_past_eof_is_the_only_read_error() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\f.txt", t(1));
-        m.write(h, Some(0), 100, t(1));
-        let r = m.read(h, Some(500), 100, t(2));
-        assert_eq!(r.status, NtStatus::EndOfFile);
-        assert_eq!(m.metrics().read_errors, 1);
-    }
-
-    #[test]
-    fn writes_ride_fastio_once_cached() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\log.txt", t(1));
-        m.write(h, Some(0), 512, t(1));
-        for i in 1..20u64 {
-            m.write(h, None, 512, t(1) + SimDuration::from_micros(100 * i));
-        }
-        let metrics = m.metrics();
-        assert_eq!(metrics.irp_writes, 1, "only the initiating write is IRP");
-        assert_eq!(metrics.fastio_writes, 19);
-        assert!(
-            metrics.fastio_writes as f64 / (metrics.fastio_writes + metrics.irp_writes) as f64
-                > 0.9
-        );
-    }
-
-    #[test]
-    fn two_stage_close_clean_file() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\r.txt", t(1));
-        m.close(h, t(2));
-        m.pump(t(3));
-        let kinds: Vec<EventKind> = m.observer().events.iter().map(|e| e.kind).collect();
-        let cleanup = kinds
-            .iter()
-            .position(|k| *k == EventKind::Irp(MajorFunction::Cleanup))
-            .expect("cleanup IRP");
-        let close = kinds
-            .iter()
-            .position(|k| *k == EventKind::Irp(MajorFunction::Close))
-            .expect("close IRP");
-        assert!(close > cleanup);
-        let cu = &m.observer().events[cleanup];
-        let cl = &m.observer().events[close];
-        let gap = cl.start.saturating_since(cu.end);
-        assert!(
-            gap < SimDuration::from_millis(1),
-            "clean close is fast, got {gap}"
-        );
-    }
-
-    #[test]
-    fn dirty_file_close_waits_for_lazy_writer() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\w.dat", t(1));
-        m.write(h, Some(0), 300_000, t(1));
-        m.close(h, t(2));
-        assert_eq!(m.deferred_closes(), 1);
-        let mut s = 3;
-        while m.deferred_closes() > 0 && s < 60 {
-            m.lazy_tick(t(s));
-            s += 1;
-        }
-        assert_eq!(m.deferred_closes(), 0, "drain completes the close");
-        // SetEndOfFile was issued before the close (§8.3).
-        assert!(m
-            .observer()
-            .events
-            .iter()
-            .any(|e| e.set_info == Some(SetInfoKind::EndOfFile)));
-        // Lazy paging writes were emitted.
-        assert!(m.metrics().paging_writes > 0);
-    }
-
-    #[test]
-    fn delete_on_close_removes_the_file() {
-        let (mut m, vol) = machine();
-        let (_, h) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\tmp.del"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions {
-                delete_on_close: true,
-                ..CreateOptions::default()
-            },
-            t(1),
-        );
-        let h = h.unwrap();
-        m.write(h, Some(0), 4_096, t(1));
-        m.close(h, t(2));
-        assert_eq!(m.metrics().delete_on_close, 1);
-        let (reply, _) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\tmp.del"),
-            AccessMode::Read,
-            Disposition::Open,
-            CreateOptions::default(),
-            t(3),
-        );
-        assert_eq!(reply.status, NtStatus::ObjectNameNotFound);
-        // The dirty page never reached the disk: purged at delete.
-        assert!(m.cache_metrics().purged_dirty_bytes >= 4_096);
-    }
-
-    #[test]
-    fn explicit_delete_via_disposition() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\doomed.txt", t(1));
-        m.write(h, Some(0), 100, t(1));
-        let r = m.set_delete_disposition(h, t(2));
-        assert_eq!(r.status, NtStatus::Success);
-        m.close(h, t(3));
-        assert_eq!(m.metrics().explicit_deletes, 1);
-        assert!(m
-            .namespace()
-            .volume(vol)
-            .unwrap()
-            .lookup(&NtPath::parse(r"\doomed.txt"))
-            .is_err());
-    }
-
-    #[test]
-    fn overwrite_disposition_truncates() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\o.txt", t(1));
-        m.write(h, Some(0), 10_000, t(1));
-        m.close(h, t(2));
-        for s in 3..8 {
-            m.lazy_tick(t(s));
-        }
-        let (reply, h2) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\o.txt"),
-            AccessMode::Write,
-            Disposition::OverwriteIf,
-            CreateOptions::default(),
-            t(10),
-        );
-        assert_eq!(reply.status, NtStatus::Success);
-        assert_eq!(m.metrics().overwrite_truncates, 1);
-        let v = m.namespace().volume(vol).unwrap();
-        let node = v.lookup(&NtPath::parse(r"\o.txt")).unwrap();
-        assert_eq!(v.file_size(node).unwrap(), 0);
-        m.close(h2.unwrap(), t(11));
-    }
-
-    #[test]
-    fn directory_enumeration_batches() {
-        let (mut m, vol) = machine();
-        {
-            let v = m.namespace_mut().volume_mut(vol).unwrap();
-            let root = v.root();
-            for i in 0..25 {
-                v.create_file(root, &format!("f{i:02}"), t(0)).unwrap();
-            }
-        }
-        let (_, h) = m.create(
-            P,
-            vol,
-            &NtPath::root(),
-            AccessMode::Control,
-            Disposition::Open,
-            CreateOptions {
-                directory: true,
-                ..CreateOptions::default()
-            },
-            t(1),
-        );
-        let h = h.unwrap();
-        let mut total = 0;
-        let mut calls = 0;
-        loop {
-            let r = m.query_directory(h, 10, t(2));
-            calls += 1;
-            if r.status == NtStatus::NoMoreFiles {
-                break;
-            }
-            total += r.transferred;
-            assert!(calls < 10);
-        }
-        assert_eq!(total, 25);
-        assert_eq!(calls, 4, "3 batches + terminator");
-    }
-
-    #[test]
-    fn image_loads_cold_then_warm() {
-        let (mut m, vol) = machine();
-        {
-            let v = m.namespace_mut().volume_mut(vol).unwrap();
-            let root = v.root();
-            let d = v.mkdir(root, "winnt", t(0)).unwrap();
-            let f = v.create_file(d, "notepad.exe", t(0)).unwrap();
-            v.set_file_size(f, 150_000, t(0)).unwrap();
-        }
-        let path = NtPath::parse(r"\winnt\notepad.exe");
-        let r1 = m.load_image(P, vol, &path, t(1));
-        assert_eq!(r1.status, NtStatus::Success);
-        let cold_paging = m.metrics().paging_reads;
-        assert!(cold_paging > 0);
-        m.unload_image(vol, &path);
-        let r2 = m.load_image(P, vol, &path, t(100));
-        assert_eq!(r2.status, NtStatus::Success);
-        assert_eq!(
-            m.metrics().paging_reads,
-            cold_paging,
-            "§3.3: warm image load does no paging I/O"
-        );
-        assert_eq!(m.vm_metrics().warm_image_maps, 1);
-    }
-
-    #[test]
-    fn mapped_reads_fault_pages_in() {
-        let (mut m, vol) = machine();
-        {
-            let v = m.namespace_mut().volume_mut(vol).unwrap();
-            let root = v.root();
-            let f = v.create_file(root, "sim.dat", t(0)).unwrap();
-            v.set_file_size(f, 1 << 20, t(0)).unwrap();
-        }
-        let h = open_new(&mut m, vol, r"\sim.dat", t(1));
-        m.map_file(h, t(1));
-        let r = m.mapped_read(h, 0, 8_192, t(2));
-        assert_eq!(r.transferred, 8_192);
-        assert!(m.metrics().paging_reads >= 1);
-        let again = m.mapped_read(h, 0, 8_192, t(3));
-        assert_eq!(
-            m.vm_metrics().soft_faults,
-            1,
-            "second touch is a soft fault"
-        );
-        assert!(again.end.saturating_since(t(3)) < SimDuration::from_millis(1));
-        m.close(h, t(4));
-    }
-
-    #[test]
-    fn control_failures_are_counted() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\x", t(1));
-        let r = m.invalid_control(h, t(2));
-        assert!(r.status.is_error());
-        assert_eq!(m.metrics().control_failures, 1);
-        assert!(m.metrics().control_ops >= 1);
-    }
-
-    #[test]
-    fn volume_mounted_fsctl_emits_event() {
-        let (mut m, vol) = machine();
-        let r = m.is_volume_mounted(P, vol, t(1));
-        assert!(r.status.is_success());
-        assert!(m
-            .observer()
-            .events
-            .iter()
-            .any(|e| e.kind == EventKind::Irp(MajorFunction::FileSystemControl)));
-    }
-
-    #[test]
-    fn access_mode_is_enforced() {
-        let (mut m, vol) = machine();
-        let (_, h) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\ro.txt"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions::default(),
-            t(1),
-        );
-        let h = h.unwrap();
-        m.write(h, Some(0), 100, t(1));
-        assert_eq!(
-            m.read(h, Some(0), 100, t(2)).status,
-            NtStatus::AccessDenied,
-            "write-only handle cannot read"
-        );
-        m.close(h, t(3));
-        let (_, h) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\ro.txt"),
-            AccessMode::Read,
-            Disposition::Open,
-            CreateOptions::default(),
-            t(4),
-        );
-        let h = h.unwrap();
-        assert_eq!(
-            m.write(h, Some(0), 100, t(5)).status,
-            NtStatus::AccessDenied,
-            "read-only handle cannot write"
-        );
-        m.close(h, t(6));
-    }
-
-    #[test]
-    fn sharing_violation_blocks_second_opener() {
-        let (mut m, vol) = machine();
-        // Open exclusively (share nothing).
-        let (_, h1) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\locked.db"),
-            AccessMode::ReadWrite,
-            Disposition::OpenIf,
-            CreateOptions {
-                share: ShareMode::default(),
-                ..CreateOptions::default()
-            },
-            t(1),
-        );
-        let h1 = h1.unwrap();
-        let (reply, h2) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\locked.db"),
-            AccessMode::Read,
-            Disposition::Open,
-            CreateOptions::default(),
-            t(2),
-        );
-        assert_eq!(reply.status, NtStatus::SharingViolation);
-        assert!(h2.is_none());
-        assert_eq!(m.metrics().sharing_violations, 1);
-        m.close(h1, t(3));
-        // After the exclusive handle cleans up, the open succeeds.
-        let (reply, h3) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\locked.db"),
-            AccessMode::Read,
-            Disposition::Open,
-            CreateOptions::default(),
-            t(4),
-        );
-        assert_eq!(reply.status, NtStatus::Success);
-        m.close(h3.unwrap(), t(5));
-    }
-
-    #[test]
-    fn byte_range_locks_gate_data_access() {
-        let (mut m, vol) = machine();
-        let h1 = open_new(&mut m, vol, r"\shared.db", t(1));
-        m.write(h1, Some(0), 64_000, t(1));
-        let h2 = open_new(&mut m, vol, r"\shared.db", t(2));
-        // h1 takes an exclusive lock on the first 4 KB.
-        let r = m.lock(h1, 0, 4_096, true, t(3));
-        assert_eq!(r.status, NtStatus::Success);
-        assert_eq!(m.metrics().locks_granted, 1);
-        // h2 cannot read or write the locked range, but can elsewhere.
-        assert_eq!(
-            m.read(h2, Some(0), 512, t(4)).status,
-            NtStatus::FileLockConflict
-        );
-        assert_eq!(
-            m.write(h2, Some(1_000), 100, t(4)).status,
-            NtStatus::FileLockConflict
-        );
-        assert_eq!(m.read(h2, Some(8_192), 512, t(4)).status, NtStatus::Success);
-        // A conflicting lock request is denied.
-        assert_eq!(
-            m.lock(h2, 0, 100, false, t(5)).status,
-            NtStatus::FileLockConflict
-        );
-        // Unlock, then h2 proceeds.
-        assert_eq!(m.unlock(h1, 0, 4_096, t(6)).status, NtStatus::Success);
-        assert_eq!(m.read(h2, Some(0), 512, t(7)).status, NtStatus::Success);
-        m.close(h1, t(8));
-        m.close(h2, t(8));
-    }
-
-    #[test]
-    fn cleanup_releases_locks_with_unlock_all() {
-        let (mut m, vol) = machine();
-        let h1 = open_new(&mut m, vol, r"\pool.db", t(1));
-        m.write(h1, Some(0), 10_000, t(1));
-        m.lock(h1, 0, 100, true, t(2));
-        m.lock(h1, 500, 100, true, t(2));
-        let h2 = open_new(&mut m, vol, r"\pool.db", t(3));
-        m.close(h1, t(4));
-        // The UnlockAll call appears in the trace and h2 is free to go.
-        assert!(m
-            .observer()
-            .events
-            .iter()
-            .any(|e| e.kind == EventKind::FastIo(FastIoKind::UnlockAll)));
-        assert_eq!(m.read(h2, Some(0), 100, t(5)).status, NtStatus::Success);
-        m.close(h2, t(6));
-    }
-
-    #[test]
-    fn change_notification_pends_until_a_change() {
-        let (mut m, vol) = machine();
-        {
-            let v = m.namespace_mut().volume_mut(vol).unwrap();
-            let root = v.root();
-            v.mkdir(root, "watched", t(0)).unwrap();
-        }
-        let (_, dh) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\watched"),
-            AccessMode::Control,
-            Disposition::Open,
-            CreateOptions {
-                directory: true,
-                ..CreateOptions::default()
-            },
-            t(1),
-        );
-        let dh = dh.unwrap();
-        let r = m.watch_directory(dh, t(2));
-        assert_eq!(r.status, NtStatus::Success);
-        // No notification yet.
-        let before = m
-            .observer()
-            .events
-            .iter()
-            .filter(|e| {
-                e.kind == EventKind::Irp(MajorFunction::DirectoryControl) && e.transferred == 1
-            })
-            .count();
-        assert_eq!(before, 0);
-        // Creating a file inside the directory completes the pended IRP,
-        // whose recorded latency is the whole wait.
-        let (_, fh) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\watched\new.txt"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions::default(),
-            t(30),
-        );
-        let notify: Vec<_> = m
-            .observer()
-            .events
-            .iter()
-            .filter(|e| {
-                e.kind == EventKind::Irp(MajorFunction::DirectoryControl) && e.transferred == 1
-            })
-            .cloned()
-            .collect();
-        assert_eq!(notify.len(), 1);
-        assert_eq!(notify[0].start, t(2), "pended at registration");
-        assert!(notify[0].end >= t(30), "completed at the change");
-        m.close(fh.unwrap(), t(31));
-        // One-shot: a second change does not fire again.
-        let (_, fh2) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\watched\second.txt"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions::default(),
-            t(40),
-        );
-        m.close(fh2.unwrap(), t(41));
-        let after = m
-            .observer()
-            .events
-            .iter()
-            .filter(|e| {
-                e.kind == EventKind::Irp(MajorFunction::DirectoryControl) && e.transferred == 1
-            })
-            .count();
-        assert_eq!(after, 1, "watch is one-shot");
-        // A cancelled watch (handle closed) never fires.
-        m.watch_directory(dh, t(50));
-        m.close(dh, t(51));
-        let (_, fh3) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\watched\third.txt"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions::default(),
-            t(60),
-        );
-        m.close(fh3.unwrap(), t(61));
-        let final_count = m
-            .observer()
-            .events
-            .iter()
-            .filter(|e| {
-                e.kind == EventKind::Irp(MajorFunction::DirectoryControl) && e.transferred == 1
-            })
-            .count();
-        assert_eq!(final_count, 1, "closed handle's watch was cancelled");
-    }
-
-    #[test]
-    fn compressed_files_ride_the_compressed_fastio_entries() {
-        let (mut m, vol) = machine();
-        {
-            let v = m.namespace_mut().volume_mut(vol).unwrap();
-            let root = v.root();
-            let f = v.create_file(root, "big.cab", t(0)).unwrap();
-            v.set_file_size(f, 400_000, t(0)).unwrap();
-            v.set_attributes(f, nt_fs::FileAttributes::COMPRESSED)
-                .unwrap();
-        }
-        let h = open_new(&mut m, vol, r"\big.cab", t(1));
-        let r1 = m.read(h, Some(0), 4_096, t(1));
-        assert_eq!(r1.status, NtStatus::Success);
-        let t2 = r1.end + SimDuration::from_millis(1);
-        let r2 = m.read(h, Some(0), 4_096, t2);
-        assert_eq!(r2.status, NtStatus::Success);
-        m.write(h, Some(0), 4_096, r2.end + SimDuration::from_millis(1));
-        let kinds: Vec<EventKind> = m.observer().events.iter().map(|e| e.kind).collect();
-        assert!(
-            kinds.contains(&EventKind::FastIo(FastIoKind::ReadCompressed)),
-            "warm read decompresses: {kinds:?}"
-        );
-        assert!(kinds.contains(&EventKind::FastIo(FastIoKind::WriteCompressed)));
-        // The decompression penalty makes the warm read slower than an
-        // uncompressed copy would be, but still far from disk latency.
-        let warm = r2.end.saturating_since(t2);
-        assert!(warm < SimDuration::from_millis(1), "got {warm}");
-        m.close(h, t(9));
-    }
-
-    #[test]
-    fn mdl_interface_moves_data_without_copy_cost() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\served.dat", t(1));
-        let w = m.mdl_write(h, 0, 65_536, t(1));
-        assert_eq!(w.status, NtStatus::Success);
-        assert_eq!(w.transferred, 65_536);
-        let warm = m.mdl_read(h, 0, 65_536, t(2));
-        assert_eq!(warm.status, NtStatus::Success);
-        // Zero-copy: a 64 KB warm MDL read is as cheap as metadata, far
-        // below the ~8 ms a 64 KB copy at memory speed would cost.
-        assert!(
-            warm.end.saturating_since(t(2)) < SimDuration::from_micros(50),
-            "got {}",
-            warm.end.saturating_since(t(2))
-        );
-        // The MDL call pairs appear in the trace.
-        let kinds: Vec<EventKind> = m.observer().events.iter().map(|e| e.kind).collect();
-        assert!(kinds.contains(&EventKind::FastIo(FastIoKind::MdlRead)));
-        assert!(kinds.contains(&EventKind::FastIo(FastIoKind::MdlReadComplete)));
-        assert!(kinds.contains(&EventKind::FastIo(FastIoKind::PrepareMdlWrite)));
-        assert!(kinds.contains(&EventKind::FastIo(FastIoKind::MdlWriteComplete)));
-        m.close(h, t(3));
-    }
-
-    #[test]
-    fn invalid_handles_are_rejected() {
-        let (mut m, _) = machine();
-        let bogus = HandleId(999);
-        assert_eq!(
-            m.read(bogus, None, 10, t(1)).status,
-            NtStatus::InvalidHandle
-        );
-        assert_eq!(
-            m.write(bogus, None, 10, t(1)).status,
-            NtStatus::InvalidHandle
-        );
-        assert_eq!(m.close(bogus, t(1)).status, NtStatus::InvalidHandle);
-        assert_eq!(m.flush(bogus, t(1)).status, NtStatus::InvalidHandle);
-    }
-
-    #[test]
-    fn file_objects_reported_to_observer() {
-        let (mut m, vol) = machine();
-        let h = open_new(&mut m, vol, r"\hello.txt", t(1));
-        m.close(h, t(2));
-        assert_eq!(m.observer().objects.len(), 1);
-        assert_eq!(m.observer().objects[0].path, r"\hello.txt");
-    }
-
-    #[test]
-    fn null_observer_keeps_metrics_parity() {
-        // `NullObserver` skips building `IoEvent` values entirely
-        // (`O::ENABLED`), but the machine's counters — `events_emitted`
-        // in particular, which the conservation ledger debits — must
-        // count exactly what a recording observer would have seen.
-        fn drive<O: IoObserver>(mut m: Machine<O>) -> (IoMetrics, Machine<O>) {
-            let vol = m.add_local_volume(
-                'C',
-                VolumeConfig::local_ntfs(1 << 30),
-                DiskParams::local_ide(),
-            );
-            let (reply, h) = m.create(
-                P,
-                vol,
-                &NtPath::parse(r"\parity.dat"),
-                AccessMode::ReadWrite,
-                Disposition::OpenIf,
-                CreateOptions::default(),
-                t(1),
-            );
-            assert_eq!(reply.status, NtStatus::Success);
-            let h = h.expect("open succeeded");
-            m.write(h, Some(0), 16_384, t(2));
-            let mut at = t(3);
-            for _ in 0..4 {
-                at = m.read(h, Some(0), 4_096, at).end;
-            }
-            m.flush(h, at);
-            m.close(h, at + SimDuration::from_secs(1));
-            m.lazy_tick(at + SimDuration::from_secs(10));
-            (m.metrics(), m)
-        }
-
-        let (null_metrics, _) = drive(Machine::new(
-            MachineConfig {
-                seed: 9,
-                ..MachineConfig::default()
-            },
-            crate::observer::NullObserver,
-        ));
-        let (vec_metrics, watched) = drive(Machine::new(
-            MachineConfig {
-                seed: 9,
-                ..MachineConfig::default()
-            },
-            VecObserver::default(),
-        ));
-        assert_eq!(null_metrics, vec_metrics);
-        assert!(null_metrics.events_emitted > 0);
-        assert_eq!(
-            vec_metrics.events_emitted,
-            watched.observer().events.len() as u64,
-            "every counted emission reached the recording observer"
-        );
-    }
-
-    #[test]
-    fn ablation_disable_fastio_forces_irp() {
-        let mut m = Machine::new(
-            MachineConfig {
-                disable_fastio: true,
-                ..MachineConfig::default()
-            },
-            VecObserver::default(),
-        );
-        let vol = m.add_local_volume(
-            'C',
-            VolumeConfig::local_ntfs(1 << 30),
-            DiskParams::local_ide(),
-        );
-        let h = open_new(&mut m, vol, r"\f.dat", t(1));
-        m.write(h, Some(0), 20_000, t(1));
-        let mut tt = t(2);
-        for _ in 0..10 {
-            tt = m.read(h, Some(0), 4_096, tt).end;
-        }
-        assert_eq!(m.metrics().fastio_reads, 0);
-        assert_eq!(m.metrics().fastio_writes, 0);
-        assert!(m.metrics().irp_reads >= 10);
-        assert!(m
-            .observer()
-            .events
-            .iter()
-            .all(|e| !e.kind.is_fastio() || !e.kind.is_read()));
-    }
-
-    #[test]
-    fn temporary_files_spare_the_disk() {
-        let (mut m, vol) = machine();
-        let (_, h) = m.create(
-            P,
-            vol,
-            &NtPath::parse(r"\scratch.tmp"),
-            AccessMode::Write,
-            Disposition::Create,
-            CreateOptions {
-                temporary: true,
-                delete_on_close: true,
-                ..CreateOptions::default()
-            },
-            t(1),
-        );
-        let h = h.unwrap();
-        m.write(h, Some(0), 100_000, t(1));
-        m.lazy_tick(t(2));
-        assert_eq!(
-            m.metrics().paging_writes,
-            0,
-            "temporary data never hits the disk"
-        );
-        m.close(h, t(3));
-        assert_eq!(m.metrics().delete_on_close, 1);
     }
 }

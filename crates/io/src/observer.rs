@@ -26,8 +26,12 @@ pub struct FileObjectInfo {
     pub at: SimTime,
 }
 
-/// A filter driver layered over the machine's file systems.
-pub trait IoObserver {
+/// The record consumer at the bottom of the driver stack.
+///
+/// `'static` because observers ride inside a boxed
+/// [`crate::filters::ObserverFilter`] layer in the machine's
+/// [`crate::stack::DriverStack`].
+pub trait IoObserver: 'static {
     /// Whether this observer consumes records at all. When `false` the
     /// machine skips building `IoEvent`/`FileObjectInfo` values entirely
     /// — an untraced machine pays nothing on the request hot path. The

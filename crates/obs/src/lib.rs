@@ -57,16 +57,20 @@ pub enum Phase {
     Trace,
     /// Analysis ingest: record parsing, online accumulators, table builds.
     Analysis,
+    /// Work done by optional filter drivers layered above the FSD —
+    /// e.g. the antivirus scan filter's per-open/per-read latency.
+    Filter,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Dispatch,
         Phase::Cache,
         Phase::Vm,
         Phase::Trace,
         Phase::Analysis,
+        Phase::Filter,
     ];
 
     /// Stable lower-case name used in span logs and reports.
@@ -77,6 +81,7 @@ impl Phase {
             Phase::Vm => "vm",
             Phase::Trace => "trace",
             Phase::Analysis => "analysis",
+            Phase::Filter => "filter",
         }
     }
 
@@ -87,6 +92,7 @@ impl Phase {
             Phase::Vm => 2,
             Phase::Trace => 3,
             Phase::Analysis => 4,
+            Phase::Filter => 5,
         }
     }
 }

@@ -126,6 +126,27 @@ fn main() {
     }
 
     println!();
+    println!("== per-layer view (FastIO short-circuit vs IRP descent) ==");
+    let (mut fastio, mut irp) = (0u64, 0u64);
+    for m in &data.machines {
+        fastio += m.io.fastio_reads + m.io.fastio_writes;
+        irp += m.io.irp_reads + m.io.irp_writes;
+    }
+    let total = (fastio + irp).max(1);
+    println!(
+        "  data ops served procedurally (no IRP built):   {fastio:>10}  ({:.1}%)",
+        100.0 * fastio as f64 / total as f64
+    );
+    println!(
+        "  data ops that descended the driver stack:      {irp:>10}  ({:.1}%)",
+        100.0 * irp as f64 / total as f64
+    );
+    println!(
+        "  each descending packet passed the span layer and the trace agent\n\
+         \x20 (dispatch spans above are those descents, bracketed per layer)"
+    );
+
+    println!();
     println!("== study headline ==");
     println!(
         "  records: {}   compressed bytes: {}   lost to faults: {}",

@@ -222,6 +222,100 @@ fn multi_day_faulted_fleet_keeps_streaming_and_batch_tables_identical() {
     );
 }
 
+/// FNV-1a over a `Debug` rendering: a stable, dependency-free digest for
+/// locking large fact tables against refactors without checking the
+/// tables themselves in.
+fn fnv1a(digest: &mut u64, text: &str) {
+    for b in text.bytes() {
+        *digest ^= u64::from(b);
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn digest_study(data: &nt_study::StudyData) -> [u64; 5] {
+    let seed = 0xcbf2_9ce4_8422_2325u64;
+    let mut records = seed;
+    for (m, r) in &data.trace_set.records {
+        fnv1a(&mut records, &format!("{m}:{r:?}"));
+    }
+    let mut instances = seed;
+    for inst in &data.trace_set.instances {
+        fnv1a(&mut instances, &format!("{inst:?}"));
+    }
+    let mut names = seed;
+    let mut sorted: Vec<_> = data.trace_set.names.iter().collect();
+    sorted.sort();
+    for ((m, fo), path) in sorted {
+        fnv1a(&mut names, &format!("{m}:{fo}:{path}"));
+    }
+    let mut ledgers = seed;
+    let mut counters = seed;
+    for m in &data.machines {
+        fnv1a(&mut ledgers, &format!("{:?}:{:?}", m.id, m.loss));
+        fnv1a(
+            &mut counters,
+            &format!(
+                "{:?}:{:?}:{:?}:{:?}:{}",
+                m.id, m.io, m.cache, m.vm, m.residual_dirty_bytes
+            ),
+        );
+    }
+    [records, instances, names, ledgers, counters]
+}
+
+/// The faulted 45-machine fleet used by the refactor lock below.
+fn locked_fleet() -> StudyConfig {
+    let mut config = StudyConfig::paper_scale(4_242);
+    config.duration = nt_sim::SimDuration::from_secs(600);
+    config.snapshot_interval = nt_sim::SimDuration::from_secs(300);
+    config.files_per_volume = 1_200;
+    config.web_cache_files = 150;
+    config.faults = nt_study::FaultPlan::lossy();
+    config
+}
+
+/// Golden digests of the locked fleet's fact tables, name table, loss
+/// ledgers and per-machine counters (the inputs of every conservation
+/// account), captured on `main` before the driver-stack refactor landed.
+/// A change here means the simulated trace itself changed — which the
+/// refactor, and any future stack work, must not do.
+const LOCKED_FLEET_DIGESTS: [u64; 5] = [
+    0x751949feb61e3785,
+    0x4c7494fcd271444b,
+    0x76f9a98f439129cd,
+    0xe5dc45272e52c2fa,
+    0x5fc4a9729afaeef1,
+];
+
+#[test]
+fn driver_stack_keeps_the_faulted_fleet_bit_identical() {
+    // Telemetry off and on must both reproduce the recorded digests:
+    // the stack refactor (and the span filter it hangs telemetry on)
+    // may not move a single byte of the study's output.
+    let silent = Study::run(&locked_fleet());
+    assert_eq!(
+        digest_study(&silent),
+        LOCKED_FLEET_DIGESTS,
+        "telemetry-off fleet diverged from the pre-refactor tables"
+    );
+
+    let dir = std::env::temp_dir().join(format!("nt-determinism-lock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut watched_config = locked_fleet();
+    watched_config.telemetry = nt_study::TelemetryConfig::On(nt_study::TelemetryOptions {
+        dir: Some(dir.clone()),
+        sample_interval: nt_sim::SimDuration::from_secs(30),
+        ..nt_study::TelemetryOptions::default()
+    });
+    let watched = Study::run(&watched_config);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        digest_study(&watched),
+        LOCKED_FLEET_DIGESTS,
+        "telemetry-on fleet diverged from the pre-refactor tables"
+    );
+}
+
 /// The documented memory ceiling for the streaming analysis state at the
 /// paper's 45-machine deployment shape (see EXPERIMENTS.md). The ceiling
 /// covers the per-machine sinks — open-session builders, parked
