@@ -52,6 +52,9 @@ cargo test -q --offline --test obs
 step "driver stack (FastIO fallback equivalence + conservation under veto)"
 cargo test -q --offline --test filter_stack
 
+step "sharded scale-up (per-shard memory budget + shard/worker bit-identity)"
+cargo test -q --offline --release --test shard_scale
+
 step "cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
 

@@ -118,7 +118,7 @@ pub fn open_arrivals_excluding(ts: &TraceSet, lossy: &LossWindows) -> OpenArriva
 /// Figure-11 numbers from this accumulator are therefore approximate
 /// (the fact tables themselves stay exact); `reordered` reports how many
 /// arrivals the approximation skipped.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct ArrivalAccumulator {
     /// Inter-open gaps, all opens (ms).
     pub all: HistogramSketch,

@@ -98,7 +98,7 @@ pub fn path_latencies(ts: &TraceSet) -> PathLatencies {
 
 /// Streaming counterpart of [`path_latencies`]: per-class latency and
 /// size sketches plus the FastIO fractions, maintained record by record.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct LatencyAccumulator {
     /// FastIO read latency sketch (µs).
     pub fastio_read_latency: HistogramSketch,

@@ -62,4 +62,4 @@ pub use cdf::Cdf;
 pub use schema::{Instance, InstanceBuilder, TraceSet, UsageClass};
 pub use sketch::{HistogramSketch, SpillRuns};
 pub use stats::{correlation, describe, Descriptives};
-pub use stream::{AnalysisSet, MachineSink, StreamConfig, StudySummary};
+pub use stream::{AnalysisSet, MachineSink, ShardSummary, StreamConfig, StudySummary};

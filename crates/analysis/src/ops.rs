@@ -219,7 +219,7 @@ pub fn operational_stats(ts: &TraceSet) -> OperationalStats {
 /// the unbounded state the streaming path exists to avoid. Paper-scale
 /// reuse analysis belongs to a dedicated pass over the spilled name
 /// dimension.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct OpsAccumulator {
     /// Successful opens.
     pub opens_ok: u64,

@@ -525,8 +525,9 @@ impl TraceSet {
 
 /// Shared generator for the analysis modules' tests: drives a real
 /// machine through a randomized mix of sessions and returns the fact
-/// tables.
-#[cfg(test)]
+/// tables. Compiled unconditionally so the workspace-level property
+/// suites (which build this crate as a dependency, not under
+/// `cfg(test)`) can use the same generator.
 pub mod test_support {
     use super::TraceSet;
     use nt_fs::{NtPath, VolumeConfig};

@@ -57,7 +57,7 @@ pub fn session_durations(ts: &TraceSet) -> SessionDurations {
 
 /// Streaming counterpart of [`session_durations`]: the figure-5/12
 /// duration splits as sketches, maintained instance by instance.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct SessionAccumulator {
     /// All successful sessions (ms).
     pub all: HistogramSketch,

@@ -64,7 +64,7 @@ pub fn accessed_sizes(ts: &TraceSet) -> AccessedSizes {
 
 /// Streaming counterpart of [`accessed_sizes`]: per-class size sketches
 /// (per-open and byte-weighted) maintained instance by instance.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct SizeAccumulator {
     /// Per-open sketches indexed ReadOnly/WriteOnly/ReadWrite.
     pub by_opens: [HistogramSketch; 3],

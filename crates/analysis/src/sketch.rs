@@ -28,16 +28,30 @@ const CLAMP: i32 = 128 * 16;
 /// Merging is element-wise addition, so any merge order produces the same
 /// sketch. Weights are integer counts — figure-4-style byte-weighted
 /// CDFs record each size with its transferred bytes as the weight.
-#[derive(Clone, Debug, Default)]
+///
+/// Every piece of state is integer (the weighted sum is fixed-point, in
+/// units of `1 / SUM_FP_SCALE`) except `min`/`max`, whose lattice is
+/// exactly associative — so merging sketches is associative and
+/// commutative bit for bit, not just up to floating-point reassociation.
+/// The sharded fleet leans on this: any shard partition of the machine
+/// set must reduce to the same fleet sketch.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct HistogramSketch {
     buckets: BTreeMap<i32, u64>,
     zero_weight: u64,
     count: u64,
     total_weight: u64,
-    sum: f64,
+    /// Weighted sum in fixed point: units of 2^-16. An `i128` holds
+    /// ~5e33 in value terms, far past any fleet-scale byte total, and
+    /// integer addition keeps hierarchical merges exact.
+    sum_fp: i128,
     min: f64,
     max: f64,
 }
+
+/// Fixed-point scale for [`HistogramSketch::sum`]: 2^16 sub-unit steps,
+/// ≈ 1.5e-5 absolute resolution per recorded sample.
+const SUM_FP_SCALE: f64 = 65536.0;
 
 /// Log bucket for a positive finite value; `None` for anything without a
 /// logarithm (NaN, infinities, zero, negatives).
@@ -83,7 +97,10 @@ impl HistogramSketch {
         self.count += 1;
         self.total_weight += weight;
         if v.is_finite() {
-            self.sum += v * weight as f64;
+            let contribution = v * weight as f64 * SUM_FP_SCALE;
+            // Saturate instead of wrapping on absurd inputs; `as i128`
+            // already saturates for out-of-range floats.
+            self.sum_fp = self.sum_fp.saturating_add(contribution.round() as i128);
             self.min = self.min.min(v);
             self.max = self.max.max(v);
         }
@@ -115,12 +132,12 @@ impl HistogramSketch {
 
     /// Weighted arithmetic mean.
     pub fn mean(&self) -> Option<f64> {
-        (self.total_weight > 0).then(|| self.sum / self.total_weight as f64)
+        (self.total_weight > 0).then(|| self.sum() / self.total_weight as f64)
     }
 
-    /// Exact weighted sum of recorded values.
+    /// Weighted sum of recorded values (fixed-point, 2^-16 resolution).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.sum_fp as f64 / SUM_FP_SCALE
     }
 
     /// The `q`-quantile (bucket representative, within the relative error
@@ -177,7 +194,7 @@ impl HistogramSketch {
         self.zero_weight += other.zero_weight;
         self.count += other.count;
         self.total_weight += other.total_weight;
-        self.sum += other.sum;
+        self.sum_fp = self.sum_fp.saturating_add(other.sum_fp);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -525,6 +542,36 @@ mod tests {
             assert_eq!(ab.quantile(q), whole.quantile(q));
         }
         assert_eq!(ab.len(), whole.len());
+        // Since every sample rounds to fixed point independently, the
+        // whole sketch state — sum included — is bit-identical no matter
+        // how the samples were partitioned or merged.
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+    }
+
+    #[test]
+    fn weighted_sum_is_exact_under_reassociation() {
+        // f64 accumulation would make (a+b)+c != a+(b+c) for these
+        // deliberately awkward values; fixed point keeps them equal.
+        let values = [0.1, 1e9 + 0.3, 7.0001, 3.25, 1e-4, 1234.5678];
+        let mut parts: Vec<HistogramSketch> = Vec::new();
+        for &v in &values {
+            let mut s = HistogramSketch::new();
+            s.record_weighted(v, 3);
+            parts.push(s);
+        }
+        let mut left = HistogramSketch::new();
+        for p in &parts {
+            left.merge(p);
+        }
+        let mut right = HistogramSketch::new();
+        for p in parts.iter().rev() {
+            right.merge(p);
+        }
+        assert_eq!(left, right);
+        assert_eq!(left.sum(), right.sum());
+        let exact: f64 = values.iter().map(|v| v * 3.0).sum();
+        assert!((left.sum() - exact).abs() < 1e-3, "sum {}", left.sum());
     }
 
     #[test]

@@ -211,10 +211,13 @@ impl MachineSink {
                 }
             }
         }
+        // Sampled here — once per batch *processed*, in stamp order —
+        // rather than per batch *delivered*, so the watermark cannot see
+        // how far out of order failover delivery ran.
+        self.peak_open_sessions = self.peak_open_sessions.max(self.builder.open_sessions());
     }
 
     fn note_peaks(&mut self) {
-        self.peak_open_sessions = self.peak_open_sessions.max(self.builder.open_sessions());
         self.peak_state_bytes = self.peak_state_bytes.max(self.state_bytes());
     }
 
@@ -304,7 +307,15 @@ struct MachineSummary {
 }
 
 /// The merged study-level aggregates the streaming path produces.
-#[derive(Debug, Default)]
+///
+/// `PartialEq` is exact: every field is an integer, an exactly-mergeable
+/// sketch, or a float computed once at the fleet root — so two runs that
+/// partitioned the fleet differently can be compared with `==`. The one
+/// caveat: [`StudySummary::peak_parked_records`] and
+/// [`StudySummary::peak_state_bytes`] are scheduling watermarks (how far
+/// out of order failover delivery ran), not analytical facts — identity
+/// tests zero them before comparing.
+#[derive(Debug, Default, PartialEq)]
 pub struct StudySummary {
     /// Machines that contributed.
     pub machines: usize,
@@ -372,6 +383,83 @@ pub struct StreamedAnalysis {
     pub trace_set: Option<TraceSet>,
 }
 
+/// A mergeable partial aggregate over any subset of machines — what one
+/// shard collector (or an aggregator tier above it) hands its parent.
+///
+/// [`AnalysisSet::finish_shard`] produces one; [`ShardSummary::merge`]
+/// folds a sibling in (exact: all state is integer or min/max, so any
+/// merge tree over the same machines yields the same bytes); and
+/// [`ShardSummary::into_analysis`] closes the hierarchy at the fleet
+/// root, where the spill-backed tail alphas and the optional fact tables
+/// are computed exactly once. The flat path is the one-shard special
+/// case: [`AnalysisSet::finish`] is `finish_shard().into_analysis()`.
+#[derive(Debug, Default)]
+pub struct ShardSummary {
+    /// The partial aggregates. Tail alphas stay 0 until the fleet root
+    /// computes them in [`ShardSummary::into_analysis`].
+    pub summary: StudySummary,
+    size_spill: Option<SpillRuns>,
+    duration_spill: Option<SpillRuns>,
+    streams: Option<Vec<MachineStream>>,
+}
+
+impl ShardSummary {
+    /// Absorbs a sibling shard (or aggregator) into this one.
+    ///
+    /// Callers that care about byte-identical fact tables and ledgers
+    /// must merge siblings in machine-id order — the sketches don't care,
+    /// but `machine_records` and the retained streams are appended in
+    /// arrival order.
+    pub fn merge(&mut self, other: ShardSummary) {
+        let s = &mut self.summary;
+        let o = other.summary;
+        s.machines += o.machines;
+        s.records += o.records;
+        s.machine_records.extend(o.machine_records);
+        s.poisoned_sinks += o.poisoned_sinks;
+        s.names += o.names;
+        s.ops.merge(&o.ops);
+        s.latency.merge(&o.latency);
+        s.sizes.merge(&o.sizes);
+        s.sessions.merge(&o.sessions);
+        s.arrivals.merge(&o.arrivals);
+        s.peak_open_sessions += o.peak_open_sessions;
+        s.peak_parked_records += o.peak_parked_records;
+        s.peak_state_bytes += o.peak_state_bytes;
+        match (&mut self.size_spill, other.size_spill) {
+            (Some(all), Some(one)) => all.absorb(one),
+            (slot @ None, one) => *slot = one,
+            _ => {}
+        }
+        match (&mut self.duration_spill, other.duration_spill) {
+            (Some(all), Some(one)) => all.absorb(one),
+            (slot @ None, one) => *slot = one,
+            _ => {}
+        }
+        match (&mut self.streams, other.streams) {
+            (Some(all), Some(mut one)) => all.append(&mut one),
+            (slot @ None, one) => *slot = one,
+            _ => {}
+        }
+    }
+
+    /// Closes the hierarchy: computes the spill-backed tail alphas and
+    /// (under retain) rebuilds the exact fact tables. Fleet root only.
+    pub fn into_analysis(mut self) -> StreamedAnalysis {
+        if let Some(spill) = &mut self.size_spill {
+            self.summary.size_tail_alpha = spill_alpha(spill);
+        }
+        if let Some(spill) = &mut self.duration_spill {
+            self.summary.duration_tail_alpha = spill_alpha(spill);
+        }
+        let trace_set = self.streams.map(TraceSet::build);
+        StreamedAnalysis {
+            summary: self.summary,
+            trace_set,
+        }
+    }
+}
+
 /// The full set of per-machine sinks, shared by the collection-server
 /// threads: a [`ShipmentConsumer`] whose machines are fixed up front so
 /// that concurrent servers contend only on the one sink a shipment
@@ -423,13 +511,21 @@ impl AnalysisSet {
     /// depend on server-thread interleaving — and produces the summary
     /// (plus the exact fact tables under `retain`).
     pub fn finish(self) -> StreamedAnalysis {
+        self.finish_shard().into_analysis()
+    }
+
+    /// Merges every sink into a [`ShardSummary`] — the shard tier of the
+    /// hierarchical reduce. Tail alphas and fact tables are deferred to
+    /// [`ShardSummary::into_analysis`] at the fleet root.
+    pub fn finish_shard(self) -> ShardSummary {
         let _span = self
             .telemetry
             .span_child(Phase::Analysis, "analysis.finish");
-        let mut summary = StudySummary::default();
-        let mut size_spill: Option<SpillRuns> = None;
-        let mut duration_spill: Option<SpillRuns> = None;
-        let mut streams: Option<Vec<MachineStream>> = self.retain.then(Vec::new);
+        let mut shard = ShardSummary {
+            streams: self.retain.then(Vec::new),
+            ..ShardSummary::default()
+        };
+        let summary = &mut shard.summary;
         for sink in self.sinks {
             if sink.is_poisoned() {
                 summary.poisoned_sinks += 1;
@@ -450,26 +546,19 @@ impl AnalysisSet {
             summary.peak_open_sessions += ms.peak_open_sessions;
             summary.peak_parked_records += ms.peak_parked_records;
             summary.peak_state_bytes += ms.peak_state_bytes;
-            match &mut size_spill {
-                None => size_spill = Some(ms.size_spill),
+            match &mut shard.size_spill {
+                None => shard.size_spill = Some(ms.size_spill),
                 Some(all) => all.absorb(ms.size_spill),
             }
-            match &mut duration_spill {
-                None => duration_spill = Some(ms.duration_spill),
+            match &mut shard.duration_spill {
+                None => shard.duration_spill = Some(ms.duration_spill),
                 Some(all) => all.absorb(ms.duration_spill),
             }
-            if let (Some(streams), Some((records, names))) = (&mut streams, ms.retained) {
+            if let (Some(streams), Some((records, names))) = (&mut shard.streams, ms.retained) {
                 streams.push((ms.machine, records, names));
             }
         }
-        if let Some(spill) = &mut size_spill {
-            summary.size_tail_alpha = spill_alpha(spill);
-        }
-        if let Some(spill) = &mut duration_spill {
-            summary.duration_tail_alpha = spill_alpha(spill);
-        }
-        let trace_set = streams.map(TraceSet::build);
-        StreamedAnalysis { summary, trace_set }
+        shard
     }
 }
 

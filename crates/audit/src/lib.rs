@@ -66,6 +66,13 @@ pub mod accounts {
     pub const ANALYSIS_RECORDS: &str = "analysis.records";
     /// Fleet-global: per-machine delivered sums vs the pool's total.
     pub const POOL_RECORDS: &str = "pool.records";
+    /// Shard tier: the shard's machines' delivered sums vs the shard
+    /// collector pool's own total — the per-shard leg of the sharded
+    /// roll-up.
+    pub const SHARD_RECORDS: &str = "shard.records";
+    /// Fleet root of the sharded roll-up: per-shard pool totals vs the
+    /// fleet-merged total.
+    pub const FLEET_ROLLUP_RECORDS: &str = "fleet.rollup-records";
 }
 
 /// One account's running debit and credit totals.

@@ -17,6 +17,15 @@
 //! (see [`gate`]). The whole `nt-obs` layer rides
 //! the study hot paths, so this is the regression tripwire proving the
 //! Off configuration stays free.
+//!
+//! The gate also covers the sharded collection tree: a 4-shard smoke
+//! study, normalised against the flat streaming study measured beside
+//! it on the same single worker thread, must stay within
+//! `NT_BENCH_SHARD_TOLERANCE` percent (default 25 — the tree spawns
+//! twelve collector threads, so it wears more scheduler noise than the
+//! single-threaded telemetry gate) of the checked-in ratio. That pins
+//! the cost of the tree itself: the extra pools and the hierarchical
+//! merge, not the machines.
 
 use std::time::Instant;
 
@@ -93,10 +102,6 @@ fn baseline_value(json: &str, key: &str) -> Option<u128> {
 /// while a real regression on the instrumented simulate path moves
 /// the ratio.
 fn gate(baseline_path: &str) {
-    let tolerance: f64 = std::env::var("NT_BENCH_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3.0);
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("bench gate needs {baseline_path}: {e}"));
     let baseline_min = |name: &str| -> f64 {
@@ -104,20 +109,43 @@ fn gate(baseline_path: &str) {
             panic!("baseline entry for {name}; regenerate with NT_BENCH_WRITE=1")
         }) as f64
     };
-    let baseline_ratio = baseline_min("gate_smoke_serial") / baseline_min("gate_reference");
-    // A real regression is systematic: it shows up in every measurement
-    // round. Host noise is not: it spikes one round and misses the next.
-    // Up to three rounds run, and the best one is judged — a >3% true
-    // slowdown still fails all three.
+    gate_ratio(
+        "telemetry-off overhead",
+        baseline_min("gate_smoke_serial") / baseline_min("gate_reference"),
+        env_tolerance("NT_BENCH_TOLERANCE", 3.0),
+        gate_measurements,
+    );
+    gate_ratio(
+        "sharded-tree overhead",
+        baseline_min("gate_sharded") / baseline_min("gate_sharded_reference"),
+        env_tolerance("NT_BENCH_SHARD_TOLERANCE", 25.0),
+        gate_sharded_measurements,
+    );
+}
+
+fn env_tolerance(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Judges one (numerator, reference) ratio against its baseline.
+///
+/// A real regression is systematic: it shows up in every measurement
+/// round. Host noise is not: it spikes one round and misses the next.
+/// Up to three rounds run, and the best one is judged — a true slowdown
+/// beyond the budget still fails all three.
+fn gate_ratio(what: &str, baseline_ratio: f64, tolerance: f64, measure: fn() -> (u128, u128)) {
     let mut best_delta = f64::INFINITY;
     for round in 1..=3 {
-        let (study, reference) = gate_measurements();
-        let current_ratio = study as f64 / reference as f64;
+        let (numerator, reference) = measure();
+        let current_ratio = numerator as f64 / reference as f64;
         let delta = 100.0 * (current_ratio - baseline_ratio) / baseline_ratio;
         best_delta = best_delta.min(delta);
         let verdict = if delta > tolerance { "FAIL" } else { "ok" };
         eprintln!(
-            "bench gate round {round}: ratio {current_ratio:.3} vs baseline \
+            "bench gate [{what}] round {round}: ratio {current_ratio:.3} vs baseline \
              {baseline_ratio:.3} ({delta:+.1}%, budget {tolerance}%) {verdict}",
         );
         if best_delta <= tolerance {
@@ -126,7 +154,7 @@ fn gate(baseline_path: &str) {
     }
     assert!(
         best_delta <= tolerance,
-        "telemetry-off overhead exceeds the {tolerance}% budget in every round; \
+        "{what} exceeds the {tolerance}% budget in every round; \
          if the regression is intended, regenerate the baseline with NT_BENCH_WRITE=1"
     );
 }
@@ -172,6 +200,43 @@ fn gate_measurements() -> (u128, u128) {
         // The first blocks warm the allocator and caches; skip them.
         if block >= 2 {
             ratios.push((study_ns, reference_ns));
+        }
+    }
+    ratios.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
+    ratios[ratios.len() / 2]
+}
+
+/// Times the sharded-tree gate's two measurements, interleaved like
+/// [`gate_measurements`]: a 4-shard smoke study (numerator) against the
+/// flat streaming study (reference), both on one worker thread so the
+/// only difference is the tree — four 3-server pools instead of one,
+/// plus the shard → aggregator → fleet merge.
+fn gate_sharded_measurements() -> (u128, u128) {
+    use nt_study::ShardOptions;
+    let config = StudyConfig::smoke_test(13);
+    let serial = StreamOptions {
+        workers: Some(1),
+        ..StreamOptions::default()
+    };
+    let tree = ShardOptions {
+        shards: 4,
+        workers: Some(1),
+        ..ShardOptions::default()
+    };
+    let mut ratios = Vec::new();
+    for block in 0..6 {
+        let mut flat_ns = u128::MAX;
+        let mut tree_ns = u128::MAX;
+        for _round in 0..2 {
+            let start = Instant::now();
+            std::hint::black_box(Study::run_streaming(&config, &serial).total_records);
+            flat_ns = flat_ns.min(start.elapsed().as_nanos());
+            let start = Instant::now();
+            std::hint::black_box(Study::run_sharded(&config, &tree).data.total_records);
+            tree_ns = tree_ns.min(start.elapsed().as_nanos());
+        }
+        if block >= 1 {
+            ratios.push((tree_ns, flat_ns));
         }
     }
     ratios.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
@@ -297,6 +362,19 @@ fn main() {
     samples.push(time("smoke_study_serial", 1, || {
         Study::run_with_workers(&config, 1).total_records
     }));
+    // The same study through the sharded collection tree — the whole
+    // agent → shard → aggregator → fleet reduction, auto-sized workers.
+    samples.push(time("sharded_study_smoke", 1, || {
+        Study::run_sharded(
+            &config,
+            &nt_study::ShardOptions {
+                shards: 4,
+                ..nt_study::ShardOptions::default()
+            },
+        )
+        .data
+        .total_records
+    }));
 
     // Context the timings need: stream volume and the streaming memory
     // footprint at this scale.
@@ -317,6 +395,7 @@ fn main() {
 
     if std::env::var("NT_BENCH_WRITE").is_ok() {
         let (gate_study, gate_reference) = gate_measurements();
+        let (gate_sharded, gate_sharded_reference) = gate_sharded_measurements();
         let path = baseline_path;
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"iterations\": {},\n", iterations()));
@@ -330,6 +409,10 @@ fn main() {
         }
         out.push_str(&format!("  \"gate_smoke_serial_min_ns\": {gate_study},\n"));
         out.push_str(&format!("  \"gate_reference_min_ns\": {gate_reference},\n"));
+        out.push_str(&format!("  \"gate_sharded_min_ns\": {gate_sharded},\n"));
+        out.push_str(&format!(
+            "  \"gate_sharded_reference_min_ns\": {gate_sharded_reference},\n"
+        ));
         for (i, (k, v)) in extras.iter().enumerate() {
             let comma = if i + 1 == extras.len() { "" } else { "," };
             out.push_str(&format!("  \"{k}\": {v}{comma}\n"));

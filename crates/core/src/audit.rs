@@ -33,6 +33,7 @@ use nt_audit::{accounts, Imbalance, Ledger};
 
 use crate::config::StudyConfig;
 use crate::replay::{replay, ReplayConfig, ReplayReport};
+use crate::shard::{ShardOptions, ShardedStudyData};
 use crate::study::{StreamOptions, StreamedStudyData, Study, StudyFault};
 
 /// A streamed study together with its reconciled conservation ledgers.
@@ -142,6 +143,85 @@ impl Study {
         Ok(AuditedStudy {
             data,
             ledgers,
+            fleet,
+        })
+    }
+}
+
+/// A sharded study with reconciled conservation ledgers at every tier:
+/// machine, shard collector, and fleet root.
+pub struct ShardedAudit {
+    /// The study output (sharded streaming pipeline).
+    pub data: ShardedStudyData,
+    /// One reconciled ledger per machine, in machine order.
+    pub ledgers: Vec<Ledger>,
+    /// One reconciled ledger per shard collector, in shard order.
+    pub shard_ledgers: Vec<Ledger>,
+    /// The fleet-root ledger: the flat pool account plus the sharded
+    /// roll-up account.
+    pub fleet: Ledger,
+}
+
+/// Builds the three ledger tiers of a sharded run. Public so the audit
+/// suite can rebuild ledgers from deliberately perturbed shard reports
+/// and prove the reconciliation names the offending shard.
+///
+/// - Each **machine** ledger posts the full per-layer accounts, exactly
+///   like the flat audit.
+/// - Each **shard** ledger balances [`accounts::SHARD_RECORDS`]: the
+///   shard's machines' delivered records (debit) against the shard
+///   pool's own head-count (credit).
+/// - The **fleet** ledger balances [`accounts::POOL_RECORDS`] (every
+///   machine's deliveries vs the fleet total, as in the flat audit) and
+///   [`accounts::FLEET_ROLLUP_RECORDS`] (per-shard pool totals vs the
+///   fleet total) — the roll-up leg that makes a drifting shard visible
+///   at the root even when every machine balances.
+pub fn sharded_ledgers(data: &ShardedStudyData) -> (Vec<Ledger>, Vec<Ledger>, Ledger) {
+    let (ledgers, mut fleet) = build_ledgers(&data.data);
+    let mut shard_ledgers = Vec::with_capacity(data.shards.len());
+    for report in &data.shards {
+        let mut ledger = Ledger::new(format!("shard-{}", report.shard));
+        for m in &data.data.machines[report.machines.clone()] {
+            ledger.debit(accounts::SHARD_RECORDS, m.loss.delivered);
+        }
+        ledger.credit(accounts::SHARD_RECORDS, report.total_records as u64);
+        shard_ledgers.push(ledger);
+        fleet.debit(accounts::FLEET_ROLLUP_RECORDS, report.total_records as u64);
+    }
+    fleet.credit(
+        accounts::FLEET_ROLLUP_RECORDS,
+        data.data.total_records as u64,
+    );
+    (ledgers, shard_ledgers, fleet)
+}
+
+impl Study {
+    /// [`Study::run_sharded`] with end-of-run conservation auditing
+    /// across all three tiers. Reconciliation order is bottom-up —
+    /// machines, then shards, then the fleet root — so the first
+    /// [`AuditFailure::Drift`] names the lowest tier that broke.
+    pub fn run_sharded_audited(
+        config: &StudyConfig,
+        options: &ShardOptions,
+    ) -> Result<ShardedAudit, AuditFailure> {
+        let data = Self::try_run_sharded(config, options)?;
+        let (ledgers, shard_ledgers, fleet) = sharded_ledgers(&data);
+        for ledger in ledgers
+            .iter()
+            .chain(shard_ledgers.iter())
+            .chain(std::iter::once(&fleet))
+        {
+            if let Err(imbalance) = ledger.reconcile() {
+                return Err(AuditFailure::Drift {
+                    imbalance,
+                    report: ledger.report(),
+                });
+            }
+        }
+        Ok(ShardedAudit {
+            data,
+            ledgers,
+            shard_ledgers,
             fleet,
         })
     }

@@ -126,6 +126,34 @@ impl StudyConfig {
         c
     }
 
+    /// An org-scale deployment: `machines` workstations drawn from the
+    /// five §2 usage categories in the paper's 10/12/14/5/4 proportions
+    /// (largest-remainder apportionment, so `org_scale(seed, 45)` has
+    /// exactly the [`StudyConfig::paper_scale`] roster shape).
+    ///
+    /// Per-machine content is kept at smoke scale — the point of this
+    /// preset is fleet *width* for the sharded collection tree, and a
+    /// 10,000-machine run at paper-scale depth would be days of
+    /// simulation. Raise `files_per_volume`/`duration` explicitly for a
+    /// production-shaped run.
+    pub fn org_scale(seed: u64, machines: usize) -> Self {
+        let counts = UsageCategory::paper_mix(machines);
+        let mut roster = Vec::with_capacity(machines);
+        for (&category, &count) in UsageCategory::ALL.iter().zip(counts.iter()) {
+            for i in 0..count {
+                roster.push(MachineSpec::new(category, i));
+            }
+        }
+        StudyConfig {
+            machines: roster,
+            duration: SimDuration::from_secs(300),
+            snapshot_interval: SimDuration::from_secs(120),
+            files_per_volume: 400,
+            web_cache_files: 50,
+            ..Self::smoke_test(seed)
+        }
+    }
+
     /// A tiny preset for unit tests and doc tests: one machine per
     /// category, a few minutes of tracing.
     pub fn smoke_test(seed: u64) -> Self {
@@ -175,6 +203,26 @@ mod tests {
         let s = StudyConfig::smoke_test(1);
         assert_eq!(s.machines.len(), 5);
         assert!(s.files_per_volume < e.files_per_volume);
+    }
+
+    #[test]
+    fn org_scale_follows_the_paper_mix() {
+        let c = StudyConfig::org_scale(9, 1_000);
+        assert_eq!(c.machines.len(), 1_000);
+        let count = |cat| c.machines.iter().filter(|m| m.category == cat).count();
+        assert_eq!(count(UsageCategory::WalkUp), 222);
+        assert_eq!(count(UsageCategory::Personal), 311);
+        assert_eq!(count(UsageCategory::Scientific), 89);
+        // At 45 machines the roster is exactly the paper deployment.
+        let paper = StudyConfig::paper_scale(9);
+        let small = StudyConfig::org_scale(9, 45);
+        let cats = |c: &StudyConfig| {
+            c.machines
+                .iter()
+                .map(|m| format!("{:?}", m.category))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cats(&small), cats(&paper));
     }
 
     #[test]

@@ -26,10 +26,14 @@ pub mod fault;
 pub mod replay;
 pub mod report;
 pub mod run;
+pub mod shard;
 pub mod study;
 pub mod synthetic;
 
-pub use audit::{differential_check, AuditFailure, AuditedStudy, DifferentialReport, TableDrift};
+pub use audit::{
+    differential_check, sharded_ledgers, AuditFailure, AuditedStudy, DifferentialReport,
+    ShardedAudit, TableDrift,
+};
 pub use config::{MachineSpec, StudyConfig};
 pub use fault::{FaultPlan, FaultSchedule, MachineFaults};
 pub use nt_obs::{
@@ -37,6 +41,7 @@ pub use nt_obs::{
 };
 pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
 pub use run::MachineRun;
+pub use shard::{ShardOptions, ShardReport, ShardedStudyData};
 pub use study::{
     LossReport, MachineOutput, StreamOptions, StreamedStudyData, Study, StudyData, StudyFault,
 };

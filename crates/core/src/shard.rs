@@ -1,0 +1,365 @@
+//! The sharded collection tree: agent → shard collector → aggregator →
+//! fleet.
+//!
+//! The paper traced 45 desktops through three collection servers; the
+//! org-scale question is what the same pipeline looks like at 1,000 or
+//! 10,000 machines. This module partitions the fleet into contiguous
+//! shards, gives each shard its own three-server [`StreamingPool`] and
+//! [`AnalysisSet`] (so per-shard analysis state is bounded by the
+//! shard's machine count, not the fleet's), runs every machine
+//! simulation on one fleet-wide work-stealing pool
+//! ([`nt_trace::steal`]), and reduces the per-shard
+//! [`ShardSummary`] partials hierarchically — shards into aggregators,
+//! aggregators into the fleet root, where tail alphas and (under
+//! retain) the exact fact tables are computed once.
+//!
+//! The load-bearing invariant: **shard count and worker count are pure
+//! performance knobs.** Every machine derives its faults from its fleet
+//! index and ships through a 3-server pool whose outage windows come
+//! from one shared [`FaultSchedule`], so each machine's experience is
+//! identical to the flat topology's; and every aggregate the sinks keep
+//! is integer or min/max state, so the hierarchical merge is exact, not
+//! merely close. `tests/shard_scale.rs` pins this: digests of the fact
+//! tables, name tables and loss ledgers are bit-identical across shard
+//! counts 1/4/8 and worker counts 1/N.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nt_analysis::stream::{AnalysisSet, ShardSummary, StreamConfig};
+use nt_obs::{MachineTelemetry, Telemetry};
+use nt_trace::{ShipmentConsumer, StreamingPool};
+
+use crate::config::StudyConfig;
+use crate::fault::FaultSchedule;
+use crate::run::MachineRun;
+use crate::study::{MachineOutput, StreamedStudyData, Study, StudyFault};
+
+/// Knobs of the sharded driver. The defaults reproduce the flat
+/// topology (one shard, auto-sized workers).
+#[derive(Clone, Debug)]
+pub struct ShardOptions {
+    /// Number of shard collectors; clamped to `1..=machines`.
+    pub shards: usize,
+    /// Worker threads for the fleet-wide work-stealing pool; `None`
+    /// sizes like [`Study::run`].
+    pub workers: Option<usize>,
+    /// Shards merged per aggregator at the middle tier.
+    pub aggregator_fanout: usize,
+    /// Keep raw records and rebuild the exact fact tables (identity
+    /// testing only — defeats the memory bound).
+    pub retain: bool,
+    /// Spill directory for the tail-analysis sample runs; shared across
+    /// shards (run files are namespaced by machine id).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            shards: 1,
+            workers: None,
+            aggregator_fanout: 4,
+            retain: false,
+            spill_dir: None,
+        }
+    }
+}
+
+/// What one shard contributed, before its partial was merged away.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Fleet machine indices this shard collected, `[start, end)`.
+    pub machines: std::ops::Range<usize>,
+    /// Records the shard's sinks analysed.
+    pub records: u64,
+    /// Records shipped through the shard's pool (its head-count).
+    pub total_records: usize,
+    /// Compressed footprint at the shard's collection servers, bytes.
+    pub stored_bytes: usize,
+    /// Peak live analysis state across the shard's sinks, bytes — the
+    /// quantity the per-shard memory budget bounds.
+    pub peak_state_bytes: usize,
+}
+
+/// A sharded streaming run: the fleet-level data (same shape as the
+/// flat [`Study::run_streaming`] output) plus the per-tier accounting.
+pub struct ShardedStudyData {
+    /// The fleet-root study data, bit-identical to a flat run.
+    pub data: StreamedStudyData,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Aggregators the middle tier used (`ceil(shards / fanout)`).
+    pub aggregators: usize,
+}
+
+/// Contiguous, near-even split of `0..n` into `k` ranges (the first
+/// `n % k` get one extra).
+pub(crate) fn shard_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.clamp(1, n.max(1));
+    let base = n / k;
+    let extra = n % k;
+    let mut next = 0;
+    (0..k)
+        .map(|s| {
+            let len = base + usize::from(s < extra);
+            let range = next..next + len;
+            next += len;
+            range
+        })
+        .collect()
+}
+
+impl Study {
+    /// [`Study::run_streaming`] over the sharded collection tree.
+    pub fn run_sharded(config: &StudyConfig, options: &ShardOptions) -> ShardedStudyData {
+        Self::try_run_sharded(config, options).unwrap_or_else(|fault| panic!("{fault}"))
+    }
+
+    /// [`Study::run_sharded`], with worker and collection-server panics
+    /// surfaced as a [`StudyFault`] instead of re-raised.
+    pub fn try_run_sharded(
+        config: &StudyConfig,
+        options: &ShardOptions,
+    ) -> Result<ShardedStudyData, StudyFault> {
+        let n = config.machines.len();
+        let workers = options
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            })
+            .min(n.max(1));
+        let ranges = shard_ranges(n, options.shards);
+        // One schedule for the whole fleet, materialized exactly like
+        // the flat path's (three servers): machine faults key off the
+        // fleet index and every shard's pool replays the same collector
+        // outage windows, so a machine cannot tell how many shards the
+        // tree has.
+        let schedule = FaultSchedule::materialize(config, 3);
+        let analysis_telemetry = match config.telemetry.is_on() {
+            true => Telemetry::profiler(),
+            false => Telemetry::off(),
+        };
+        let consumers: Vec<Arc<AnalysisSet>> = ranges
+            .iter()
+            .map(|r| {
+                let ids: Vec<u32> = (r.start as u32..r.end as u32).collect();
+                Arc::new(AnalysisSet::new(
+                    &ids,
+                    &StreamConfig {
+                        retain: options.retain,
+                        spill_dir: options.spill_dir.clone(),
+                        telemetry: analysis_telemetry.clone(),
+                        ..StreamConfig::default()
+                    },
+                ))
+            })
+            .collect();
+        let pools: Vec<StreamingPool> = consumers
+            .iter()
+            .map(|c| {
+                StreamingPool::start_with_outages(
+                    3,
+                    schedule.collectors.clone(),
+                    Arc::clone(c) as Arc<dyn ShipmentConsumer>,
+                )
+            })
+            .collect();
+
+        // Fleet index → owning shard, for the machine tasks.
+        let shard_of: Vec<usize> = ranges
+            .iter()
+            .enumerate()
+            .flat_map(|(s, r)| r.clone().map(move |_| s))
+            .collect();
+
+        // Every machine simulation, fleet-wide, on one stealing pool:
+        // a shard of cheap WalkUp machines finishes early and its
+        // workers drain the Scientific shard's backlog.
+        let (outputs, panic) = nt_trace::steal::run_indexed(n, workers, |index| {
+            let spec = &config.machines[index];
+            let faults = schedule.for_machine(index);
+            let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
+            let mut sink = pools[shard_of[index]].handle_for(run.id);
+            run.simulate_with_faults(config, &faults, &mut sink);
+            MachineOutput {
+                id: run.id,
+                category: run.category,
+                snapshots: std::mem::take(&mut run.snapshots),
+                io: run.io_metrics(),
+                cache: run.cache_metrics(),
+                vm: run.vm_metrics(),
+                loss: run.loss_ledger(),
+                residual_dirty_bytes: run.residual_dirty_bytes(),
+                telemetry: run.telemetry_report(),
+            }
+        });
+
+        // Join every shard's servers before surfacing any fault — a
+        // panicked machine must not leak forwarding threads.
+        let mut totals = Vec::with_capacity(pools.len());
+        let mut collection_fault = None;
+        for pool in pools {
+            match pool.finish() {
+                Ok(t) => totals.push(t),
+                Err(fault) => {
+                    collection_fault.get_or_insert(fault);
+                }
+            }
+        }
+        if let Some(p) = panic {
+            return Err(StudyFault::Worker(format!(
+                "machine {}: {}",
+                p.index, p.message
+            )));
+        }
+        if let Some(fault) = collection_fault {
+            return Err(fault.into());
+        }
+        let mut machines: Vec<MachineOutput> = outputs.into_iter().flatten().collect();
+        machines.sort_by_key(|m| m.id);
+
+        // Shard tier: close each shard's sinks into a mergeable partial.
+        let mut shard_summaries: Vec<ShardSummary> = Vec::with_capacity(consumers.len());
+        let mut shards = Vec::with_capacity(consumers.len());
+        for (s, consumer) in consumers.into_iter().enumerate() {
+            let consumer = Arc::try_unwrap(consumer)
+                .unwrap_or_else(|_| panic!("server threads still hold shard {s} after finish"));
+            let partial = consumer.finish_shard();
+            shards.push(ShardReport {
+                shard: s,
+                machines: ranges[s].clone(),
+                records: partial.summary.records,
+                total_records: totals[s].total_records,
+                stored_bytes: totals[s].stored_bytes,
+                peak_state_bytes: partial.summary.peak_state_bytes,
+            });
+            shard_summaries.push(partial);
+        }
+
+        // Aggregator tier: contiguous groups of `fanout` shards merge
+        // first, then the fleet root merges the aggregators. Exactness
+        // of the partial merge makes this tree shape (or any other)
+        // invisible in the result.
+        let fanout = options.aggregator_fanout.max(1);
+        let mut aggregators_tier: Vec<ShardSummary> = Vec::new();
+        let mut iter = shard_summaries.into_iter().peekable();
+        while iter.peek().is_some() {
+            let mut aggregator = ShardSummary::default();
+            for partial in iter.by_ref().take(fanout) {
+                aggregator.merge(partial);
+            }
+            aggregators_tier.push(aggregator);
+        }
+        let aggregators = aggregators_tier.len();
+        let mut fleet = ShardSummary::default();
+        for aggregator in aggregators_tier {
+            fleet.merge(aggregator);
+        }
+        let analysis = fleet.into_analysis();
+
+        let profile = crate::study::fleet_profile(&machines, &analysis_telemetry);
+        write_sharded_telemetry(config, &machines, &shard_of);
+        let total_records = shards.iter().map(|s| s.total_records).sum();
+        let stored_bytes = shards.iter().map(|s| s.stored_bytes).sum();
+        Ok(ShardedStudyData {
+            data: StreamedStudyData {
+                config: config.clone(),
+                summary: analysis.summary,
+                trace_set: analysis.trace_set,
+                machines,
+                total_records,
+                stored_bytes,
+                profile,
+            },
+            shards,
+            aggregators,
+        })
+    }
+}
+
+/// The sharded counterpart of the flat telemetry export: rows carry
+/// `shard:<k>` scopes between the category and machine scopes. Export
+/// must never fail the study; errors are reported and swallowed.
+fn write_sharded_telemetry(config: &StudyConfig, machines: &[MachineOutput], shard_of: &[usize]) {
+    let Some(dir) = config.telemetry.options().and_then(|o| o.dir.as_ref()) else {
+        return;
+    };
+    let labelled: Vec<(u32, String, usize, &MachineTelemetry)> = machines
+        .iter()
+        .filter_map(|m| {
+            m.telemetry.as_ref().map(|t| {
+                let shard = shard_of.get(m.id.0 as usize).copied().unwrap_or(0);
+                (m.id.0, format!("{:?}", m.category), shard, t)
+            })
+        })
+        .collect();
+    let borrowed: Vec<(u32, &str, usize, &MachineTelemetry)> = labelled
+        .iter()
+        .map(|(id, cat, shard, t)| (*id, cat.as_str(), *shard, *t))
+        .collect();
+    let rows = nt_obs::export::sharded_rows(&borrowed);
+    let path = dir.join("timeseries.jsonl");
+    if let Err(e) = nt_obs::write_timeseries_jsonl(&path, &rows) {
+        eprintln!("nt-obs: cannot write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StreamOptions;
+
+    #[test]
+    fn shard_ranges_cover_contiguously() {
+        for (n, k) in [(45, 8), (10, 3), (3, 8), (1_000, 8), (5, 1), (0, 4)] {
+            let ranges = shard_ranges(n, k);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "n={n} k={k}");
+                next = r.end;
+            }
+            assert_eq!(next, n, "n={n} k={k}");
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "near-even split: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn one_shard_equals_the_flat_streaming_run() {
+        let config = StudyConfig::smoke_test(17);
+        let flat = Study::run_streaming(&config, &StreamOptions::default());
+        let sharded = Study::run_sharded(&config, &ShardOptions::default());
+        assert_eq!(sharded.shards.len(), 1);
+        assert_eq!(sharded.aggregators, 1);
+        assert_eq!(sharded.data.total_records, flat.total_records);
+        assert_eq!(sharded.data.stored_bytes, flat.stored_bytes);
+        assert_eq!(sharded.data.summary, flat.summary);
+    }
+
+    #[test]
+    fn shard_reports_partition_the_head_count() {
+        let config = StudyConfig::smoke_test(18);
+        let sharded = Study::run_sharded(
+            &config,
+            &ShardOptions {
+                shards: 3,
+                ..ShardOptions::default()
+            },
+        );
+        assert_eq!(sharded.shards.len(), 3);
+        let per_shard: usize = sharded.shards.iter().map(|s| s.total_records).sum();
+        assert_eq!(per_shard, sharded.data.total_records);
+        let analysed: u64 = sharded.shards.iter().map(|s| s.records).sum();
+        assert_eq!(analysed, sharded.data.summary.records);
+        for s in &sharded.shards {
+            assert!(!s.machines.is_empty());
+            assert!(s.peak_state_bytes > 0);
+        }
+    }
+}

@@ -195,7 +195,7 @@ impl Study {
 }
 
 /// Merges every machine's profile with the study-side analysis profiler.
-fn fleet_profile(machines: &[MachineOutput], analysis: &Telemetry) -> RuntimeProfile {
+pub(crate) fn fleet_profile(machines: &[MachineOutput], analysis: &Telemetry) -> RuntimeProfile {
     let mut profile = RuntimeProfile::default();
     for m in machines {
         if let Some(t) = &m.telemetry {

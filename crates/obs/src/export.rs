@@ -53,6 +53,40 @@ pub fn fleet_rows(machines: &[(u32, &str, &MachineTelemetry)]) -> Vec<SeriesRow>
     rows
 }
 
+/// [`fleet_rows`] for a sharded deployment: each machine additionally
+/// carries the index of the shard collector it shipped through, and the
+/// output gains `shard:<k>` scopes between the category and machine
+/// rows — fleet first, categories next, shards in ascending index,
+/// machines last. Per-shard sums let an operator see which collector
+/// tier a fleet-level anomaly rolls up from.
+pub fn sharded_rows(machines: &[(u32, &str, usize, &MachineTelemetry)]) -> Vec<SeriesRow> {
+    let flat: Vec<(u32, &str, &MachineTelemetry)> = machines
+        .iter()
+        .map(|&(id, cat, _, t)| (id, cat, t))
+        .collect();
+    let mut rows = fleet_rows(&flat);
+    // Splice the shard scopes in before the per-machine rows.
+    let machine_rows = rows
+        .iter()
+        .position(|r| r.scope.starts_with("machine:"))
+        .unwrap_or(rows.len());
+    let mut shards: Vec<usize> = machines.iter().map(|&(_, _, s, _)| s).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    let mut shard_rows = Vec::new();
+    for shard in shards {
+        shard_rows.extend(sum_scope(
+            &format!("shard:{shard}"),
+            machines
+                .iter()
+                .filter(|&&(_, _, s, _)| s == shard)
+                .map(|&(_, _, _, t)| t),
+        ));
+    }
+    rows.splice(machine_rows..machine_rows, shard_rows);
+    rows
+}
+
 /// Sums one group of machines into per-series rows under `scope`.
 fn sum_scope<'a>(scope: &str, group: impl Iterator<Item = &'a MachineTelemetry>) -> Vec<SeriesRow> {
     // Preserve first-seen series order; the per-name maps keep stamps
@@ -171,6 +205,36 @@ mod tests {
         assert!(rows.iter().any(|r| r.scope == "machine:1"));
         // fleet + 2 categories + 2 machines, one series each.
         assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn sharded_rows_splice_shard_scopes_before_machines() {
+        let a = machine(0, &[(10, 1.0), (20, 2.0)]);
+        let b = machine(1, &[(10, 5.0)]);
+        let c = machine(2, &[(20, 4.0)]);
+        let rows = sharded_rows(&[
+            (0, "Pool", 0, &a),
+            (1, "Pool", 0, &b),
+            (2, "Personal", 1, &c),
+        ]);
+        let scopes: Vec<&str> = rows.iter().map(|r| r.scope.as_str()).collect();
+        assert_eq!(
+            scopes,
+            vec![
+                "fleet",
+                "category:Personal",
+                "category:Pool",
+                "shard:0",
+                "shard:1",
+                "machine:0",
+                "machine:1",
+                "machine:2",
+            ]
+        );
+        let shard0 = rows.iter().find(|r| r.scope == "shard:0").unwrap();
+        assert_eq!(shard0.series.points, vec![(10, 6.0), (20, 2.0)]);
+        let fleet = rows.iter().find(|r| r.scope == "fleet").unwrap();
+        assert_eq!(fleet.series.points, vec![(10, 6.0), (20, 6.0)]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod fault;
 pub mod pool;
 pub mod record;
 pub mod snapshot;
+pub mod steal;
 
 pub use agent::{AgentState, TraceAgent};
 pub use buffer::{TripleBuffer, BUFFER_CAPACITY};
@@ -37,6 +38,7 @@ pub use pool::{
 };
 pub use record::{NameRecord, TraceRecord, RECORD_SIZE};
 pub use snapshot::{Snapshot, SnapshotDiff, SnapshotWalker, WalkRecord};
+pub use steal::{run_indexed, TaskPanic};
 
 /// The study's filter driver: an [`nt_io::IoObserver`] that records
 /// everything into the agent's buffers.

@@ -41,6 +41,37 @@ impl UsageCategory {
         UsageCategory::Administrative,
         UsageCategory::Scientific,
     ];
+
+    /// The deployed 45-machine split across [`UsageCategory::ALL`] —
+    /// walk-up pool, group, personal, administrative, scientific.
+    pub const PAPER_SPLIT: [usize; 5] = [10, 12, 14, 5, 4];
+
+    /// Apportions `machines` across the categories in the paper's
+    /// 10/12/14/5/4 proportions (largest-remainder method, ties broken
+    /// in `ALL` order), returning the per-category counts. The counts
+    /// always sum to `machines`, and `paper_mix(45)` reproduces
+    /// [`UsageCategory::PAPER_SPLIT`] exactly — the org-scale roster is
+    /// the paper's deployment, scaled, not a new population model.
+    pub fn paper_mix(machines: usize) -> [usize; 5] {
+        const TOTAL: usize = 45;
+        let mut counts = [0usize; 5];
+        let mut assigned = 0;
+        // Integer part of each category's exact share …
+        for (i, &share) in Self::PAPER_SPLIT.iter().enumerate() {
+            counts[i] = machines * share / TOTAL;
+            assigned += counts[i];
+        }
+        // … then the leftover seats go to the largest remainders.
+        let mut order: Vec<usize> = (0..5).collect();
+        order.sort_by_key(|&i| {
+            let rem = (machines * Self::PAPER_SPLIT[i]) % TOTAL;
+            (std::cmp::Reverse(rem), i)
+        });
+        for &i in order.iter().cycle().take(machines - assigned) {
+            counts[i] += 1;
+        }
+        counts
+    }
 }
 
 /// Files the user's applications can target, sampled from the machine's
@@ -626,5 +657,24 @@ mod tests {
             }
         }
         assert!(share_ops > 0, "share traffic appears");
+    }
+    #[test]
+    fn paper_mix_apportions_exactly() {
+        assert_eq!(UsageCategory::paper_mix(45), UsageCategory::PAPER_SPLIT);
+        assert_eq!(UsageCategory::paper_mix(0), [0; 5]);
+        for n in [1usize, 5, 44, 46, 450, 1_000, 9_973, 10_000] {
+            let counts = UsageCategory::paper_mix(n);
+            assert_eq!(counts.iter().sum::<usize>(), n, "n={n}");
+            // Each category stays within one machine of its exact share.
+            for (i, &c) in counts.iter().enumerate() {
+                let exact = n as f64 * UsageCategory::PAPER_SPLIT[i] as f64 / 45.0;
+                assert!(
+                    (c as f64 - exact).abs() < 1.0,
+                    "n={n} cat={i}: {c} vs {exact}"
+                );
+            }
+        }
+        // Scaling by a whole multiple scales every category exactly.
+        assert_eq!(UsageCategory::paper_mix(450), [100, 120, 140, 50, 40]);
     }
 }

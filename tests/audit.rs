@@ -80,6 +80,78 @@ fn faulted_fleet_run_reconciles_to_zero_drift() {
 }
 
 #[test]
+fn sharded_run_reconciles_every_tier() {
+    // The three-tier books: machine ledgers, one ledger per shard
+    // collector, and the fleet root carrying both the flat pool account
+    // and the sharded roll-up account. A faulted 4-shard run must
+    // balance at every tier — loss is charged to explicit buckets on
+    // the machine, so nothing the shards forward can go missing.
+    let mut config = StudyConfig::smoke_test(404);
+    config.faults = nt_study::FaultPlan::lossy();
+    let audited = Study::run_sharded_audited(
+        &config,
+        &nt_study::ShardOptions {
+            shards: 4,
+            ..nt_study::ShardOptions::default()
+        },
+    )
+    .unwrap_or_else(|failure| panic!("{failure}"));
+    assert_eq!(audited.ledgers.len(), audited.data.data.machines.len());
+    assert_eq!(audited.shard_ledgers.len(), 4);
+    for (k, ledger) in audited.shard_ledgers.iter().enumerate() {
+        let entry = ledger
+            .entry(nt_audit::accounts::SHARD_RECORDS)
+            .expect("shard pool saw traffic");
+        assert!(entry.debit > 0, "shard {k} collected nothing");
+        assert_eq!(entry.drift(), 0, "shard {k} drifted");
+    }
+    let rollup = audited
+        .fleet
+        .entry(nt_audit::accounts::FLEET_ROLLUP_RECORDS)
+        .expect("roll-up account posted");
+    assert!(rollup.debit > 0);
+    assert_eq!(rollup.drift(), 0);
+}
+
+#[test]
+fn drifting_shard_is_named_by_the_rollup() {
+    // Injected drift: pretend shard 2's collector over-reported its
+    // head-count by 7 records. Rebuilding the books from the perturbed
+    // reports must flag the shard tier — and name shard 2 — while every
+    // machine ledger (built from untouched machine state) stays clean.
+    let config = StudyConfig::smoke_test(405);
+    let mut data = Study::run_sharded(
+        &config,
+        &nt_study::ShardOptions {
+            shards: 4,
+            ..nt_study::ShardOptions::default()
+        },
+    );
+    data.shards[2].total_records += 7;
+    let (machines, shards, fleet) = nt_study::sharded_ledgers(&data);
+    for ledger in &machines {
+        ledger.reconcile().expect("machine tier untouched");
+    }
+    let imbalance = shards
+        .iter()
+        .map(|l| l.reconcile())
+        .find_map(Result::err)
+        .expect("the cooked head-count must surface");
+    assert_eq!(imbalance.scope, "shard-2");
+    assert_eq!(imbalance.account, nt_audit::accounts::SHARD_RECORDS);
+    assert_eq!(
+        imbalance.credit - imbalance.debit,
+        7,
+        "credit exceeds the machines' deliveries by exactly the injection"
+    );
+    // The same lie is visible from the root: the roll-up leg debits the
+    // perturbed shard totals against the true fleet head-count.
+    let root = fleet.reconcile().unwrap_err();
+    assert_eq!(root.scope, "fleet");
+    assert_eq!(root.account, nt_audit::accounts::FLEET_ROLLUP_RECORDS);
+}
+
+#[test]
 fn differential_harness_is_clean_under_faults() {
     // Batch, streaming and replay legs over a faulted multi-machine run:
     // per-table drift must be zero and the two replays identical.

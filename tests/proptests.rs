@@ -749,3 +749,140 @@ proptest! {
         prop_assert_eq!(snap.file_count(), model.len());
     }
 }
+
+// ---------------------------------------------------------------------
+// Hierarchical merge: the sharded collection tree reduces per-machine
+// aggregates shard → aggregator → fleet, so the merge must be exactly
+// associative and insensitive to how machines are partitioned into
+// shards — not merely close up to float reassociation.
+// ---------------------------------------------------------------------
+
+use nt_analysis::schema::test_support::synthetic_trace_set;
+use nt_analysis::sizes::SizeAccumulator;
+use nt_analysis::{HistogramSketch, SpillRuns};
+
+/// Weighted samples tagged with an owning group (machine).
+fn tagged_samples() -> impl Strategy<Value = Vec<(f64, u64, u8)>> {
+    prop::collection::vec((1e-3f64..1e9, 1u64..1_000, 0u8..5), 0..200)
+}
+
+/// Merges group sketches `order`-wise with an arbitrary association:
+/// `splits` picks where the fold restarts a fresh sub-tree.
+fn merge_tree(groups: &[HistogramSketch], splits: &[bool]) -> HistogramSketch {
+    let mut subtrees: Vec<HistogramSketch> = Vec::new();
+    for (i, g) in groups.iter().enumerate() {
+        let fresh = subtrees.is_empty() || *splits.get(i).unwrap_or(&false);
+        if fresh {
+            subtrees.push(g.clone());
+        } else {
+            subtrees.last_mut().unwrap().merge(g);
+        }
+    }
+    let mut root = HistogramSketch::new();
+    for s in &subtrees {
+        root.merge(s);
+    }
+    root
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_associative_and_order_insensitive(
+        samples in tagged_samples(),
+        splits_a in prop::collection::vec(any::<bool>(), 5..6),
+        splits_b in prop::collection::vec(any::<bool>(), 5..6),
+    ) {
+        let mut groups = vec![HistogramSketch::new(); 5];
+        let mut whole = HistogramSketch::new();
+        for &(v, w, g) in &samples {
+            groups[g as usize].record_weighted(v, w);
+            whole.record_weighted(v, w);
+        }
+        // merge(a, merge(b, c)) == merge(merge(a, b), c), generalized:
+        // any two association trees over the same group order agree.
+        let a = merge_tree(&groups, &splits_a);
+        let b = merge_tree(&groups, &splits_b);
+        prop_assert_eq!(&a, &b);
+        // Order-insensitive: reversing the shard order changes nothing.
+        let reversed: Vec<HistogramSketch> = groups.iter().rev().cloned().collect();
+        let c = merge_tree(&reversed, &splits_a);
+        prop_assert_eq!(&a, &c);
+        // And the hierarchy is invisible: any tree equals the flat
+        // single-sketch ingest, fixed-point sum included.
+        prop_assert_eq!(&a, &whole);
+        prop_assert_eq!(a.sum(), whole.sum());
+    }
+
+    #[test]
+    fn accumulator_merge_is_shard_partition_insensitive(
+        shards_a in prop::collection::vec(0usize..4, 6..7),
+        shards_b in prop::collection::vec(0usize..4, 6..7),
+    ) {
+        // Six "machines", each with its own accumulator over its own
+        // slice of instances — the per-machine state the sinks build.
+        let ts = synthetic_trace_set(240, 97);
+        let instances = &ts.instances;
+        let machines: Vec<SizeAccumulator> = (0..6)
+            .map(|m| {
+                let mut acc = SizeAccumulator::new();
+                for inst in instances.iter().skip(m).step_by(6) {
+                    acc.push_instance(inst);
+                }
+                acc
+            })
+            .collect();
+        // Partitioning machines into shards, merging within each shard,
+        // then across shards in shard order must equal the flat
+        // machine-order merge — for *any* partition assignment.
+        let reduce = |assign: &[usize]| {
+            let mut shards: Vec<SizeAccumulator> =
+                (0..4).map(|_| SizeAccumulator::new()).collect();
+            for (m, acc) in machines.iter().enumerate() {
+                shards[assign[m]].merge(acc);
+            }
+            let mut fleet = SizeAccumulator::new();
+            for s in &shards {
+                fleet.merge(s);
+            }
+            fleet
+        };
+        let mut flat = SizeAccumulator::new();
+        for acc in &machines {
+            flat.merge(acc);
+        }
+        prop_assert_eq!(&reduce(&shards_a), &flat);
+        prop_assert_eq!(&reduce(&shards_b), &flat);
+    }
+
+    #[test]
+    fn spill_absorb_is_order_insensitive(
+        parts in prop::collection::vec(
+            prop::collection::vec(0.001f64..1e6, 0..40), 1..6),
+        order in any::<u64>(),
+    ) {
+        // The tail spills are merged shard-by-shard; the k-way sorted
+        // stream (and hence every order statistic the Hill estimator
+        // reads) must not depend on absorb order.
+        let build = |indices: &[usize]| {
+            let mut all = SpillRuns::new(16, None, "prop-absorb");
+            for &i in indices {
+                let mut one = SpillRuns::new(16, None, "prop-part");
+                for &v in &parts[i] {
+                    one.push(v);
+                }
+                all.absorb(one);
+            }
+            let mut out = Vec::new();
+            all.for_each_sorted(|v| out.push(v));
+            out
+        };
+        let forward: Vec<usize> = (0..parts.len()).collect();
+        let mut shuffled = forward.clone();
+        // Cheap deterministic shuffle from the seed.
+        for i in (1..shuffled.len()).rev() {
+            let j = (order.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(build(&forward), build(&shuffled));
+    }
+}
