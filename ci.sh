@@ -55,6 +55,10 @@ cargo test -q --offline --test filter_stack
 step "sharded scale-up (per-shard memory budget + shard/worker bit-identity)"
 cargo test -q --offline --release --test shard_scale
 
+step "trace warehouse (golden segment, corruption rejection, import, export parity)"
+cargo test -q --offline --test warehouse
+cargo test -q --offline --release --test determinism warehouse_reimport
+
 step "cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
 

@@ -30,6 +30,8 @@
 //!   studies never materialize the record stream.
 //! * [`paging`] — §9.2's paging-I/O burst analysis.
 //! * [`content`] — §5's file-system content analysis over snapshots.
+//! * [`dfg`] — directly-follows graphs over per-file event sequences;
+//!   doubles as the warehouse's structural conformance check.
 //! * [`dimensions`] — §4's dimension tables and drill-down cubes.
 //! * [`processes`] — §7's per-process activity characteristics.
 //! * [`profile`] — benchmark-configuration fitting (the §1 goal of
@@ -40,6 +42,7 @@ pub mod arrivals;
 pub mod burstiness;
 pub mod cdf;
 pub mod content;
+pub mod dfg;
 pub mod dimensions;
 pub mod gaps;
 pub mod latency;

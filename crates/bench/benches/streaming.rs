@@ -26,6 +26,13 @@
 //! single-threaded telemetry gate) of the checked-in ratio. That pins
 //! the cost of the tree itself: the extra pools and the hierarchical
 //! merge, not the machines.
+//!
+//! And it covers the NTT warehouse encoder: serializing 100k records
+//! into a segment, normalised against building the batch fact tables
+//! over the same records beside it, must stay within
+//! `NT_BENCH_WAREHOUSE_TOLERANCE` percent (default 25) of the
+//! checked-in ratio. That keeps "export the study while running it"
+//! cheap enough to leave on.
 
 use std::time::Instant;
 
@@ -120,6 +127,12 @@ fn gate(baseline_path: &str) {
         baseline_min("gate_sharded") / baseline_min("gate_sharded_reference"),
         env_tolerance("NT_BENCH_SHARD_TOLERANCE", 25.0),
         gate_sharded_measurements,
+    );
+    gate_ratio(
+        "warehouse encode overhead",
+        baseline_min("gate_warehouse") / baseline_min("gate_warehouse_reference"),
+        env_tolerance("NT_BENCH_WAREHOUSE_TOLERANCE", 25.0),
+        gate_warehouse_measurements,
     );
 }
 
@@ -243,6 +256,81 @@ fn gate_sharded_measurements() -> (u128, u128) {
     ratios[ratios.len() / 2]
 }
 
+/// Times the warehouse gate's two measurements, interleaved like the
+/// others: serializing 100k records into an NTT segment (numerator)
+/// against the validate-and-decode pass over those same bytes
+/// (reference). Both are linear scans of the same ~9 MB — checksum,
+/// fixed-width field moves — so ambient memory-bandwidth pressure moves
+/// them together and cancels in the ratio; a regression specific to the
+/// writer — interning, footer accounting, buffer growth — moves only
+/// the numerator.
+fn gate_warehouse_measurements() -> (u128, u128) {
+    use nt_warehouse::Segment;
+    let (records, names) = warehouse_stream_100k();
+    let encoded = encode_warehouse_segment(&records, &names);
+    let mut ratios = Vec::new();
+    for block in 0..8 {
+        let mut encode_ns = u128::MAX;
+        let mut reference_ns = u128::MAX;
+        for _round in 0..3 {
+            let start = Instant::now();
+            let seg = Segment::parse(encoded.clone()).expect("fresh segment is valid");
+            let decoded: u64 = seg
+                .reader()
+                .records()
+                .map(|v| v.to_record().expect("valid record").length)
+                .sum();
+            std::hint::black_box(decoded);
+            reference_ns = reference_ns.min(start.elapsed().as_nanos());
+            let start = Instant::now();
+            std::hint::black_box(encode_warehouse_segment(&records, &names).len());
+            encode_ns = encode_ns.min(start.elapsed().as_nanos());
+        }
+        if block >= 2 {
+            ratios.push((encode_ns, reference_ns));
+        }
+    }
+    ratios.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
+    ratios[ratios.len() / 2]
+}
+
+/// 100k records with one machine-run's kind mix: the smoke stream,
+/// tiled forward in time so timestamps stay monotone across copies.
+fn warehouse_stream_100k() -> (Vec<nt_trace::TraceRecord>, Vec<nt_trace::NameRecord>) {
+    let (base, names) = one_machine_stream();
+    let span = base.iter().map(|r| r.end_ticks).max().unwrap_or(0) + 1;
+    let mut records = Vec::with_capacity(100_000);
+    let mut shift = 0u64;
+    'fill: loop {
+        for r in &base {
+            if records.len() == 100_000 {
+                break 'fill;
+            }
+            let mut r = *r;
+            r.start_ticks += shift;
+            r.end_ticks += shift;
+            records.push(r);
+        }
+        shift += span;
+    }
+    (records, names)
+}
+
+/// One full export: agent-sized batches, names, footer and checksum.
+fn encode_warehouse_segment(
+    records: &[nt_trace::TraceRecord],
+    names: &[nt_trace::NameRecord],
+) -> Vec<u8> {
+    let mut w = nt_warehouse::SegmentWriter::new(0);
+    for chunk in records.chunks(3_000) {
+        w.push_batch(chunk);
+    }
+    for name in names {
+        w.push_name(name);
+    }
+    w.finish()
+}
+
 /// One machine-run's worth of records and names, built once.
 fn one_machine_stream() -> (Vec<nt_trace::TraceRecord>, Vec<nt_trace::NameRecord>) {
     let mut config = StudyConfig::smoke_test(9);
@@ -349,6 +437,13 @@ fn main() {
             .len()
     }));
 
+    // Warehouse encode: 100k records through the NTT segment writer —
+    // interning, batch table, footer accounting, checksum, all of it.
+    let (wrecords, wnames) = warehouse_stream_100k();
+    samples.push(time("warehouse_export_100k", 100_000, || {
+        encode_warehouse_segment(&wrecords, &wnames).len()
+    }));
+
     // End to end at smoke scale: full study, batch vs streaming driver.
     let config = StudyConfig::smoke_test(13);
     samples.push(time("smoke_study_batch", 1, || {
@@ -396,6 +491,7 @@ fn main() {
     if std::env::var("NT_BENCH_WRITE").is_ok() {
         let (gate_study, gate_reference) = gate_measurements();
         let (gate_sharded, gate_sharded_reference) = gate_sharded_measurements();
+        let (gate_warehouse, gate_warehouse_reference) = gate_warehouse_measurements();
         let path = baseline_path;
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"iterations\": {},\n", iterations()));
@@ -412,6 +508,10 @@ fn main() {
         out.push_str(&format!("  \"gate_sharded_min_ns\": {gate_sharded},\n"));
         out.push_str(&format!(
             "  \"gate_sharded_reference_min_ns\": {gate_sharded_reference},\n"
+        ));
+        out.push_str(&format!("  \"gate_warehouse_min_ns\": {gate_warehouse},\n"));
+        out.push_str(&format!(
+            "  \"gate_warehouse_reference_min_ns\": {gate_warehouse_reference},\n"
         ));
         for (i, (k, v)) in extras.iter().enumerate() {
             let comma = if i + 1 == extras.len() { "" } else { "," };

@@ -29,6 +29,7 @@ pub mod run;
 pub mod shard;
 pub mod study;
 pub mod synthetic;
+pub mod warehouse;
 
 pub use audit::{
     differential_check, sharded_ledgers, AuditFailure, AuditedStudy, DifferentialReport,
@@ -46,3 +47,4 @@ pub use study::{
     LossReport, MachineOutput, StreamOptions, StreamedStudyData, Study, StudyData, StudyFault,
 };
 pub use synthetic::SyntheticBench;
+pub use warehouse::WarehouseIngest;

@@ -52,6 +52,10 @@ pub struct ShardOptions {
     /// Spill directory for the tail-analysis sample runs; shared across
     /// shards (run files are namespaced by machine id).
     pub spill_dir: Option<PathBuf>,
+    /// Export the run as an NTT warehouse into this directory; shared
+    /// across shards (segment files are namespaced by machine id, and
+    /// each shard's sink only owns its own machine range).
+    pub warehouse: Option<PathBuf>,
 }
 
 impl Default for ShardOptions {
@@ -62,6 +66,7 @@ impl Default for ShardOptions {
             aggregator_fanout: 4,
             retain: false,
             spill_dir: None,
+            warehouse: None,
         }
     }
 }
@@ -159,14 +164,29 @@ impl Study {
                 ))
             })
             .collect();
+        let warehouse_sinks: Vec<Option<Arc<nt_warehouse::WarehouseSink>>> =
+            match &options.warehouse {
+                Some(dir) => ranges
+                    .iter()
+                    .map(|r| {
+                        let ids: Vec<u32> = (r.start as u32..r.end as u32).collect();
+                        nt_warehouse::WarehouseSink::create(dir, &ids).map(|s| Some(Arc::new(s)))
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => vec![None; ranges.len()],
+            };
         let pools: Vec<StreamingPool> = consumers
             .iter()
-            .map(|c| {
-                StreamingPool::start_with_outages(
-                    3,
-                    schedule.collectors.clone(),
-                    Arc::clone(c) as Arc<dyn ShipmentConsumer>,
-                )
+            .zip(&warehouse_sinks)
+            .map(|(c, w)| {
+                let consumer: Arc<dyn ShipmentConsumer> = match w {
+                    Some(sink) => Arc::new(crate::warehouse::Tee {
+                        analysis: Arc::clone(c),
+                        warehouse: Arc::clone(sink),
+                    }),
+                    None => Arc::clone(c) as Arc<dyn ShipmentConsumer>,
+                };
+                StreamingPool::start_with_outages(3, schedule.collectors.clone(), consumer)
             })
             .collect();
 
@@ -262,6 +282,26 @@ impl Study {
         }
         let analysis = fleet.into_analysis();
 
+        // Warehouse tier: each shard's sink writes its own machine range
+        // into the shared directory; the stats concatenate in machine
+        // order because shards are contiguous and ascending.
+        let warehouse_stats = match options.warehouse.is_some() {
+            true => {
+                let _span = analysis_telemetry
+                    .span_child(nt_obs::Phase::Warehouse, "warehouse.export_sharded");
+                let mut stats = Vec::with_capacity(n);
+                for (s, sink) in warehouse_sinks.into_iter().enumerate() {
+                    let sink = sink.expect("warehouse sinks exist for every shard");
+                    let sink = Arc::try_unwrap(sink).unwrap_or_else(|_| {
+                        panic!("the tee still holds shard {s}'s warehouse after finish")
+                    });
+                    stats.extend(sink.finish()?);
+                }
+                Some(stats)
+            }
+            false => None,
+        };
+
         let profile = crate::study::fleet_profile(&machines, &analysis_telemetry);
         write_sharded_telemetry(config, &machines, &shard_of);
         let total_records = shards.iter().map(|s| s.total_records).sum();
@@ -275,6 +315,7 @@ impl Study {
                 total_records,
                 stored_bytes,
                 profile,
+                warehouse: warehouse_stats,
             },
             shards,
             aggregators,

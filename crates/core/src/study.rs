@@ -51,6 +51,8 @@ pub enum StudyFault {
     Worker(String),
     /// A collection-server thread panicked.
     Collection(CollectionFault),
+    /// The NTT warehouse export could not be created or written.
+    Warehouse(nt_warehouse::NttError),
 }
 
 impl fmt::Display for StudyFault {
@@ -58,6 +60,7 @@ impl fmt::Display for StudyFault {
         match self {
             StudyFault::Worker(msg) => write!(f, "machine worker panicked: {msg}"),
             StudyFault::Collection(fault) => fault.fmt(f),
+            StudyFault::Warehouse(e) => write!(f, "warehouse export failed: {e}"),
         }
     }
 }
@@ -67,6 +70,12 @@ impl std::error::Error for StudyFault {}
 impl From<CollectionFault> for StudyFault {
     fn from(fault: CollectionFault) -> Self {
         StudyFault::Collection(fault)
+    }
+}
+
+impl From<nt_warehouse::NttError> for StudyFault {
+    fn from(e: nt_warehouse::NttError) -> Self {
+        StudyFault::Warehouse(e)
     }
 }
 
@@ -314,6 +323,11 @@ pub struct StreamOptions {
     pub spill_dir: Option<std::path::PathBuf>,
     /// Worker threads; `None` sizes like [`Study::run`].
     pub workers: Option<usize>,
+    /// Export the run as an NTT warehouse into this directory (created
+    /// if missing): every shipment is teed into a
+    /// [`nt_warehouse::WarehouseSink`] beside the live analysis, one
+    /// segment file per machine at finish.
+    pub warehouse: Option<std::path::PathBuf>,
 }
 
 /// What [`Study::run_streaming`] produces: the per-machine artefacts and
@@ -336,6 +350,9 @@ pub struct StreamedStudyData {
     /// Wall-clock attribution across the fleet plus the analysis ingest;
     /// all-zero with telemetry off.
     pub profile: RuntimeProfile,
+    /// Per-segment export stats, when [`StreamOptions::warehouse`] (or
+    /// the sharded twin) was set; in machine order.
+    pub warehouse: Option<Vec<nt_warehouse::SegmentStats>>,
 }
 
 impl StreamedStudyData {
@@ -391,11 +408,21 @@ impl Study {
                 ..StreamConfig::default()
             },
         ));
-        let pool = StreamingPool::start_with_outages(
-            3,
-            schedule.collectors.clone(),
-            Arc::clone(&consumer) as Arc<dyn ShipmentConsumer>,
-        );
+        let warehouse_sink = match &options.warehouse {
+            Some(dir) => Some(Arc::new(nt_warehouse::WarehouseSink::create(
+                dir,
+                &machine_ids,
+            )?)),
+            None => None,
+        };
+        let pool_consumer: Arc<dyn ShipmentConsumer> = match &warehouse_sink {
+            Some(sink) => Arc::new(crate::warehouse::Tee {
+                analysis: Arc::clone(&consumer),
+                warehouse: Arc::clone(sink),
+            }),
+            None => Arc::clone(&consumer) as Arc<dyn ShipmentConsumer>,
+        };
+        let pool = StreamingPool::start_with_outages(3, schedule.collectors.clone(), pool_consumer);
 
         let (mut machines, worker_fault) =
             run_machines(config, workers, &schedule, |id| pool.handle_for(id));
@@ -407,6 +434,15 @@ impl Study {
         if let Some(fault) = worker_fault {
             return Err(fault);
         }
+        let warehouse_stats = match warehouse_sink {
+            Some(sink) => {
+                let _span = analysis_telemetry.span_child(Phase::Warehouse, "warehouse.export");
+                let sink = Arc::try_unwrap(sink)
+                    .unwrap_or_else(|_| panic!("the tee still holds the warehouse after finish"));
+                Some(sink.finish()?)
+            }
+            None => None,
+        };
         let consumer = Arc::try_unwrap(consumer)
             .unwrap_or_else(|_| panic!("server threads still hold the consumer after finish"));
         let analysis = consumer.finish();
@@ -420,6 +456,7 @@ impl Study {
             total_records: totals.total_records,
             stored_bytes: totals.stored_bytes,
             profile,
+            warehouse: warehouse_stats,
         })
     }
 }

@@ -1,0 +1,184 @@
+//! NTT warehouse integration: the live-export tee and the re-ingest
+//! driver.
+//!
+//! Export happens *during* a streaming study: [`super::study::StreamOptions::warehouse`]
+//! (or its sharded twin) tees every shipment into a
+//! [`nt_warehouse::WarehouseSink`] beside the live analysis sinks, and
+//! the segment files are serialized at study finish. Re-ingest is
+//! [`Study::ingest_warehouse`]: it opens a warehouse directory and
+//! drives the stored batches through a fresh
+//! [`nt_analysis::stream::AnalysisSet`] — in the segments' canonical
+//! stamp order, batch boundaries intact — so the resulting summary is
+//! bit-identical to the live run's (`tests/determinism.rs` pins this at
+//! fleet scale, faults included).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
+use nt_analysis::TraceSet;
+use nt_obs::{Phase, RuntimeProfile, Telemetry};
+use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord};
+use nt_warehouse::{NttError, SegmentReader, Warehouse, WarehouseSink};
+
+use crate::study::{StreamOptions, Study};
+
+/// Forwards every shipment to both the live analysis sinks and the
+/// warehouse export. The warehouse copy goes first so the analysis side
+/// can take ownership of the (unclonable) record vector.
+pub(crate) struct Tee {
+    pub(crate) analysis: Arc<AnalysisSet>,
+    pub(crate) warehouse: Arc<WarehouseSink>,
+}
+
+impl ShipmentConsumer for Tee {
+    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>) {
+        self.warehouse.batch(machine, seq, records.clone());
+        self.analysis.batch(machine, seq, records);
+    }
+
+    fn name(&self, machine: MachineId, seq: Option<u64>, name: NameRecord) {
+        self.warehouse.name(machine, seq, name.clone());
+        self.analysis.name(machine, seq, name);
+    }
+}
+
+/// What re-ingesting a warehouse produces — the same analytical payload
+/// as a live streaming run, minus the machine artefacts (counters,
+/// snapshots, loss ledgers) that exist only while a fleet is simulated.
+pub struct WarehouseIngest {
+    /// The merged streaming aggregates.
+    pub summary: StudySummary,
+    /// The exact fact tables, only under [`StreamOptions::retain`].
+    pub trace_set: Option<TraceSet>,
+    /// Records ingested across all segments.
+    pub records: u64,
+    /// Machines the warehouse held, ascending.
+    pub machines: Vec<u32>,
+    /// Wall-clock attribution: segment validation and decode under
+    /// [`Phase::Warehouse`], sink work under [`Phase::Analysis`].
+    pub profile: RuntimeProfile,
+}
+
+impl Study {
+    /// Re-runs the analysis stage over a stored warehouse.
+    ///
+    /// Each segment's batches are fed to the sinks with ascending
+    /// sequence stamps in stored order — which *is* the canonical stamp
+    /// order the live `MachineSink`s processed, because the export sink
+    /// reassembles with the same discipline. `options.retain` and
+    /// `options.spill_dir` mean what they do for
+    /// [`Study::run_streaming`]; `workers` and `warehouse` are ignored
+    /// (ingest is sequential and re-exporting what was just read would
+    /// be a copy).
+    pub fn ingest_warehouse(
+        dir: &Path,
+        options: &StreamOptions,
+    ) -> Result<WarehouseIngest, NttError> {
+        let telemetry = Telemetry::profiler();
+        let warehouse = {
+            let _span = telemetry.span_child(Phase::Warehouse, "warehouse.open");
+            Warehouse::open(dir)?
+        };
+        let machines = warehouse.machines();
+        let set = AnalysisSet::new(
+            &machines,
+            &StreamConfig {
+                retain: options.retain,
+                spill_dir: options.spill_dir.clone(),
+                telemetry: telemetry.clone(),
+                ..StreamConfig::default()
+            },
+        );
+        let mut records = 0u64;
+        for segment in warehouse.segments() {
+            let _span = telemetry.span_child(Phase::Warehouse, "warehouse.ingest_segment");
+            let reader = segment.reader();
+            let machine = MachineId(segment.machine());
+            let mut first = 0u64;
+            for (seq, batch) in reader.batches().enumerate() {
+                let decoded = SegmentReader::decode_batch(batch, first)?;
+                first += decoded.len() as u64;
+                set.batch(machine, Some(seq as u64), decoded);
+            }
+            records += first;
+            for (i, name) in reader.names().enumerate() {
+                set.name(machine, Some(i as u64), name.to_name()?);
+            }
+        }
+        let analysis = set.finish();
+        let mut profile = RuntimeProfile::default();
+        if let Some(report) = telemetry.report() {
+            profile.merge(&report.profile);
+        }
+        Ok(WarehouseIngest {
+            summary: analysis.summary,
+            trace_set: analysis.trace_set,
+            records,
+            machines,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nt-warehouse-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_then_ingest_reproduces_the_live_summary() {
+        let dir = temp_dir("smoke");
+        let config = StudyConfig::smoke_test(7);
+        let options = StreamOptions {
+            retain: true,
+            warehouse: Some(dir.clone()),
+            ..StreamOptions::default()
+        };
+        let live = Study::run_streaming(&config, &options);
+        let stats = live.warehouse.as_ref().expect("export stats present");
+        assert_eq!(stats.len(), live.machines.len());
+        assert_eq!(
+            stats.iter().map(|s| s.records).sum::<u64>(),
+            live.summary.records
+        );
+
+        let ingest = Study::ingest_warehouse(&dir, &options).expect("warehouse re-ingests");
+        assert_eq!(ingest.records, live.summary.records);
+        assert_eq!(ingest.machines.len(), live.machines.len());
+        // The streaming aggregates must match bit-for-bit; only the
+        // scheduling watermarks (parked records, live state bytes) are
+        // allowed to differ between a threaded run and a sequential
+        // re-ingest.
+        let mut a = live.summary;
+        let mut b = ingest.summary;
+        a.peak_parked_records = 0;
+        b.peak_parked_records = 0;
+        a.peak_state_bytes = 0;
+        b.peak_state_bytes = 0;
+        assert_eq!(a, b);
+        // Under retain, the exact fact tables match too.
+        let live_set = live.trace_set.expect("retained");
+        let ingest_set = ingest.trace_set.expect("retained");
+        assert_eq!(live_set.records, ingest_set.records);
+        assert_eq!(live_set.instances.len(), ingest_set.instances.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_of_a_missing_directory_is_a_typed_error() {
+        let err = Study::ingest_warehouse(
+            std::path::Path::new("/nonexistent/nt-warehouse"),
+            &StreamOptions::default(),
+        )
+        .err()
+        .expect("opening a missing warehouse must fail");
+        assert!(matches!(err, NttError::Io(_)), "got {err}");
+    }
+}

@@ -60,17 +60,21 @@ pub enum Phase {
     /// Work done by optional filter drivers layered above the FSD —
     /// e.g. the antivirus scan filter's per-open/per-read latency.
     Filter,
+    /// NTT warehouse I/O: segment export at study finish, re-ingest of
+    /// stored segments.
+    Warehouse,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Dispatch,
         Phase::Cache,
         Phase::Vm,
         Phase::Trace,
         Phase::Analysis,
         Phase::Filter,
+        Phase::Warehouse,
     ];
 
     /// Stable lower-case name used in span logs and reports.
@@ -82,6 +86,7 @@ impl Phase {
             Phase::Trace => "trace",
             Phase::Analysis => "analysis",
             Phase::Filter => "filter",
+            Phase::Warehouse => "warehouse",
         }
     }
 
@@ -93,6 +98,7 @@ impl Phase {
             Phase::Trace => 3,
             Phase::Analysis => 4,
             Phase::Filter => 5,
+            Phase::Warehouse => 6,
         }
     }
 }

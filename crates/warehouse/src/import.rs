@@ -1,0 +1,605 @@
+//! Importing foreign trace formats into NTT.
+//!
+//! The first supported dialect is strace-style text — the shape
+//! `strace -ttt -e trace=open,read,write,close` emits, one syscall per
+//! line:
+//!
+//! ```text
+//! 1723111201.000125 open("/var/mail/inbox.mbx", O_RDWR) = 3
+//! 1723111201.000300 read(3, 4096) = 4096
+//! 1723111201.000412 write(3, 512) = 512
+//! 1723111201.000500 close(3) = 0
+//! ```
+//!
+//! The importer maps each line onto the NT event taxonomy: `open` →
+//! `Irp(Create)` (plus a name record binding the path), `read`/`write` →
+//! `Irp(Read)`/`Irp(Write)` with offsets tracked per descriptor, and
+//! `close` → `Irp(Cleanup)` + `Irp(Close)`, so the imported stream walks
+//! the same open→access→close session shape the instance builder
+//! expects. Unix paths are rewritten to the study's backslash form.
+//!
+//! **Nothing is dropped silently.** Every line either becomes records or
+//! increments exactly one counter of the [`ImportLedger`] naming why it
+//! was skipped — malformed timestamps, out-of-order timestamps, negative
+//! sizes, non-UTF-8 paths, unknown descriptors, unknown syscalls. The
+//! ledger reconciles: `lines == imported + skipped()`.
+
+use nt_io::{AccessMode, CreateOptions, Disposition, EventKind, MajorFunction, NtStatus};
+use nt_trace::{NameRecord, TraceRecord};
+
+use crate::writer::SegmentWriter;
+
+/// Records per batch in imported segments — matches the agent's
+/// triple-buffer shipment size so imported streams exercise the same
+/// batch cadence as live ones.
+const IMPORT_BATCH: usize = 3_000;
+
+/// Why (and how often) imported lines were skipped. The loss ledger of
+/// the importer: the analysis can state exactly how much of a foreign
+/// trace it is looking at.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImportLedger {
+    /// Input lines seen (excluding blank and `#` comment lines).
+    pub lines: u64,
+    /// Lines converted into records.
+    pub imported: u64,
+    /// Timestamp missing or unparseable.
+    pub bad_timestamp: u64,
+    /// Timestamp ran backwards relative to the previous imported line.
+    pub out_of_order: u64,
+    /// A size argument or return value was negative.
+    pub negative_size: u64,
+    /// The path (or the line itself) was not valid UTF-8.
+    pub non_utf8: u64,
+    /// `read`/`write`/`close` on a descriptor no `open` produced.
+    pub unknown_fd: u64,
+    /// A syscall outside the supported set.
+    pub unknown_syscall: u64,
+    /// Structurally broken lines (no parenthesis, no `=`, …).
+    pub malformed: u64,
+}
+
+impl ImportLedger {
+    /// Lines skipped, by any cause.
+    pub fn skipped(&self) -> u64 {
+        self.bad_timestamp
+            + self.out_of_order
+            + self.negative_size
+            + self.non_utf8
+            + self.unknown_fd
+            + self.unknown_syscall
+            + self.malformed
+    }
+
+    /// Every line is accounted for exactly once.
+    pub fn reconciles(&self) -> bool {
+        self.lines == self.imported + self.skipped()
+    }
+}
+
+/// The result of an import: a finished NTT segment plus the ledger.
+pub struct StraceImport {
+    /// The encoded segment (write it with `std::fs::write`, or parse it
+    /// back with [`crate::Segment::parse`]).
+    pub segment: Vec<u8>,
+    /// Per-cause skip accounting.
+    pub ledger: ImportLedger,
+    /// Records in the segment.
+    pub records: u64,
+    /// Name records in the segment.
+    pub names: u64,
+}
+
+/// Per-descriptor state while a file is open.
+struct OpenFd {
+    file_object: u64,
+    cursor: u64,
+    file_size: u64,
+    opened_ticks: u64,
+}
+
+/// Converts strace-style text (as raw bytes — foreign traces are not
+/// guaranteed UTF-8) into one NTT segment for `machine`.
+pub fn import_strace(input: &[u8], machine: u32) -> StraceImport {
+    let mut writer = SegmentWriter::new(machine);
+    let mut ledger = ImportLedger::default();
+    let mut pending: Vec<TraceRecord> = Vec::new();
+    let mut names = 0u64;
+    let mut last_ticks = 0u64;
+    let mut next_file_object = 1u64;
+    let mut fds: std::collections::HashMap<i64, OpenFd> = std::collections::HashMap::new();
+
+    for raw_line in input.split(|&b| b == b'\n') {
+        let trimmed = trim_ascii(raw_line);
+        if trimmed.is_empty() || trimmed[0] == b'#' {
+            continue;
+        }
+        ledger.lines += 1;
+        let Ok(line) = std::str::from_utf8(trimmed) else {
+            ledger.non_utf8 += 1;
+            continue;
+        };
+        match import_line(
+            line,
+            &mut ledger,
+            &mut last_ticks,
+            &mut next_file_object,
+            &mut fds,
+        ) {
+            Some(out) => {
+                ledger.imported += 1;
+                pending.extend(out.records);
+                if let Some(name) = out.name {
+                    writer.push_name(&name);
+                    names += 1;
+                }
+                while pending.len() >= IMPORT_BATCH {
+                    let rest = pending.split_off(IMPORT_BATCH);
+                    writer.push_batch(&pending);
+                    pending = rest;
+                }
+            }
+            None => {
+                // The line's counter was already incremented by the
+                // parser; nothing is dropped without a cause.
+            }
+        }
+    }
+    if !pending.is_empty() {
+        writer.push_batch(&pending);
+    }
+    debug_assert!(ledger.reconciles(), "every line accounted for");
+    let records = writer.records();
+    StraceImport {
+        segment: writer.finish(),
+        ledger,
+        records,
+        names,
+    }
+}
+
+/// What one imported line produced.
+struct LineOutput {
+    records: Vec<TraceRecord>,
+    name: Option<NameRecord>,
+}
+
+/// Parses one line; on skip, increments the matching ledger counter and
+/// returns `None`.
+fn import_line(
+    line: &str,
+    ledger: &mut ImportLedger,
+    last_ticks: &mut u64,
+    next_file_object: &mut u64,
+    fds: &mut std::collections::HashMap<i64, OpenFd>,
+) -> Option<LineOutput> {
+    // `<seconds.micros> <syscall>(<args>) = <ret>`
+    let (ts_text, rest) = match line.split_once(' ') {
+        Some(parts) => parts,
+        None => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+    let Some(ticks) = parse_ticks(ts_text) else {
+        ledger.bad_timestamp += 1;
+        return None;
+    };
+    if ticks < *last_ticks {
+        ledger.out_of_order += 1;
+        return None;
+    }
+    let rest = rest.trim_start();
+    let (call, after_call) = match rest.split_once('(') {
+        Some(parts) => parts,
+        None => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+    // Split on the *last* `") = "` — the errno parenthetical strace
+    // appends to failed returns ("-1 ENOENT (No such file…)") means the
+    // final `)` is not necessarily the argument list's.
+    let (args, ret_text) = match after_call.rsplit_once(") = ") {
+        Some(parts) => parts,
+        None => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+    let ret: i64 = match ret_text.split_whitespace().next() {
+        Some(token) => match token.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                ledger.malformed += 1;
+                return None;
+            }
+        },
+        None => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+
+    let out = match call.trim() {
+        "open" | "openat" | "creat" => {
+            import_open(call, args, ticks, ret, ledger, next_file_object, fds)
+        }
+        "read" | "pread64" => import_rw(MajorFunction::Read, args, ticks, ret, ledger, fds),
+        "write" | "pwrite64" => import_rw(MajorFunction::Write, args, ticks, ret, ledger, fds),
+        "close" => import_close(args, ticks, ledger, fds),
+        _ => {
+            ledger.unknown_syscall += 1;
+            None
+        }
+    }?;
+    *last_ticks = ticks;
+    Some(out)
+}
+
+fn import_open(
+    call: &str,
+    args: &str,
+    ticks: u64,
+    ret: i64,
+    ledger: &mut ImportLedger,
+    next_file_object: &mut u64,
+    fds: &mut std::collections::HashMap<i64, OpenFd>,
+) -> Option<LineOutput> {
+    // `openat` carries a leading dirfd argument; skip to the quoted path.
+    let args = match call {
+        "openat" => args.split_once(',').map_or(args, |(_, rest)| rest),
+        _ => args,
+    };
+    let path = match quoted_path(args) {
+        Ok(p) => p,
+        Err(cause) => {
+            match cause {
+                SkipCause::NonUtf8 => ledger.non_utf8 += 1,
+                SkipCause::Malformed => ledger.malformed += 1,
+            }
+            return None;
+        }
+    };
+    let flags = args.split_once(',').map(|(_, f)| f).unwrap_or("");
+    let writable = flags.contains("O_WRONLY") || flags.contains("O_RDWR") || call == "creat";
+    let creating = flags.contains("O_CREAT") || flags.contains("O_TRUNC") || call == "creat";
+    let status = if ret < 0 {
+        NtStatus::ObjectNameNotFound
+    } else {
+        NtStatus::Success
+    };
+    let file_object = *next_file_object;
+    *next_file_object += 1;
+    let mut rec = blank_record(EventKind::Irp(MajorFunction::Create), file_object, ticks);
+    rec.status = status;
+    rec.access = Some(match (writable, call) {
+        (true, "creat") => AccessMode::Write,
+        (true, _) => AccessMode::ReadWrite,
+        (false, _) => AccessMode::Read,
+    });
+    rec.disposition = Some(if creating {
+        Disposition::OpenIf
+    } else {
+        Disposition::Open
+    });
+    rec.options = Some(CreateOptions::default());
+    let name = NameRecord {
+        file_object,
+        volume: 0,
+        process: 1,
+        path: to_nt_path(path),
+        at_ticks: ticks,
+    };
+    if ret >= 0 {
+        fds.insert(
+            ret,
+            OpenFd {
+                file_object,
+                cursor: 0,
+                file_size: 0,
+                opened_ticks: ticks,
+            },
+        );
+    }
+    Some(LineOutput {
+        records: vec![rec],
+        name: Some(name),
+    })
+}
+
+fn import_rw(
+    kind: MajorFunction,
+    args: &str,
+    ticks: u64,
+    ret: i64,
+    ledger: &mut ImportLedger,
+    fds: &mut std::collections::HashMap<i64, OpenFd>,
+) -> Option<LineOutput> {
+    let mut parts = args.split(',');
+    let fd: i64 = match parts.next().map(str::trim).and_then(|s| s.parse().ok()) {
+        Some(fd) => fd,
+        None => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+    // The request size is the last numeric argument (strace elides the
+    // buffer, so `read(3, 4096)` and `read(3, "…", 4096)` both work).
+    let count: i64 = match parts
+        .next_back()
+        .map(str::trim)
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) => n,
+        None => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+    if count < 0 || ret < -1 {
+        ledger.negative_size += 1;
+        return None;
+    }
+    let Some(open) = fds.get_mut(&fd) else {
+        ledger.unknown_fd += 1;
+        return None;
+    };
+    let transferred = if ret < 0 { 0 } else { ret as u64 };
+    if transferred > count as u64 {
+        ledger.negative_size += 1;
+        return None;
+    }
+    let mut rec = blank_record(EventKind::Irp(kind), open.file_object, ticks);
+    rec.status = if ret < 0 {
+        NtStatus::AccessDenied
+    } else if kind == MajorFunction::Read && transferred < count as u64 {
+        NtStatus::EndOfFile
+    } else {
+        NtStatus::Success
+    };
+    rec.offset = open.cursor;
+    rec.byte_offset = open.cursor;
+    rec.length = count as u64;
+    rec.transferred = transferred;
+    open.cursor += transferred;
+    if kind == MajorFunction::Write {
+        open.file_size = open.file_size.max(open.cursor);
+    }
+    rec.file_size = open.file_size;
+    Some(LineOutput {
+        records: vec![rec],
+        name: None,
+    })
+}
+
+fn import_close(
+    args: &str,
+    ticks: u64,
+    ledger: &mut ImportLedger,
+    fds: &mut std::collections::HashMap<i64, OpenFd>,
+) -> Option<LineOutput> {
+    let fd: i64 = match args.trim().parse() {
+        Ok(fd) => fd,
+        Err(_) => {
+            ledger.malformed += 1;
+            return None;
+        }
+    };
+    let Some(open) = fds.remove(&fd) else {
+        ledger.unknown_fd += 1;
+        return None;
+    };
+    let mut cleanup = blank_record(
+        EventKind::Irp(MajorFunction::Cleanup),
+        open.file_object,
+        ticks,
+    );
+    cleanup.file_size = open.file_size;
+    cleanup.byte_offset = open.cursor;
+    let mut close = blank_record(
+        EventKind::Irp(MajorFunction::Close),
+        open.file_object,
+        ticks,
+    );
+    close.file_size = open.file_size;
+    let _ = open.opened_ticks;
+    Some(LineOutput {
+        records: vec![cleanup, close],
+        name: None,
+    })
+}
+
+enum SkipCause {
+    NonUtf8,
+    Malformed,
+}
+
+/// Extracts the first double-quoted argument. Octal escapes (`\305` …)
+/// are how strace spells non-UTF-8 path bytes; decoding them back to
+/// bytes and failing UTF-8 validation is what the `non_utf8` counter
+/// counts.
+fn quoted_path(args: &str) -> Result<String, SkipCause> {
+    let start = args.find('"').ok_or(SkipCause::Malformed)?;
+    let rest = &args[start + 1..];
+    let end = rest.find('"').ok_or(SkipCause::Malformed)?;
+    let raw = &rest[..end];
+    if !raw.contains('\\') {
+        return Ok(raw.to_string());
+    }
+    // Decode octal escapes into bytes, then require UTF-8.
+    let mut bytes = Vec::with_capacity(raw.len());
+    let mut chars = raw.bytes().peekable();
+    while let Some(b) = chars.next() {
+        if b != b'\\' {
+            bytes.push(b);
+            continue;
+        }
+        let mut val: u32 = 0;
+        let mut digits = 0;
+        while digits < 3 {
+            match chars.peek() {
+                Some(&d) if d.is_ascii_digit() && d < b'8' => {
+                    val = val * 8 + u32::from(d - b'0');
+                    chars.next();
+                    digits += 1;
+                }
+                _ => break,
+            }
+        }
+        if digits == 0 {
+            // A non-octal escape (\" \\ …): keep the escaped byte.
+            if let Some(next) = chars.next() {
+                bytes.push(next);
+            }
+        } else {
+            bytes.push(val as u8);
+        }
+    }
+    String::from_utf8(bytes).map_err(|_| SkipCause::NonUtf8)
+}
+
+/// `/var/mail/inbox.mbx` → `\var\mail\inbox.mbx`, lower-cased like the
+/// study's name records.
+fn to_nt_path(path: String) -> String {
+    let mut out = path.replace('/', "\\").to_lowercase();
+    if !out.starts_with('\\') {
+        out.insert(0, '\\');
+    }
+    out
+}
+
+/// `1723111201.000125` → 100 ns ticks.
+fn parse_ticks(text: &str) -> Option<u64> {
+    let (secs, frac) = match text.split_once('.') {
+        Some((s, f)) => (s, f),
+        None => (text, ""),
+    };
+    let secs: u64 = secs.parse().ok()?;
+    // Fraction: take up to 7 digits (tick precision), right-pad.
+    let mut ticks_frac = 0u64;
+    let mut digits = 0;
+    for c in frac.chars() {
+        if !c.is_ascii_digit() {
+            return None;
+        }
+        if digits < 7 {
+            ticks_frac = ticks_frac * 10 + u64::from(c as u8 - b'0');
+            digits += 1;
+        }
+    }
+    for _ in digits..7 {
+        ticks_frac *= 10;
+    }
+    secs.checked_mul(10_000_000)?.checked_add(ticks_frac)
+}
+
+fn trim_ascii(bytes: &[u8]) -> &[u8] {
+    let start = bytes
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(bytes.len());
+    let end = bytes
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map_or(start, |e| e + 1);
+    &bytes[start..end]
+}
+
+fn blank_record(kind: EventKind, file_object: u64, ticks: u64) -> TraceRecord {
+    TraceRecord {
+        code: kind.code(),
+        flags: 1 << 2, // local volume
+        status: NtStatus::Success,
+        set_info: None,
+        access: None,
+        disposition: None,
+        options: None,
+        file_object,
+        fcb: u64::MAX,
+        process: 1,
+        volume: 0,
+        offset: 0,
+        length: 0,
+        transferred: 0,
+        file_size: 0,
+        byte_offset: 0,
+        start_ticks: ticks,
+        end_ticks: ticks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Segment;
+
+    const SAMPLE: &str = "\
+1723111201.000125 open(\"/var/mail/inbox.mbx\", O_RDWR) = 3
+1723111201.000300 read(3, 4096) = 4096
+1723111201.000412 write(3, 512) = 512
+1723111201.000500 close(3) = 0
+1723111201.000600 open(\"/etc/missing.conf\", O_RDONLY) = -1 ENOENT (No such file or directory)
+";
+
+    #[test]
+    fn clean_sample_imports_fully() {
+        let out = import_strace(SAMPLE.as_bytes(), 0);
+        assert_eq!(out.ledger.lines, 5);
+        assert_eq!(out.ledger.imported, 5);
+        assert_eq!(out.ledger.skipped(), 0);
+        assert!(out.ledger.reconciles());
+        // open + read + write + cleanup + close + failed open = 6 records.
+        assert_eq!(out.records, 6);
+        assert_eq!(out.names, 2);
+        let seg = Segment::parse(out.segment).expect("valid segment");
+        let reader = seg.reader();
+        let create_code = EventKind::Irp(MajorFunction::Create).code();
+        assert_eq!(reader.footer().kind_counts[create_code as usize], 2);
+        let names: Vec<String> = reader
+            .names()
+            .map(|n| n.path().unwrap().to_string())
+            .collect();
+        assert_eq!(names[0], r"\var\mail\inbox.mbx");
+        // The failed open carries the not-found status.
+        let last = reader.records().last().unwrap().to_record().unwrap();
+        assert_eq!(last.status, NtStatus::ObjectNameNotFound);
+    }
+
+    #[test]
+    fn malformed_lines_land_in_the_ledger_not_the_floor() {
+        let dirty = "\
+garbage without timestamp
+1723111201.000125 open(\"/a.txt\", O_RDONLY) = 3
+not-a-ts read(3, 100) = 100
+1723111201.000200 read(3, -5) = -5
+1723111201.000100 read(3, 100) = 100
+1723111201.000300 read(9, 100) = 100
+1723111201.000400 mmap(3, 4096) = 0
+1723111201.000500 open(\"/\\303\\251\\377.dat\", O_RDONLY) = 4
+1723111201.000600 close(3) = 0
+1723111201.000700 read(3, 100
+";
+        let out = import_strace(dirty.as_bytes(), 0);
+        assert_eq!(out.ledger.lines, 10);
+        assert_eq!(out.ledger.imported, 2, "the open and the close");
+        assert_eq!(out.ledger.malformed, 1, "unterminated read line");
+        assert_eq!(out.ledger.bad_timestamp, 2, "garbage line + not-a-ts line");
+        assert_eq!(out.ledger.negative_size, 1);
+        assert_eq!(out.ledger.out_of_order, 1);
+        assert_eq!(out.ledger.unknown_fd, 1);
+        assert_eq!(out.ledger.unknown_syscall, 1);
+        assert_eq!(out.ledger.non_utf8, 1, "\\377 is not UTF-8");
+        assert!(out.ledger.reconciles());
+        assert!(Segment::parse(out.segment).is_ok());
+    }
+
+    #[test]
+    fn ticks_parse_at_full_precision() {
+        assert_eq!(parse_ticks("1.0000001"), Some(10_000_001));
+        assert_eq!(parse_ticks("2"), Some(20_000_000));
+        assert_eq!(parse_ticks("1.5"), Some(15_000_000));
+        assert_eq!(parse_ticks("x.5"), None);
+        assert_eq!(parse_ticks("1.5x"), None);
+    }
+}

@@ -1,0 +1,322 @@
+//! Building NTT segments — one machine at a time, or a whole fleet as a
+//! live export sink.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use bytes::BytesMut;
+use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
+
+use crate::format::{encode_header, xxh64, Footer, KIND_SLOTS};
+use crate::NttError;
+
+/// End-of-write accounting for one segment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Machine the segment belongs to.
+    pub machine: u32,
+    /// Records written.
+    pub records: u64,
+    /// Batches written.
+    pub batches: u64,
+    /// Name entries written.
+    pub names: u64,
+    /// Total encoded size, bytes.
+    pub bytes: u64,
+}
+
+/// Serializes one machine's stream into an NTT segment.
+///
+/// Batches must be pushed in the agent's sequence order — the writer
+/// records their boundaries verbatim so a re-ingest can replay the same
+/// per-batch state transitions. Paths are interned: the first occurrence
+/// lands in the string table, later names reference the same bytes.
+pub struct SegmentWriter {
+    machine: u32,
+    records: Vec<u8>,
+    record_count: u64,
+    batch_lens: Vec<u32>,
+    kind_counts: [u64; KIND_SLOTS],
+    min_ticks: u64,
+    max_ticks: u64,
+    strings: Vec<u8>,
+    interned: HashMap<String, (u32, u32)>,
+    names: Vec<u8>,
+    name_count: u64,
+    scratch: BytesMut,
+}
+
+impl SegmentWriter {
+    /// An empty segment for `machine`.
+    pub fn new(machine: u32) -> Self {
+        SegmentWriter {
+            machine,
+            records: Vec::new(),
+            record_count: 0,
+            batch_lens: Vec::new(),
+            kind_counts: [0; KIND_SLOTS],
+            min_ticks: u64::MAX,
+            max_ticks: 0,
+            strings: Vec::new(),
+            interned: HashMap::new(),
+            names: Vec::new(),
+            name_count: 0,
+            scratch: BytesMut::new(),
+        }
+    }
+
+    /// Appends one shipped batch, preserving its boundary. Empty batches
+    /// are preserved too — the live sinks see them as batches.
+    pub fn push_batch(&mut self, records: &[TraceRecord]) {
+        self.batch_lens.push(records.len() as u32);
+        for rec in records {
+            self.scratch.clear();
+            rec.encode(&mut self.scratch);
+            debug_assert_eq!(self.scratch.len(), RECORD_SIZE);
+            self.records.extend_from_slice(&self.scratch);
+            if let Some(slot) = self.kind_counts.get_mut(rec.code as usize) {
+                *slot += 1;
+            }
+            self.min_ticks = self.min_ticks.min(rec.start_ticks);
+            self.max_ticks = self.max_ticks.max(rec.end_ticks);
+        }
+        self.record_count += records.len() as u64;
+    }
+
+    /// Appends one name record, interning its path.
+    pub fn push_name(&mut self, name: &NameRecord) {
+        let (off, len) = match self.interned.get(&name.path) {
+            Some(&span) => span,
+            None => {
+                let off = self.strings.len() as u32;
+                let len = name.path.len() as u32;
+                self.strings.extend_from_slice(name.path.as_bytes());
+                self.interned.insert(name.path.clone(), (off, len));
+                (off, len)
+            }
+        };
+        self.names
+            .extend_from_slice(&name.file_object.to_le_bytes());
+        self.names.extend_from_slice(&name.at_ticks.to_le_bytes());
+        self.names.extend_from_slice(&name.volume.to_le_bytes());
+        self.names.extend_from_slice(&name.process.to_le_bytes());
+        self.names.extend_from_slice(&off.to_le_bytes());
+        self.names.extend_from_slice(&len.to_le_bytes());
+        self.name_count += 1;
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Serializes the segment: header, sections, checksummed footer.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            crate::HEADER_SIZE
+                + self.records.len()
+                + self.batch_lens.len() * 4
+                + self.strings.len()
+                + self.names.len()
+                + crate::FOOTER_SIZE,
+        );
+        encode_header(&mut out, self.machine);
+        let records_off = out.len() as u64;
+        out.extend_from_slice(&self.records);
+        let batches_off = out.len() as u64;
+        for len in &self.batch_lens {
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        let strings_off = out.len() as u64;
+        out.extend_from_slice(&self.strings);
+        let names_off = out.len() as u64;
+        out.extend_from_slice(&self.names);
+        let (min_ticks, max_ticks) = if self.record_count == 0 {
+            (0, 0)
+        } else {
+            (self.min_ticks, self.max_ticks)
+        };
+        let mut footer = Footer {
+            records_off,
+            record_count: self.record_count,
+            batches_off,
+            batch_count: self.batch_lens.len() as u64,
+            strings_off,
+            strings_len: self.strings.len() as u64,
+            names_off,
+            name_count: self.name_count,
+            min_ticks,
+            max_ticks,
+            kind_counts: self.kind_counts,
+            checksum: 0,
+        };
+        // The checksum covers everything before its own field: body plus
+        // the footer's section table.
+        let mut tail = Vec::with_capacity(crate::FOOTER_SIZE);
+        footer.encode(&mut tail);
+        let checksummed_len = out.len() + crate::FOOTER_SIZE - 16;
+        out.extend_from_slice(&tail[..crate::FOOTER_SIZE - 16]);
+        debug_assert_eq!(out.len(), checksummed_len);
+        footer.checksum = xxh64(&out);
+        out.extend_from_slice(&footer.checksum.to_le_bytes());
+        out.extend_from_slice(&crate::format::FOOTER_MAGIC);
+        out
+    }
+
+    /// [`SegmentWriter::finish`], written to `path`.
+    pub fn write_to(self, path: &Path) -> Result<SegmentStats, NttError> {
+        let machine = self.machine;
+        let records = self.record_count;
+        let batches = self.batch_lens.len() as u64;
+        let names = self.name_count;
+        let bytes = self.finish();
+        std::fs::write(path, &bytes)?;
+        Ok(SegmentStats {
+            machine,
+            records,
+            batches,
+            names,
+            bytes: bytes.len() as u64,
+        })
+    }
+}
+
+/// Canonical segment file name for a machine.
+pub fn segment_file_name(machine: u32) -> String {
+    format!("machine-{machine:05}.ntt")
+}
+
+/// One machine's export state inside the [`WarehouseSink`].
+struct MachineExport {
+    writer: SegmentWriter,
+    next_seq: u64,
+    parked: BTreeMap<u64, Vec<TraceRecord>>,
+    /// Names keyed by sequence stamp (arrival-order names get synthetic
+    /// keys from `u64::MAX / 2`, mirroring the analysis sinks).
+    names: Vec<(u64, NameRecord)>,
+    name_arrival: u64,
+}
+
+impl MachineExport {
+    fn new(machine: u32) -> Self {
+        MachineExport {
+            writer: SegmentWriter::new(machine),
+            next_seq: 0,
+            parked: BTreeMap::new(),
+            names: Vec::new(),
+            name_arrival: u64::MAX / 2,
+        }
+    }
+
+    /// Same reassembly discipline as `nt_analysis::MachineSink`: batches
+    /// are written in the agent's stamp order, so the segment's batch
+    /// table is the canonical stream no matter which servers carried it.
+    fn on_batch(&mut self, seq: Option<u64>, records: Vec<TraceRecord>) {
+        match seq {
+            Some(s) if s > self.next_seq => {
+                self.parked.insert(s, records);
+            }
+            Some(s) if s == self.next_seq => {
+                self.writer.push_batch(&records);
+                self.next_seq += 1;
+                while let Some(parked) = self.parked.remove(&self.next_seq) {
+                    self.writer.push_batch(&parked);
+                    self.next_seq += 1;
+                }
+            }
+            _ => self.writer.push_batch(&records),
+        }
+    }
+
+    fn finish(mut self) -> SegmentWriter {
+        let parked: Vec<Vec<TraceRecord>> =
+            std::mem::take(&mut self.parked).into_values().collect();
+        for records in parked {
+            self.writer.push_batch(&records);
+        }
+        self.names.sort_by_key(|(k, _)| *k);
+        for (_, name) in &self.names {
+            self.writer.push_name(name);
+        }
+        self.writer
+    }
+}
+
+/// A [`ShipmentConsumer`] that exports the fleet to an NTT warehouse
+/// directory while the study runs — one segment file per machine,
+/// written at [`WarehouseSink::finish`].
+///
+/// Distinct machines contend only on their own mutex, so the export adds
+/// no cross-machine serialization to the collection-server threads; it
+/// is designed to be tee'd beside a live `AnalysisSet`.
+pub struct WarehouseSink {
+    dir: PathBuf,
+    index: HashMap<u32, usize>,
+    exports: Vec<Mutex<MachineExport>>,
+}
+
+impl WarehouseSink {
+    /// A sink exporting `machines` into `dir` (created if missing).
+    pub fn create(dir: &Path, machines: &[u32]) -> Result<Self, NttError> {
+        std::fs::create_dir_all(dir)?;
+        let mut ids: Vec<u32> = machines.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let index = ids.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let exports = ids
+            .iter()
+            .map(|&m| Mutex::new(MachineExport::new(m)))
+            .collect();
+        Ok(WarehouseSink {
+            dir: dir.to_path_buf(),
+            index,
+            exports,
+        })
+    }
+
+    fn lock(&self, i: usize) -> MutexGuard<'_, MachineExport> {
+        self.exports[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Writes every machine's segment file and returns the per-segment
+    /// stats, in machine-id order.
+    pub fn finish(self) -> Result<Vec<SegmentStats>, NttError> {
+        let mut order: Vec<(u32, usize)> = self.index.iter().map(|(&m, &i)| (m, i)).collect();
+        order.sort_unstable();
+        let mut exports: Vec<Option<MachineExport>> = self
+            .exports
+            .into_iter()
+            .map(|m| Some(m.into_inner().unwrap_or_else(PoisonError::into_inner)))
+            .collect();
+        let mut stats = Vec::with_capacity(order.len());
+        for (machine, i) in order {
+            let export = exports[i].take().expect("each export finishes once");
+            let path = self.dir.join(segment_file_name(machine));
+            stats.push(export.finish().write_to(&path)?);
+        }
+        Ok(stats)
+    }
+}
+
+impl ShipmentConsumer for WarehouseSink {
+    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>) {
+        if let Some(&i) = self.index.get(&machine.0) {
+            self.lock(i).on_batch(seq, records);
+        }
+    }
+
+    fn name(&self, machine: MachineId, seq: Option<u64>, name: NameRecord) {
+        if let Some(&i) = self.index.get(&machine.0) {
+            let mut export = self.lock(i);
+            let key = seq.unwrap_or_else(|| {
+                let k = export.name_arrival;
+                export.name_arrival += 1;
+                k
+            });
+            export.names.push((key, name));
+        }
+    }
+}

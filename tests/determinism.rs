@@ -232,22 +232,29 @@ fn fnv1a(digest: &mut u64, text: &str) {
     }
 }
 
-fn digest_study(data: &nt_study::StudyData) -> [u64; 5] {
+/// Digest of a trace set's three tables: records, instances, names.
+fn digest_trace_set(set: &nt_analysis::TraceSet) -> [u64; 3] {
     let seed = 0xcbf2_9ce4_8422_2325u64;
     let mut records = seed;
-    for (m, r) in &data.trace_set.records {
+    for (m, r) in &set.records {
         fnv1a(&mut records, &format!("{m}:{r:?}"));
     }
     let mut instances = seed;
-    for inst in &data.trace_set.instances {
+    for inst in &set.instances {
         fnv1a(&mut instances, &format!("{inst:?}"));
     }
     let mut names = seed;
-    let mut sorted: Vec<_> = data.trace_set.names.iter().collect();
+    let mut sorted: Vec<_> = set.names.iter().collect();
     sorted.sort();
     for ((m, fo), path) in sorted {
         fnv1a(&mut names, &format!("{m}:{fo}:{path}"));
     }
+    [records, instances, names]
+}
+
+fn digest_study(data: &nt_study::StudyData) -> [u64; 5] {
+    let seed = 0xcbf2_9ce4_8422_2325u64;
+    let [records, instances, names] = digest_trace_set(&data.trace_set);
     let mut ledgers = seed;
     let mut counters = seed;
     for m in &data.machines {
@@ -316,6 +323,74 @@ fn driver_stack_keeps_the_faulted_fleet_bit_identical() {
     );
 }
 
+#[test]
+fn warehouse_reimport_of_the_faulted_fleet_is_bit_identical_to_live_ingest() {
+    // The 45-machine faulted fleet, exported to an NTT warehouse while
+    // it streams, then re-ingested from disk through a fresh set of
+    // streaming sinks. Everything analytical must be bit-identical to
+    // the live run: the retained fact tables digest-for-digest, the
+    // streaming summary field-for-field (only the scheduling watermarks
+    // — parked records and live state bytes — may differ between a
+    // threaded run and a sequential re-ingest), and the directly-follows
+    // graph over per-file event sequences at similarity exactly 1.0 —
+    // not approximately: any dropped, duplicated or reordered record
+    // moves the score strictly below one.
+    let config = locked_fleet();
+    let dir = std::env::temp_dir().join(format!("nt-determinism-warehouse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut live = Study::run_streaming(
+        &config,
+        &StreamOptions {
+            retain: true,
+            warehouse: Some(dir.clone()),
+            ..StreamOptions::default()
+        },
+    );
+    assert!(live.total_lost() > 0, "the lossy plan should have fired");
+    let stats = live.warehouse.take().expect("export stats present");
+    assert_eq!(stats.len(), 45, "one segment per machine");
+    assert_eq!(
+        stats.iter().map(|s| s.records).sum::<u64>(),
+        live.summary.records,
+        "the warehouse holds exactly what the analysis saw"
+    );
+
+    let mut ingest = Study::ingest_warehouse(
+        &dir,
+        &StreamOptions {
+            retain: true,
+            ..StreamOptions::default()
+        },
+    )
+    .expect("the exported warehouse re-ingests");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let live_set = live.trace_set.take().expect("retained");
+    let ingest_set = ingest.trace_set.take().expect("retained");
+    assert_eq!(
+        digest_trace_set(&live_set),
+        digest_trace_set(&ingest_set),
+        "fact-table/name-table digests diverge between live and reimported ingest"
+    );
+
+    let mut a = live.summary;
+    let mut b = ingest.summary;
+    a.peak_parked_records = 0;
+    b.peak_parked_records = 0;
+    a.peak_state_bytes = 0;
+    b.peak_state_bytes = 0;
+    assert!(a == b, "streaming summaries diverge");
+
+    let live_dfg = nt_analysis::dfg::Dfg::of_trace_set(&live_set);
+    let reimported_dfg = nt_analysis::dfg::Dfg::of_trace_set(&ingest_set);
+    assert!(live_dfg.events > 50_000, "got {} events", live_dfg.events);
+    assert_eq!(
+        live_dfg.similarity(&reimported_dfg),
+        1.0,
+        "DFG similarity between live and reimported runs must be exactly 1.0"
+    );
+}
+
 /// The documented memory ceiling for the streaming analysis state at the
 /// paper's 45-machine deployment shape (see EXPERIMENTS.md). The ceiling
 /// covers the per-machine sinks — open-session builders, parked
@@ -341,7 +416,7 @@ fn paper_shaped_streaming_run_stays_under_the_memory_ceiling() {
         &StreamOptions {
             retain: false,
             spill_dir: Some(spill_dir.clone()),
-            workers: None,
+            ..StreamOptions::default()
         },
     );
     let _ = std::fs::remove_dir_all(&spill_dir);

@@ -210,6 +210,126 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// NTT warehouse segments: arbitrary batch streams roundtrip through the
+// zero-copy format exactly, and corrupted or truncated segments are
+// rejected with a typed error — never a panic.
+// ---------------------------------------------------------------------
+
+/// Deterministic record stream for a seed: varied kinds, monotone ticks.
+fn ntt_random_batches(batch_lens: &[usize], seed: u64) -> Vec<Vec<nt_trace::TraceRecord>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut t = 0u64;
+    batch_lens
+        .iter()
+        .map(|&n| {
+            (0..n)
+                .map(|_| {
+                    t += rng.gen_range(1..1_000_000);
+                    nt_trace::TraceRecord {
+                        code: rng.gen_range(0..54),
+                        flags: rng.gen_range(0..16),
+                        status: nt_io::NtStatus::Success,
+                        set_info: None,
+                        access: None,
+                        disposition: None,
+                        options: None,
+                        file_object: rng.gen_range(0..50),
+                        fcb: rng.gen(),
+                        process: rng.gen(),
+                        volume: rng.gen_range(0..3),
+                        offset: rng.gen(),
+                        length: rng.gen_range(0..1 << 24),
+                        transferred: rng.gen_range(0..1 << 24),
+                        file_size: rng.gen(),
+                        byte_offset: rng.gen(),
+                        start_ticks: t,
+                        end_ticks: t + rng.gen_range(0..100_000),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn ntt_segment_roundtrips_arbitrary_batches(
+        batch_lens in prop::collection::vec(0usize..40, 0..12),
+        n_names in 0usize..10,
+        seed in any::<u64>(),
+        machine in any::<u32>(),
+    ) {
+        use nt_warehouse::{Segment, SegmentWriter};
+        let batches = ntt_random_batches(&batch_lens, seed);
+        let names: Vec<nt_trace::NameRecord> = (0..n_names)
+            .map(|i| nt_trace::NameRecord {
+                file_object: i as u64,
+                volume: (i % 3) as u32,
+                process: i as u32,
+                // Half the paths repeat, exercising the interner.
+                path: format!(r"\prop\file-{}.dat", i / 2),
+                at_ticks: i as u64 * 100,
+            })
+            .collect();
+        let mut w = SegmentWriter::new(machine);
+        for b in &batches {
+            w.push_batch(b);
+        }
+        for name in &names {
+            w.push_name(name);
+        }
+        let seg = Segment::parse(w.finish()).expect("fresh segment is valid");
+        prop_assert_eq!(seg.machine(), machine);
+        let reader = seg.reader();
+        let flat: Vec<nt_trace::TraceRecord> =
+            batches.iter().flatten().copied().collect();
+        prop_assert_eq!(flat.len() as u64, reader.record_count());
+        let decoded: Vec<nt_trace::TraceRecord> = reader
+            .records()
+            .map(|v| v.to_record().expect("valid record"))
+            .collect();
+        prop_assert_eq!(decoded, flat);
+        let lens: Vec<u32> = reader.batch_lens().collect();
+        let expected: Vec<u32> = batch_lens.iter().map(|&n| n as u32).collect();
+        prop_assert_eq!(lens, expected, "batch boundaries survive");
+        let back: Vec<nt_trace::NameRecord> = reader
+            .names()
+            .map(|n| n.to_name().expect("valid name"))
+            .collect();
+        prop_assert_eq!(back, names);
+    }
+
+    #[test]
+    fn ntt_corruption_is_an_error_never_a_panic(
+        batch_lens in prop::collection::vec(0usize..20, 0..6),
+        seed in any::<u64>(),
+        flip_at in any::<usize>(),
+        flip_with in 1u8..=255,
+        trunc_to in any::<usize>(),
+    ) {
+        use nt_warehouse::{Segment, SegmentWriter};
+        let mut w = SegmentWriter::new(1);
+        for b in ntt_random_batches(&batch_lens, seed) {
+            w.push_batch(&b);
+        }
+        let good = w.finish();
+        prop_assert!(Segment::parse(good.clone()).is_ok());
+        // Any single corrupted byte is detected.
+        let mut bad = good.clone();
+        let at = flip_at % bad.len();
+        bad[at] ^= flip_with;
+        prop_assert!(
+            Segment::parse(bad).is_err(),
+            "corruption at byte {} went undetected", at
+        );
+        // Any truncation is detected.
+        let keep = trunc_to % good.len();
+        prop_assert!(Segment::parse(good[..keep].to_vec()).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
 // Engine ordering under random schedules.
 // ---------------------------------------------------------------------
 
