@@ -32,6 +32,11 @@ cargo fmt --all --check
 step "cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# The generational arena is the dispatch hot path's foundation; lint it
+# explicitly so a slab regression can't hide behind an allow() elsewhere.
+step "cargo clippy (nt-io dispatch arena, warnings are errors)"
+cargo clippy -p nt-io --offline -- -D warnings
+
 if [ "$QUICK" -eq 0 ]; then
     step "cargo build --release (tier-1)"
     cargo build --release --offline
@@ -65,7 +70,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
 step "cargo test --workspace"
 cargo test -q --workspace --offline
 
-step "bench smoke + telemetry-off overhead gate (budget 3% vs baseline)"
+step "bench regression gate (every *_min_ns in BENCH_streaming.json + 3 ratio gates)"
 NT_BENCH_ITERS=1 NT_BENCH_GATE=1 cargo bench -q --offline -p nt-bench --bench streaming
 
 echo

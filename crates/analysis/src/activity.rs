@@ -69,12 +69,18 @@ fn interval_stats(ts: &TraceSet, interval_secs: u64) -> IntervalStats {
     let ticks_per_interval = interval_secs * 10_000_000;
     // (interval, machine) → bytes.
     let mut bytes: HashMap<(u64, u32), u64> = HashMap::new();
-    for (machine, rec) in ts.data_records() {
-        if rec.status.is_error() {
+    // Columnar scan: codes + flags select data records, then only the
+    // status, machine, start-tick and transferred columns are touched.
+    let t = &ts.records;
+    let (machines, statuses, starts, transfers) =
+        (t.machines(), t.statuses(), t.start_ticks(), t.transfers());
+    for i in 0..t.len() {
+        let kind = t.kind_at(i);
+        if !(kind.is_read() || kind.is_write()) || t.is_paging(i) || statuses[i].is_error() {
             continue;
         }
-        let iv = rec.start_ticks / ticks_per_interval;
-        *bytes.entry((iv, *machine)).or_default() += rec.transferred;
+        let iv = starts[i] / ticks_per_interval;
+        *bytes.entry((iv, machines[i])).or_default() += transfers[i];
     }
     let threshold = BACKGROUND_BYTES_PER_SEC * interval_secs;
     // interval → (active users, total bytes).

@@ -65,7 +65,15 @@ pub struct Burstiness {
 
 /// Extracts open-arrival timestamps (ticks).
 pub fn open_arrival_ticks(ts: &TraceSet) -> Vec<u64> {
-    ts.creates().map(|(_, r)| r.start_ticks).collect()
+    // Columnar scan: only the code and start-tick columns.
+    let create = nt_io::EventKind::Irp(nt_io::MajorFunction::Create).code();
+    ts.records
+        .codes()
+        .iter()
+        .zip(ts.records.start_ticks())
+        .filter(|(&c, _)| c == create)
+        .map(|(_, &t)| t)
+        .collect()
 }
 
 /// Bins arrival ticks at the given interval length.

@@ -82,8 +82,14 @@ impl Dfg {
     /// The DFG of a materialized trace set, in collection order.
     pub fn of_trace_set(set: &TraceSet) -> Dfg {
         let mut b = DfgBuilder::new();
-        for (machine, rec) in &set.records {
-            b.push(*machine, rec.file_object, rec.code);
+        // Columnar scan: only the three columns the DFG needs.
+        let (machines, fos, codes) = (
+            set.records.machines(),
+            set.records.file_objects(),
+            set.records.codes(),
+        );
+        for i in 0..set.records.len() {
+            b.push(machines[i], fos[i], codes[i]);
         }
         b.finish()
     }

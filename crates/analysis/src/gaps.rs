@@ -83,8 +83,9 @@ impl LossWindows {
 pub fn detect_gaps(ts: &TraceSet, min_gap_ticks: u64) -> LossWindows {
     let min_gap_ticks = min_gap_ticks.max(1);
     let mut by_machine: HashMap<u32, Vec<u64>> = HashMap::new();
-    for (m, r) in &ts.records {
-        by_machine.entry(*m).or_default().push(r.start_ticks);
+    // Columnar scan: only the machine and start-tick columns.
+    for (&m, &t) in ts.records.machines().iter().zip(ts.records.start_ticks()) {
+        by_machine.entry(m).or_default().push(t);
     }
     let mut out = LossWindows::new();
     for (m, mut ticks) in by_machine {
@@ -139,8 +140,8 @@ mod tests {
         // Find the largest real silence on some machine, then set the
         // threshold just below it: exactly that hole must be detected.
         let mut by_machine: HashMap<u32, Vec<u64>> = HashMap::new();
-        for (m, r) in &ts.records {
-            by_machine.entry(*m).or_default().push(r.start_ticks);
+        for (m, r) in ts.records.iter() {
+            by_machine.entry(m).or_default().push(r.start_ticks);
         }
         let (machine, largest) = by_machine
             .iter_mut()

@@ -47,13 +47,22 @@ pub fn path_latencies(ts: &TraceSet) -> PathLatencies {
     let mut fws = Vec::new();
     let mut irs = Vec::new();
     let mut iws = Vec::new();
-    for (_, rec) in ts.data_records() {
-        if rec.status.is_error() {
+    // Columnar scan: codes + flags select data records, then only the
+    // status, timestamp and length columns are touched.
+    let t = &ts.records;
+    let (statuses, starts, ends, lengths) =
+        (t.statuses(), t.start_ticks(), t.end_ticks(), t.lengths());
+    for i in 0..t.len() {
+        let kind = t.kind_at(i);
+        if !(kind.is_read() || kind.is_write()) || t.is_paging(i) {
             continue;
         }
-        let lat_us = rec.latency_ticks() as f64 / 10.0;
-        let size = rec.length as f64;
-        match (rec.kind().is_fastio(), rec.kind().is_read()) {
+        if statuses[i].is_error() {
+            continue;
+        }
+        let lat_us = ends[i].saturating_sub(starts[i]) as f64 / 10.0;
+        let size = lengths[i] as f64;
+        match (kind.is_fastio(), kind.is_read()) {
             (true, true) => {
                 frl.push(lat_us);
                 frs.push(size);
@@ -198,8 +207,8 @@ mod tests {
         let ts = synthetic_trace_set(500, 33);
         let batch = path_latencies(&ts);
         let mut acc = LatencyAccumulator::new();
-        for (_, rec) in &ts.records {
-            acc.push_record(rec);
+        for (_, rec) in ts.records.iter() {
+            acc.push_record(&rec);
         }
         assert_eq!(acc.fastio_read_fraction(), batch.fastio_read_fraction);
         assert_eq!(acc.fastio_write_fraction(), batch.fastio_write_fraction);

@@ -44,6 +44,7 @@ pub mod cdf;
 pub mod content;
 pub mod dfg;
 pub mod dimensions;
+pub mod facts;
 pub mod gaps;
 pub mod latency;
 pub mod lifetimes;
@@ -62,6 +63,7 @@ pub mod stream;
 pub mod tails;
 
 pub use cdf::Cdf;
+pub use facts::FactTable;
 pub use schema::{Instance, InstanceBuilder, TraceSet, UsageClass};
 pub use sketch::{HistogramSketch, SpillRuns};
 pub use stats::{correlation, describe, Descriptives};

@@ -88,27 +88,29 @@ pub fn operational_stats(ts: &TraceSet) -> OperationalStats {
     let mut read_sizes = Vec::new();
     let mut write_sizes = Vec::new();
     let mut common = 0u64;
-    for (_, rec) in &ts.records {
-        let kind = rec.kind();
-        if rec.is_paging() {
+    // Columnar scan over codes/flags/statuses/lengths only.
+    let (statuses, lengths) = (ts.records.statuses(), ts.records.lengths());
+    for i in 0..ts.records.len() {
+        let kind = ts.records.kind_at(i);
+        if ts.records.is_paging(i) {
             continue;
         }
         if kind.is_read() {
-            if rec.status.is_error() {
+            if statuses[i].is_error() {
                 reads.1 += 1;
             } else {
                 reads.0 += 1;
-                read_sizes.push(rec.length as f64);
-                if rec.length == 512 || rec.length == 4_096 {
+                read_sizes.push(lengths[i] as f64);
+                if lengths[i] == 512 || lengths[i] == 4_096 {
                     common += 1;
                 }
             }
         } else if kind.is_write() {
-            if rec.status.is_error() {
+            if statuses[i].is_error() {
                 writes.1 += 1;
             } else {
                 writes.0 += 1;
-                write_sizes.push(rec.length as f64);
+                write_sizes.push(lengths[i] as f64);
             }
         } else if !matches!(
             kind,
@@ -116,7 +118,7 @@ pub fn operational_stats(ts: &TraceSet) -> OperationalStats {
                 | EventKind::Irp(MajorFunction::Cleanup)
                 | EventKind::Irp(MajorFunction::Close)
         ) {
-            if rec.status.is_error() {
+            if statuses[i].is_error() {
                 controls.1 += 1;
             } else {
                 controls.0 += 1;
@@ -433,8 +435,8 @@ mod tests {
         let ts = synthetic_trace_set(600, 85);
         let batch = operational_stats(&ts);
         let mut acc = OpsAccumulator::new();
-        for (_, rec) in &ts.records {
-            acc.push_record(rec);
+        for (_, rec) in ts.records.iter() {
+            acc.push_record(&rec);
         }
         for inst in &ts.instances {
             acc.push_instance(inst);
@@ -462,11 +464,11 @@ mod tests {
         let mut left = OpsAccumulator::new();
         let mut right = OpsAccumulator::new();
         for (i, (_, rec)) in ts.records.iter().enumerate() {
-            whole.push_record(rec);
+            whole.push_record(&rec);
             if i % 2 == 0 {
-                left.push_record(rec);
+                left.push_record(&rec);
             } else {
-                right.push_record(rec);
+                right.push_record(&rec);
             }
         }
         left.merge(&right);

@@ -41,18 +41,22 @@ pub struct PagingBursts {
 pub fn paging_bursts(ts: &TraceSet, gap_ticks: u64) -> PagingBursts {
     let mut writes_by_machine: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
     let mut reads_by_machine: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
-    for (m, rec) in &ts.records {
-        if !rec.is_paging() {
+    // Columnar scan: flags select paging rows; only machine, start-tick
+    // and length columns are then read.
+    let t = &ts.records;
+    let (machines, starts, lengths) = (t.machines(), t.start_ticks(), t.lengths());
+    for i in 0..t.len() {
+        if !t.is_paging(i) {
             continue;
         }
-        let out = if rec.kind().is_write() {
+        let out = if t.kind_at(i).is_write() {
             &mut writes_by_machine
         } else {
             &mut reads_by_machine
         };
-        out.entry(*m)
+        out.entry(machines[i])
             .or_default()
-            .push((rec.start_ticks, rec.length));
+            .push((starts[i], lengths[i]));
     }
     let collect = |per: HashMap<u32, Vec<(u64, u64)>>| {
         let mut bursts = Vec::new();
@@ -93,10 +97,9 @@ pub fn paging_bursts(ts: &TraceSet, gap_ticks: u64) -> PagingBursts {
     PagingBursts {
         write_burst_requests: Cdf::from_samples(write_bursts.iter().map(|b| b.requests as f64)),
         write_request_sizes: Cdf::from_samples(
-            ts.records
-                .iter()
-                .filter(|(_, r)| r.is_paging() && r.kind().is_write())
-                .map(|(_, r)| r.length as f64),
+            (0..t.len())
+                .filter(|&i| t.is_paging(i) && t.kind_at(i).is_write())
+                .map(|i| lengths[i] as f64),
         ),
         write_bursts,
         read_bursts,

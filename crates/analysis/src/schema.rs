@@ -13,6 +13,8 @@ use nt_io::EventKind;
 use nt_io::{AccessMode, CreateOptions, Disposition, MajorFunction, NtStatus, SetInfoKind};
 use nt_trace::{NameRecord, TraceRecord};
 
+use crate::facts::FactTable;
+
 /// The table-3 row classes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum UsageClass {
@@ -235,8 +237,10 @@ impl Instance {
 
 /// The two fact tables plus the name dimension.
 pub struct TraceSet {
-    /// All records with their machine, in collection order.
-    pub records: Vec<(u32, TraceRecord)>,
+    /// All records with their machine, in collection order, stored
+    /// column-major ([`FactTable`]) so analysis scans touch only the
+    /// columns they read.
+    pub records: FactTable,
     /// One row per file-object session.
     pub instances: Vec<Instance>,
     /// (machine, file object) → path.
@@ -476,7 +480,7 @@ impl TraceSet {
     pub fn build(
         streams: impl IntoIterator<Item = (u32, Vec<TraceRecord>, Vec<NameRecord>)>,
     ) -> TraceSet {
-        let mut records = Vec::new();
+        let mut records = FactTable::new();
         let mut instances = Vec::new();
         let mut names = HashMap::new();
         for (machine, recs, name_recs) in streams {
@@ -488,10 +492,10 @@ impl TraceSet {
                 builder.push(rec);
             }
             instances.extend(builder.finish());
-            records.extend(recs.into_iter().map(|r| (machine, r)));
+            records.extend(machine, &recs);
         }
         InstanceBuilder::assign_paths(&mut instances, &names);
-        records.sort_by_key(|(m, r)| (r.start_ticks, *m, r.file_object));
+        records.sort_by_time();
         instances.sort_by_key(|i| (i.open_start_ticks, i.machine, i.file_object));
         TraceSet {
             records,
@@ -501,14 +505,14 @@ impl TraceSet {
     }
 
     /// The create records (open requests), in time order.
-    pub fn creates(&self) -> impl Iterator<Item = &(u32, TraceRecord)> {
+    pub fn creates(&self) -> impl Iterator<Item = (u32, TraceRecord)> + '_ {
         self.records
             .iter()
             .filter(|(_, r)| r.kind() == EventKind::Irp(MajorFunction::Create))
     }
 
     /// Non-paging data records (application reads/writes).
-    pub fn data_records(&self) -> impl Iterator<Item = &(u32, TraceRecord)> {
+    pub fn data_records(&self) -> impl Iterator<Item = (u32, TraceRecord)> + '_ {
         self.records
             .iter()
             .filter(|(_, r)| (r.kind().is_read() || r.kind().is_write()) && !r.is_paging())
@@ -516,7 +520,7 @@ impl TraceSet {
 
     /// Machines present in the set.
     pub fn machines(&self) -> Vec<u32> {
-        let mut ms: Vec<u32> = self.records.iter().map(|(m, _)| *m).collect();
+        let mut ms: Vec<u32> = self.records.machines().to_vec();
         ms.sort_unstable();
         ms.dedup();
         ms
@@ -850,10 +854,7 @@ mod tests {
     #[test]
     fn record_stream_sorted_by_time() {
         let ts = scenario();
-        assert!(ts
-            .records
-            .windows(2)
-            .all(|w| w[0].1.start_ticks <= w[1].1.start_ticks));
+        assert!(ts.records.start_ticks().windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(ts.machines(), vec![0]);
         assert!(ts.creates().count() >= 3);
         assert!(ts.data_records().count() >= 4);

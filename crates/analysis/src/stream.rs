@@ -588,7 +588,7 @@ mod tests {
 
     /// Rebuilds shippable raw streams from a synthetic trace set.
     fn raw_streams(ts: &TraceSet) -> (Vec<TraceRecord>, Vec<NameRecord>) {
-        let records: Vec<TraceRecord> = ts.records.iter().map(|(_, r)| *r).collect();
+        let records: Vec<TraceRecord> = ts.records.iter().map(|(_, r)| r).collect();
         let mut names: Vec<NameRecord> = ts
             .names
             .iter()

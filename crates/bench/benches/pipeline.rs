@@ -217,7 +217,7 @@ fn bench_downstream(c: &mut Criterion) {
             )
         })
     });
-    let records: Vec<_> = data.trace_set.records.iter().map(|(_, r)| *r).collect();
+    let records: Vec<_> = data.trace_set.records.iter().map(|(_, r)| r).collect();
     g.throughput(Throughput::Elements(records.len() as u64));
     g.bench_function("paging_dedup_filter", |b| {
         b.iter(|| std::hint::black_box(nt_trace::filter_paging_duplicates(&records).len()))

@@ -8,7 +8,26 @@
 //! in as the reference measurement (see README.md). `NT_BENCH_ITERS`
 //! controls iterations per bench (default 3; CI smokes with 1).
 //!
-//! With `NT_BENCH_GATE=1` the harness additionally enforces the
+//! With `NT_BENCH_GATE=1` the harness enforces the checked-in baseline
+//! two ways. First, the **full-baseline regression gate**: every
+//! `*_min_ns` entry in `BENCH_streaming.json` is re-measured and judged
+//! against its recorded floor at `NT_BENCH_FULL_TOLERANCE` percent
+//! slowdown budget (default 50 — raw nanoseconds wear host noise that
+//! the ratio gates below cancel away, so the raw budget is loose; it
+//! exists to catch the 2x cliffs the three ratio gates never saw).
+//! Entries recorded at a different `NT_BENCH_ITERS` than the current
+//! run are refused outright rather than judged — fewer iterations mean
+//! noisier minima, so cross-iteration comparisons would gate on noise.
+//! A bench that misses its budget is re-measured before it fails: a
+//! real regression is systematic and misses every round, while a noise
+//! spike (a background compile landing on one iteration) misses once
+//! and passes the re-run — the same discipline the ratio gates use.
+//! Stale baseline entries (no longer measured) and new benches (never
+//! recorded) also fail, keeping the file and the harness in lock-step.
+//! Regenerate with `NT_BENCH_WRITE=1` after an intended change, exactly
+//! like the warehouse golden's `GOLDEN_REGEN=1`.
+//!
+//! Second, the three ratio gates. The harness enforces the
 //! telemetry-off overhead budget: the simulate phase of a one-machine
 //! study, normalised against the machine-construction phase measured
 //! beside it (same volume, file table and allocator — only simulate
@@ -38,6 +57,7 @@ use std::time::Instant;
 
 use nt_analysis::stream::{MachineSink, StreamConfig};
 use nt_analysis::{HistogramSketch, TraceSet};
+use nt_bench::{check_min_ns, Baseline, Verdict};
 use nt_cache::RangeSet;
 use nt_sim::{Engine, SimDuration, SimTime};
 use nt_study::{MachineRun, StreamOptions, Study, StudyConfig};
@@ -54,6 +74,10 @@ struct Sample {
     min_ns: u128,
     /// Work items per iteration (records, events …) for ns/item context.
     elements: u64,
+    /// Iterations this sample was measured over — recorded per entry in
+    /// the baseline so the gate can refuse cross-`NT_BENCH_ITERS`
+    /// comparisons (a min over fewer iterations is a noisier floor).
+    iters: u32,
 }
 
 fn iterations() -> u32 {
@@ -64,40 +88,134 @@ fn iterations() -> u32 {
         .unwrap_or(3)
 }
 
-fn time<O, F: FnMut() -> O>(name: &'static str, elements: u64, mut f: F) -> Sample {
-    let n = iterations();
+/// One registered benchmark: its name, the per-iteration element count,
+/// and the closure the harness can run again. Keeping the closure (not
+/// just the measurement) is what lets the full gate re-measure a bench
+/// that misses its budget instead of failing on one noisy round.
+struct Bench {
+    name: &'static str,
+    elements: u64,
+    run: Box<dyn FnMut()>,
+}
+
+/// `n` timed iterations of one bench: (mean ns/iter, fastest iteration).
+fn measure_rounds(bench: &mut Bench, n: u32) -> (u128, u128) {
     let mut total = 0u128;
     let mut min_ns = u128::MAX;
     for _ in 0..n {
         let start = Instant::now();
-        std::hint::black_box(f());
+        (bench.run)();
         let ns = start.elapsed().as_nanos();
         total += ns;
         min_ns = min_ns.min(ns);
     }
-    let ns_per_iter = total / u128::from(n);
-    eprintln!("bench streaming/{name}: {ns_per_iter} ns/iter ({elements} elements)");
+    (total / u128::from(n), min_ns)
+}
+
+fn measure(bench: &mut Bench) -> Sample {
+    let n = iterations();
+    let (ns_per_iter, min_ns) = measure_rounds(bench, n);
+    eprintln!(
+        "bench streaming/{}: {ns_per_iter} ns/iter ({} elements)",
+        bench.name, bench.elements
+    );
     Sample {
-        name,
+        name: bench.name,
         ns_per_iter,
         min_ns,
-        elements,
+        elements: bench.elements,
+        iters: n,
     }
 }
 
-/// Pulls `"key": N` out of the checked-in baseline JSON (flat integers
-/// only, so no parser dependency is needed).
-fn baseline_value(json: &str, key: &str) -> Option<u128> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// Baseline `*_min_ns` entries the per-bench gate must NOT judge raw:
+/// they are the ratio-gate inputs, re-measured and consumed by
+/// [`gate_ratio`] below. Raw comparison would gate on host-speed drift —
+/// cancelling that drift is the whole reason the ratios exist.
+const RATIO_GATE_ENTRIES: &[&str] = &[
+    "gate_smoke_serial",
+    "gate_reference",
+    "gate_sharded",
+    "gate_sharded_reference",
+    "gate_warehouse",
+    "gate_warehouse_reference",
+];
+
+/// The full-baseline regression gate: judges this run's samples against
+/// every `*_min_ns` entry of the checked-in baseline. Fails on a
+/// regression beyond `NT_BENCH_FULL_TOLERANCE` percent, on a stale or
+/// missing entry, and refuses entries recorded at a different
+/// `NT_BENCH_ITERS` than the current run.
+///
+/// A bench over budget is re-measured up to twice, folding the new
+/// floor into its sample, before the verdict sticks: a real regression
+/// is systematic and stays over in every round, while host noise — a
+/// background compile landing on one single-iteration minimum — spikes
+/// one round and passes the next.
+fn gate_full_baseline(baseline: &Baseline, benches: &mut [Bench], samples: &mut [Sample]) {
+    let tolerance = env_tolerance("NT_BENCH_FULL_TOLERANCE", 50.0);
+    let mut checks = Vec::new();
+    for round in 1..=3 {
+        let current: Vec<(String, u128, u32)> = samples
+            .iter()
+            .map(|s| (s.name.to_string(), s.min_ns, s.iters))
+            .collect();
+        checks = check_min_ns(baseline, &current, RATIO_GATE_ENTRIES, tolerance);
+        let over: Vec<&str> = checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed)
+            .map(|c| c.name.as_str())
+            .collect();
+        if over.is_empty() || round == 3 {
+            break;
+        }
+        eprintln!(
+            "bench gate [full]: {} bench(es) over budget on round {round} ({}); re-measuring",
+            over.len(),
+            over.join(", ")
+        );
+        for bench in benches.iter_mut() {
+            if !over.contains(&bench.name) {
+                continue;
+            }
+            let sample = samples
+                .iter_mut()
+                .find(|s| s.name == bench.name)
+                .expect("every bench was sampled");
+            let (_, min_ns) = measure_rounds(bench, sample.iters);
+            sample.min_ns = sample.min_ns.min(min_ns);
+        }
+    }
+    let mut failures = 0usize;
+    for c in &checks {
+        let verdict = match c.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "FAIL (regressed)",
+            Verdict::MissingCurrent => "FAIL (stale baseline entry — bench no longer runs)",
+            Verdict::MissingBaseline => "FAIL (bench not in baseline)",
+            Verdict::ItersMismatch => "REFUSED (recorded at different NT_BENCH_ITERS)",
+        };
+        eprintln!(
+            "bench gate [full/{}]: {} ns vs baseline {} ns ({:+.1}%, budget {tolerance}%) {verdict}",
+            c.name,
+            c.current_min_ns.map_or_else(|| "-".into(), |v| v.to_string()),
+            c.baseline_min_ns.map_or_else(|| "-".into(), |v| v.to_string()),
+            c.delta_pct,
+        );
+        failures += usize::from(c.failed());
+    }
+    assert_eq!(
+        failures,
+        0,
+        "full-baseline gate: {failures} of {} benches failed; if the change is \
+         intended, regenerate the baseline with NT_BENCH_WRITE=1 at the same \
+         NT_BENCH_ITERS the gate runs with",
+        checks.len()
+    );
 }
 
-/// The telemetry-off overhead gate (`NT_BENCH_GATE=1`).
+/// The `NT_BENCH_GATE=1` enforcement pass: the full-baseline per-bench
+/// gate above, then the three ratio gates.
 ///
 /// Comparing raw nanoseconds against a baseline recorded in a different
 /// process would gate on host-speed drift (shared CPUs, turbo decay),
@@ -108,11 +226,17 @@ fn baseline_value(json: &str, key: &str) -> Option<u128> {
 /// memory-bandwidth pressure — hits both phases alike and cancels,
 /// while a real regression on the instrumented simulate path moves
 /// the ratio.
-fn gate(baseline_path: &str) {
+fn gate(baseline_path: &str, benches: &mut [Bench], samples: &mut [Sample]) {
     let json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("bench gate needs {baseline_path}: {e}"));
+    let baseline = Baseline::parse(&json);
+    assert!(
+        !baseline.is_empty(),
+        "baseline {baseline_path} parsed to nothing; regenerate with NT_BENCH_WRITE=1"
+    );
+    gate_full_baseline(&baseline, benches, samples);
     let baseline_min = |name: &str| -> f64 {
-        baseline_value(&json, &format!("{name}_min_ns")).unwrap_or_else(|| {
+        baseline.get(&format!("{name}_min_ns")).unwrap_or_else(|| {
             panic!("baseline entry for {name}; regenerate with NT_BENCH_WRITE=1")
         }) as f64
     };
@@ -323,10 +447,10 @@ fn encode_warehouse_segment(
 ) -> Vec<u8> {
     let mut w = nt_warehouse::SegmentWriter::new(0);
     for chunk in records.chunks(3_000) {
-        w.push_batch(chunk);
+        w.push_batch(chunk).expect("bench batches fit u32");
     }
     for name in names {
-        w.push_name(name);
+        w.push_name(name).expect("bench paths fit u32");
     }
     w.finish()
 }
@@ -348,28 +472,36 @@ fn one_machine_stream() -> (Vec<nt_trace::TraceRecord>, Vec<nt_trace::NameRecord
 }
 
 fn main() {
-    let mut samples = Vec::new();
+    let mut benches: Vec<Bench> = Vec::new();
 
     // Substrate: raw event dispatch, the floor under every simulated op.
-    samples.push(time("engine_schedule_and_fire_10k", 10_000, || {
-        let mut engine: Engine<u64> = Engine::new();
-        for i in 0..10_000u64 {
-            engine.schedule_at(SimTime::from_micros(i * 7 % 9_999), |w, _| *w += 1);
-        }
-        let mut fired = 0u64;
-        engine.run(&mut fired);
-        fired
-    }));
+    benches.push(Bench {
+        name: "engine_schedule_and_fire_10k",
+        elements: 10_000,
+        run: Box::new(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            for i in 0..10_000u64 {
+                engine.schedule_at(SimTime::from_micros(i * 7 % 9_999), |w, _| *w += 1);
+            }
+            let mut fired = 0u64;
+            engine.run(&mut fired);
+            std::hint::black_box(fired);
+        }),
+    });
 
     // Substrate: range coalescing, the cache manager's hot structure.
-    samples.push(time("range_set_insert_coalesce_1k", 1_000, || {
-        let mut rs = RangeSet::new();
-        for i in 0..1_000u64 {
-            let s = (i * 37) % 100_000;
-            rs.insert(s, s + 64);
-        }
-        rs.covered_bytes()
-    }));
+    benches.push(Bench {
+        name: "range_set_insert_coalesce_1k",
+        elements: 1_000,
+        run: Box::new(|| {
+            let mut rs = RangeSet::new();
+            for i in 0..1_000u64 {
+                let s = (i * 37) % 100_000;
+                rs.insert(s, s + 64);
+            }
+            std::hint::black_box(rs.covered_bytes());
+        }),
+    });
 
     // Driver-stack dispatch: 100k warm FastIO reads through a machine
     // whose stack holds only the (non-intercepting) observer layer — the
@@ -377,99 +509,158 @@ fn main() {
     // is the per-op floor of the trait-object stack; the NT_BENCH_GATE
     // ratio below proves the refactor kept the end-to-end simulate phase
     // within budget of the pre-refactor baseline.
-    samples.push(time("machine_dispatch_warm_read_100k", 100_000, || {
-        use nt_fs::{NtPath, VolumeConfig};
-        use nt_io::{
-            AccessMode, CreateOptions, DiskParams, Disposition, Machine, MachineConfig,
-            NullObserver, ProcessId,
-        };
-        let mut m = Machine::new(MachineConfig::default(), NullObserver);
-        let vol = m.add_local_volume(
-            'C',
-            VolumeConfig::local_ntfs(1 << 30),
-            DiskParams::local_ide(),
-        );
-        let (reply, h) = m.create(
-            ProcessId(1),
-            vol,
-            &NtPath::parse(r"\bench.dat"),
-            AccessMode::ReadWrite,
-            Disposition::OpenIf,
-            CreateOptions::default(),
-            SimTime::from_secs(1),
-        );
-        assert!(reply.status.is_success());
-        let h = h.expect("open succeeded");
-        let mut at = SimTime::from_secs(2);
-        at = m.write(h, Some(0), 65_536, at).end;
-        for _ in 0..100_000u32 {
-            at = m.read(h, Some(0), 4_096, at).end;
-        }
-        m.metrics().fastio_reads
-    }));
+    benches.push(Bench {
+        name: "machine_dispatch_warm_read_100k",
+        elements: 100_000,
+        run: Box::new(|| {
+            use nt_fs::{NtPath, VolumeConfig};
+            use nt_io::{
+                AccessMode, CreateOptions, DiskParams, Disposition, Machine, MachineConfig,
+                NullObserver, ProcessId,
+            };
+            let mut m = Machine::new(MachineConfig::default(), NullObserver);
+            let vol = m.add_local_volume(
+                'C',
+                VolumeConfig::local_ntfs(1 << 30),
+                DiskParams::local_ide(),
+            );
+            let (reply, h) = m.create(
+                ProcessId(1),
+                vol,
+                &NtPath::parse(r"\bench.dat"),
+                AccessMode::ReadWrite,
+                Disposition::OpenIf,
+                CreateOptions::default(),
+                SimTime::from_secs(1),
+            );
+            assert!(reply.status.is_success());
+            let h = h.expect("open succeeded");
+            let mut at = SimTime::from_secs(2);
+            at = m.write(h, Some(0), 65_536, at).end;
+            for _ in 0..100_000u32 {
+                at = m.read(h, Some(0), 4_096, at).end;
+            }
+            std::hint::black_box(m.metrics().fastio_reads);
+        }),
+    });
 
     // Sketch ingestion: the per-record overhead the streaming sinks add.
-    samples.push(time("histogram_sketch_record_100k", 100_000, || {
-        let mut h = HistogramSketch::new();
-        for i in 0..100_000u64 {
-            h.record(((i * 2_654_435_761) % (1 << 24)) as f64);
-        }
-        h.len()
-    }));
+    benches.push(Bench {
+        name: "histogram_sketch_record_100k",
+        elements: 100_000,
+        run: Box::new(|| {
+            let mut h = HistogramSketch::new();
+            for i in 0..100_000u64 {
+                h.record(((i * 2_654_435_761) % (1 << 24)) as f64);
+            }
+            std::hint::black_box(h.len());
+        }),
+    });
 
     // Head-to-head on identical input: one machine's stream through a
     // MachineSink (online aggregates) vs TraceSet::build (fact tables).
     let (records, names) = one_machine_stream();
     let n = records.len() as u64;
-    samples.push(time("sink_ingest_one_machine", n, || {
-        let mut sink = MachineSink::new(0, &StreamConfig::default());
-        for (seq, chunk) in records.chunks(3_000).enumerate() {
-            sink.on_batch(Some(seq as u64), chunk.to_vec());
-        }
-        for name in &names {
-            sink.on_name(None, name.clone());
-        }
-        sink.records()
-    }));
-    samples.push(time("trace_set_build_one_machine", n, || {
-        TraceSet::build(vec![(0, records.clone(), names.clone())])
-            .instances
-            .len()
-    }));
+    {
+        let (records, names) = (records.clone(), names.clone());
+        benches.push(Bench {
+            name: "sink_ingest_one_machine",
+            elements: n,
+            run: Box::new(move || {
+                let mut sink = MachineSink::new(0, &StreamConfig::default());
+                for (seq, chunk) in records.chunks(3_000).enumerate() {
+                    sink.on_batch(Some(seq as u64), chunk.to_vec());
+                }
+                for name in &names {
+                    sink.on_name(None, name.clone());
+                }
+                std::hint::black_box(sink.records());
+            }),
+        });
+    }
+    benches.push(Bench {
+        name: "trace_set_build_one_machine",
+        elements: n,
+        run: Box::new(move || {
+            std::hint::black_box(
+                TraceSet::build(vec![(0, records.clone(), names.clone())])
+                    .instances
+                    .len(),
+            );
+        }),
+    });
 
     // Warehouse encode: 100k records through the NTT segment writer —
     // interning, batch table, footer accounting, checksum, all of it.
     let (wrecords, wnames) = warehouse_stream_100k();
-    samples.push(time("warehouse_export_100k", 100_000, || {
-        encode_warehouse_segment(&wrecords, &wnames).len()
-    }));
+    benches.push(Bench {
+        name: "warehouse_export_100k",
+        elements: 100_000,
+        run: Box::new(move || {
+            std::hint::black_box(encode_warehouse_segment(&wrecords, &wnames).len());
+        }),
+    });
 
     // End to end at smoke scale: full study, batch vs streaming driver.
     let config = StudyConfig::smoke_test(13);
-    samples.push(time("smoke_study_batch", 1, || {
-        Study::run(&config).total_records
-    }));
-    samples.push(time("smoke_study_streaming", 1, || {
-        Study::run_streaming(&config, &StreamOptions::default()).total_records
-    }));
+    {
+        let config = config.clone();
+        benches.push(Bench {
+            name: "smoke_study_batch",
+            elements: 1,
+            run: Box::new(move || {
+                std::hint::black_box(Study::run(&config).total_records);
+            }),
+        });
+    }
+    {
+        let config = config.clone();
+        benches.push(Bench {
+            name: "smoke_study_streaming",
+            elements: 1,
+            run: Box::new(move || {
+                std::hint::black_box(
+                    Study::run_streaming(&config, &StreamOptions::default()).total_records,
+                );
+            }),
+        });
+    }
     // The same study on one worker thread: scheduler-jitter-free, so the
     // telemetry-off overhead gate compares against this one.
-    samples.push(time("smoke_study_serial", 1, || {
-        Study::run_with_workers(&config, 1).total_records
-    }));
+    {
+        let config = config.clone();
+        benches.push(Bench {
+            name: "smoke_study_serial",
+            elements: 1,
+            run: Box::new(move || {
+                std::hint::black_box(Study::run_with_workers(&config, 1).total_records);
+            }),
+        });
+    }
     // The same study through the sharded collection tree — the whole
     // agent → shard → aggregator → fleet reduction, auto-sized workers.
-    samples.push(time("sharded_study_smoke", 1, || {
-        Study::run_sharded(
-            &config,
-            &nt_study::ShardOptions {
-                shards: 4,
-                ..nt_study::ShardOptions::default()
-            },
-        )
-        .data
-        .total_records
-    }));
+    {
+        let config = config.clone();
+        benches.push(Bench {
+            name: "sharded_study_smoke",
+            elements: 1,
+            run: Box::new(move || {
+                std::hint::black_box(
+                    Study::run_sharded(
+                        &config,
+                        &nt_study::ShardOptions {
+                            shards: 4,
+                            ..nt_study::ShardOptions::default()
+                        },
+                    )
+                    .data
+                    .total_records,
+                );
+            }),
+        });
+    }
+
+    let mut samples: Vec<Sample> = benches.iter_mut().map(measure).collect();
 
     // Context the timings need: stream volume and the streaming memory
     // footprint at this scale.
@@ -485,7 +676,7 @@ fn main() {
 
     let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
     if std::env::var("NT_BENCH_GATE").is_ok() {
-        gate(baseline_path);
+        gate(baseline_path, &mut benches, &mut samples);
     }
 
     if std::env::var("NT_BENCH_WRITE").is_ok() {
@@ -501,6 +692,7 @@ fn main() {
                 s.name, s.ns_per_iter
             ));
             out.push_str(&format!("  \"{}_min_ns\": {},\n", s.name, s.min_ns));
+            out.push_str(&format!("  \"{}_iters\": {},\n", s.name, s.iters));
             out.push_str(&format!("  \"{}_elements\": {},\n", s.name, s.elements));
         }
         out.push_str(&format!("  \"gate_smoke_serial_min_ns\": {gate_study},\n"));

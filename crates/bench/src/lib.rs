@@ -7,6 +7,9 @@
 
 use nt_study::{StreamOptions, StreamedStudyData, Study, StudyConfig, StudyData};
 
+pub mod baseline;
+pub use baseline::{check_min_ns, Baseline, BenchCheck, Verdict};
+
 /// The scales the harness runs at.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {

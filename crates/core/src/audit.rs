@@ -331,6 +331,16 @@ fn slice_mismatches<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     differing + a.len().abs_diff(b.len())
 }
 
+/// Positional mismatch count of two columnar fact tables: rows that
+/// differ at the same index, plus the length difference.
+fn fact_mismatches(a: &nt_analysis::FactTable, b: &nt_analysis::FactTable) -> usize {
+    let shared = a.len().min(b.len());
+    let differing = (0..shared)
+        .filter(|&i| a.machine_at(i) != b.machine_at(i) || a.get(i) != b.get(i))
+        .count();
+    differing + a.len().abs_diff(b.len())
+}
+
 /// Runs the same configuration through the batch pipeline, the streaming
 /// pipeline (with retained fact tables), and trace replay, and compares
 /// the three leg by leg. Scale and fault plan come from `config` — this
@@ -363,7 +373,7 @@ pub fn differential_check(
             table: "records",
             batch_rows: bt.records.len(),
             streaming_rows: streamed_tables.records.len(),
-            mismatches: slice_mismatches(&bt.records, &streamed_tables.records),
+            mismatches: fact_mismatches(&bt.records, &streamed_tables.records),
         },
         TableDrift {
             table: "instances",

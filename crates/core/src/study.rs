@@ -122,6 +122,13 @@ impl StudyData {
     pub fn total_lost(&self) -> u64 {
         self.machines.iter().map(|m| m.loss.lost()).sum()
     }
+
+    /// The per-driver-layer ns/op budget from the self-profiler: one row
+    /// per phase that ran, averaging exclusive host time per operation.
+    /// Empty when the study ran with telemetry off.
+    pub fn layer_budget(&self) -> Vec<nt_obs::PhaseBudget> {
+        self.profile.layer_budget()
+    }
 }
 
 /// The study driver.
@@ -359,6 +366,12 @@ impl StreamedStudyData {
     /// Records lost across the fleet (overflow + suspension).
     pub fn total_lost(&self) -> u64 {
         self.machines.iter().map(|m| m.loss.lost()).sum()
+    }
+
+    /// The per-driver-layer ns/op budget from the self-profiler (see
+    /// [`StudyData::layer_budget`]).
+    pub fn layer_budget(&self) -> Vec<nt_obs::PhaseBudget> {
+        self.profile.layer_budget()
     }
 }
 

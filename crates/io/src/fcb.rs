@@ -4,16 +4,24 @@
 //! and VM manager key their per-file state by [`FcbId`]. The table also
 //! tracks handle counts so the machine knows when the last cleanup has
 //! happened and delete-pending files can actually disappear (§8.1).
+//!
+//! Storage is a generational [`Arena`]: the dispatch path resolves FCBs
+//! by slot handle in O(1) with no hashing, while the public [`FcbId`]
+//! stays a monotonic counter — trace records carry it, and the analysis
+//! digests depend on the exact id sequence a run produces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nt_fs::{NodeId, VolumeId};
 
+use crate::arena::{Arena, ArenaHandle};
 use crate::types::FcbId;
 
 /// Per-FCB bookkeeping.
 #[derive(Clone, Debug)]
 pub struct Fcb {
+    /// The monotonic trace-visible identity (§3.2's FCB field).
+    pub id: FcbId,
     /// The file's identity.
     pub volume: VolumeId,
     /// The namespace node.
@@ -28,11 +36,12 @@ pub struct Fcb {
     pub written: bool,
 }
 
-/// The FCB table of one machine.
+/// The FCB table of one machine. Slots are [`ArenaHandle`]s; stale
+/// handles (FCB reclaimed, slot reused) never resolve.
 #[derive(Default)]
 pub struct FcbTable {
-    by_file: HashMap<(VolumeId, NodeId), FcbId>,
-    fcbs: HashMap<FcbId, Fcb>,
+    by_file: BTreeMap<(VolumeId, NodeId), ArenaHandle>,
+    fcbs: Arena<Fcb>,
     next: u64,
 }
 
@@ -52,68 +61,68 @@ impl FcbTable {
         self.fcbs.is_empty()
     }
 
-    /// Returns the FCB for a file, creating one on first open.
-    pub fn open(&mut self, volume: VolumeId, node: NodeId) -> FcbId {
+    /// Returns the FCB for a file — slot and trace id — creating one on
+    /// first open.
+    pub fn open(&mut self, volume: VolumeId, node: NodeId) -> (ArenaHandle, FcbId) {
         let key = (volume, node);
-        if let Some(&id) = self.by_file.get(&key) {
-            let fcb = self.fcbs.get_mut(&id).expect("indexed FCB exists");
+        if let Some(&slot) = self.by_file.get(&key) {
+            let fcb = self.fcbs.get_mut(slot).expect("indexed FCB exists");
             fcb.handle_count += 1;
             fcb.object_count += 1;
-            return id;
+            return (slot, fcb.id);
         }
         let id = FcbId(self.next);
         self.next += 1;
-        self.by_file.insert(key, id);
-        self.fcbs.insert(
+        let slot = self.fcbs.insert(Fcb {
             id,
-            Fcb {
-                volume,
-                node,
-                handle_count: 1,
-                object_count: 1,
-                delete_pending: false,
-                written: false,
-            },
-        );
-        id
+            volume,
+            node,
+            handle_count: 1,
+            object_count: 1,
+            delete_pending: false,
+            written: false,
+        });
+        self.by_file.insert(key, slot);
+        (slot, id)
     }
 
     /// Looks up a live FCB.
-    pub fn get(&self, id: FcbId) -> Option<&Fcb> {
-        self.fcbs.get(&id)
+    pub fn get(&self, slot: ArenaHandle) -> Option<&Fcb> {
+        self.fcbs.get(slot)
     }
 
     /// Mutable access to a live FCB.
-    pub fn get_mut(&mut self, id: FcbId) -> Option<&mut Fcb> {
-        self.fcbs.get_mut(&id)
+    pub fn get_mut(&mut self, slot: ArenaHandle) -> Option<&mut Fcb> {
+        self.fcbs.get_mut(slot)
     }
 
     /// Finds the FCB currently associated with a file, if any.
-    pub fn find(&self, volume: VolumeId, node: NodeId) -> Option<FcbId> {
+    pub fn find(&self, volume: VolumeId, node: NodeId) -> Option<ArenaHandle> {
         self.by_file.get(&(volume, node)).copied()
     }
 
     /// Handle cleanup: decrements the handle count. Returns `true` when
     /// this was the last handle (the point where delete-pending files are
     /// removed and the cache starts tearing down).
-    pub fn cleanup(&mut self, id: FcbId) -> bool {
-        let fcb = self.fcbs.get_mut(&id).expect("cleanup of a live FCB");
+    pub fn cleanup(&mut self, slot: ArenaHandle) -> bool {
+        let fcb = self.fcbs.get_mut(slot).expect("cleanup of a live FCB");
         debug_assert!(fcb.handle_count > 0);
         fcb.handle_count -= 1;
         fcb.handle_count == 0
     }
 
     /// Final close of one file object. When the last object goes away the
-    /// FCB is reclaimed; returns `true` in that case.
-    pub fn close(&mut self, id: FcbId) -> bool {
-        let Some(fcb) = self.fcbs.get_mut(&id) else {
+    /// FCB is reclaimed (its slot generation bumps); returns `true` in
+    /// that case.
+    pub fn close(&mut self, slot: ArenaHandle) -> bool {
+        let Some(fcb) = self.fcbs.get_mut(slot) else {
             return false;
         };
         debug_assert!(fcb.object_count > 0);
         fcb.object_count -= 1;
         if fcb.object_count == 0 && fcb.handle_count == 0 {
             let key = (fcb.volume, fcb.node);
-            self.fcbs.remove(&id);
+            self.fcbs.remove(slot);
             self.by_file.remove(&key);
             true
         } else {
@@ -122,8 +131,8 @@ impl FcbTable {
     }
 
     /// Forcibly drops an FCB (file deleted underneath).
-    pub fn drop_fcb(&mut self, id: FcbId) {
-        if let Some(fcb) = self.fcbs.remove(&id) {
+    pub fn drop_fcb(&mut self, slot: ArenaHandle) {
+        if let Some(fcb) = self.fcbs.remove(slot) {
             self.by_file.remove(&(fcb.volume, fcb.node));
         }
     }
@@ -145,9 +154,10 @@ mod tests {
     fn opens_of_same_file_share_an_fcb() {
         let (vol, node) = some_node();
         let mut t = FcbTable::new();
-        let a = t.open(vol, node);
-        let b = t.open(vol, node);
+        let (a, aid) = t.open(vol, node);
+        let (b, bid) = t.open(vol, node);
         assert_eq!(a, b);
+        assert_eq!(aid, bid);
         assert_eq!(t.get(a).unwrap().handle_count, 2);
         assert_eq!(t.len(), 1);
     }
@@ -156,11 +166,11 @@ mod tests {
     fn lifecycle_cleanup_then_close() {
         let (vol, node) = some_node();
         let mut t = FcbTable::new();
-        let id = t.open(vol, node);
-        assert!(t.cleanup(id), "last handle");
-        assert!(t.get(id).is_some(), "FCB survives until close");
-        assert!(t.close(id), "last object reclaims the FCB");
-        assert!(t.get(id).is_none());
+        let (slot, _) = t.open(vol, node);
+        assert!(t.cleanup(slot), "last handle");
+        assert!(t.get(slot).is_some(), "FCB survives until close");
+        assert!(t.close(slot), "last object reclaims the FCB");
+        assert!(t.get(slot).is_none());
         assert!(t.find(vol, node).is_none());
     }
 
@@ -168,22 +178,24 @@ mod tests {
     fn two_handles_interleaved() {
         let (vol, node) = some_node();
         let mut t = FcbTable::new();
-        let id = t.open(vol, node);
+        let (slot, _) = t.open(vol, node);
         t.open(vol, node);
-        assert!(!t.cleanup(id), "one handle remains");
-        assert!(!t.close(id));
-        assert!(t.cleanup(id));
-        assert!(t.close(id), "now the FCB dies");
+        assert!(!t.cleanup(slot), "one handle remains");
+        assert!(!t.close(slot));
+        assert!(t.cleanup(slot));
+        assert!(t.close(slot), "now the FCB dies");
     }
 
     #[test]
     fn new_fcb_after_reclaim() {
         let (vol, node) = some_node();
         let mut t = FcbTable::new();
-        let a = t.open(vol, node);
+        let (a, aid) = t.open(vol, node);
         t.cleanup(a);
         t.close(a);
-        let b = t.open(vol, node);
-        assert_ne!(a, b, "a reopened file gets a fresh FCB id");
+        let (b, bid) = t.open(vol, node);
+        assert_ne!(aid, bid, "a reopened file gets a fresh FCB id");
+        assert!(t.get(a).is_none(), "the stale slot handle is dead");
+        assert!(t.get(b).is_some());
     }
 }

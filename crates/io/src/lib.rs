@@ -33,6 +33,7 @@
 //! and applied by an explicit [`Machine::pump`] at the next operation or
 //! lazy-writer tick.
 
+pub mod arena;
 pub mod fastio;
 pub mod fcb;
 pub mod filters;
@@ -46,6 +47,7 @@ pub mod stack;
 pub mod status;
 pub mod types;
 
+pub use arena::{Arena, ArenaHandle};
 pub use fastio::{irp_fallback, FastIoDispatch};
 pub use fcb::{Fcb, FcbTable};
 pub use filters::{AntivirusFilter, FastIoVeto, ObserverFilter, SpanFilter};

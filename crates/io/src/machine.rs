@@ -20,7 +20,7 @@
 //! once per second of virtual time, mirroring the real scan cadence (§9.2).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::marker::PhantomData;
 
 use nt_cache::{CacheConfig, CacheManager, CacheOpenHints};
@@ -31,6 +31,7 @@ use nt_vm::{VmConfig, VmManager};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::arena::{Arena, ArenaHandle};
 use crate::fastio::irp_fallback;
 use crate::fcb::FcbTable;
 use crate::filters::ObserverFilter;
@@ -238,6 +239,7 @@ impl Default for MachineConfig {
 pub(crate) struct OpenHandle {
     pub(crate) fo: FileObjectId,
     pub(crate) fcb: FcbId,
+    pub(crate) fcb_slot: ArenaHandle,
     pub(crate) volume: VolumeId,
     pub(crate) node: NodeId,
     pub(crate) process: ProcessId,
@@ -257,6 +259,7 @@ pub(crate) enum Pending {
     CloseIrp {
         fo: FileObjectId,
         fcb: FcbId,
+        fcb_slot: ArenaHandle,
         volume: VolumeId,
         node: NodeId,
         process: ProcessId,
@@ -278,21 +281,26 @@ pub struct Machine<O: IoObserver> {
     pub(crate) latency: LatencyModel,
     pub(crate) stack: DriverStack,
     pub(crate) rng: SmallRng,
-    pub(crate) handles: HashMap<u64, OpenHandle>,
+    pub(crate) handles: Arena<OpenHandle>,
     pub(crate) next_fo: u64,
-    pub(crate) next_handle: u64,
-    pub(crate) pending: BinaryHeap<Reverse<(SimTime, u64)>>,
-    pub(crate) pending_actions: HashMap<u64, Pending>,
+    /// Scheduled background actions in a slab; the heap carries each
+    /// action's due time, a FIFO tie-break sequence and its packed slot.
+    pub(crate) pending: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    pub(crate) pending_actions: Arena<Pending>,
     pub(crate) pending_seq: u64,
     /// File objects whose deferred close waits for the lazy writer to
     /// drain; several opens of the same file can be queued at once. The
     /// stored time is each cleanup's completion, which its close IRP
-    /// must not precede.
-    pub(crate) deferred_close: HashMap<FileKey, Vec<(FileObjectId, FcbId, ProcessId, SimTime)>>,
+    /// must not precede. BTreeMap: iteration feeds events, so the order
+    /// must be deterministic.
+    #[allow(clippy::type_complexity)]
+    pub(crate) deferred_close:
+        BTreeMap<FileKey, Vec<(FileObjectId, FcbId, ArenaHandle, ProcessId, SimTime)>>,
     /// Pending change-notification IRPs per watched directory. The IRP
     /// stays pended from registration until a change in the directory
-    /// completes it (FindFirstChangeNotification).
-    pub(crate) watches: HashMap<FileKey, Vec<WatchEntry>>,
+    /// completes it (FindFirstChangeNotification). BTreeMap for the same
+    /// reason as `deferred_close`.
+    pub(crate) watches: BTreeMap<FileKey, Vec<WatchEntry>>,
     /// Share-mode arbitration and byte-range locks, keyed by file.
     pub(crate) shares: crate::sharing::ShareRegistry,
     pub(crate) metrics: IoMetrics,
@@ -318,14 +326,13 @@ impl<O: IoObserver> Machine<O> {
             latency: LatencyModel::new(config.latency.clone(), Vec::new()),
             stack,
             rng: SmallRng::seed_from_u64(config.seed),
-            handles: HashMap::new(),
+            handles: Arena::new(),
             next_fo: 1,
-            next_handle: 1,
             pending: BinaryHeap::new(),
-            pending_actions: HashMap::new(),
+            pending_actions: Arena::new(),
             pending_seq: 0,
-            deferred_close: HashMap::new(),
-            watches: HashMap::new(),
+            deferred_close: BTreeMap::new(),
+            watches: BTreeMap::new(),
             shares: crate::sharing::ShareRegistry::new(),
             metrics: IoMetrics::default(),
             config,
@@ -352,10 +359,6 @@ impl<O: IoObserver> Machine<O> {
     /// [`NtStatus::NetworkUnreachable`]; local volumes are unaffected.
     pub fn set_network_available(&mut self, up: bool) {
         self.network_up = up;
-    }
-
-    pub(crate) fn share_key(volume: VolumeId, node: NodeId) -> u64 {
-        ((volume.0 as u64) << 32) | node.index() as u64
     }
 
     /// Adds a local volume with its disk model.
@@ -484,11 +487,12 @@ impl<O: IoObserver> Machine<O> {
             return out;
         }
         let layers = self.stack.len();
+        let mark = self.stack.frames_mark();
         let mut depth = layers;
         let mut short_circuit = None;
         for i in 0..layers {
             match self.stack.pre(i, &mut frame) {
-                FilterAction::Pass => {}
+                FilterAction::Pass => self.stack.push_frame(frame),
                 FilterAction::Complete(reply) => {
                     depth = i;
                     short_circuit = Some(reply);
@@ -504,9 +508,13 @@ impl<O: IoObserver> Machine<O> {
                 out
             }
         };
+        // Ascend: each layer completes against its own recorded stack
+        // location, the packet exactly as it passed it down.
         for i in (0..depth).rev() {
-            self.stack.post(i, &frame, &mut reply);
+            let layer_frame = self.stack.frame_at(mark + i);
+            self.stack.post(i, &layer_frame, &mut reply);
         }
+        self.stack.truncate_frames(mark);
         (reply, value)
     }
 
@@ -537,18 +545,18 @@ impl<O: IoObserver> Machine<O> {
     pub(crate) fn schedule(&mut self, due: SimTime, action: Pending) {
         let seq = self.pending_seq;
         self.pending_seq += 1;
-        self.pending.push(Reverse((due, seq)));
-        self.pending_actions.insert(seq, action);
+        let slot = self.pending_actions.insert(action);
+        self.pending.push(Reverse((due, seq, slot.pack())));
     }
 
     /// Applies background completions due at or before `now`.
     pub fn pump(&mut self, now: SimTime) {
-        while let Some(&Reverse((due, seq))) = self.pending.peek() {
+        while let Some(&Reverse((due, _, slot))) = self.pending.peek() {
             if due > now {
                 break;
             }
             self.pending.pop();
-            let Some(action) = self.pending_actions.remove(&seq) else {
+            let Some(action) = self.pending_actions.remove_raw(slot) else {
                 continue;
             };
             match action {
@@ -558,20 +566,23 @@ impl<O: IoObserver> Machine<O> {
                 Pending::CloseIrp {
                     fo,
                     fcb,
+                    fcb_slot,
                     volume,
                     node,
                     process,
                 } => {
-                    self.emit_close_irp(fo, fcb, volume, node, process, due);
+                    self.emit_close_irp(fo, fcb, fcb_slot, volume, node, process, due);
                 }
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn emit_close_irp(
         &mut self,
         fo: FileObjectId,
         fcb: FcbId,
+        fcb_slot: ArenaHandle,
         volume: VolumeId,
         node: NodeId,
         process: ProcessId,
@@ -611,7 +622,7 @@ impl<O: IoObserver> Machine<O> {
             }
         );
         self.metrics.closes += 1;
-        self.fcbs.close(fcb);
+        self.fcbs.close(fcb_slot);
     }
 
     /// Completes any deferred closes queued on `key` — the cache map is
@@ -620,9 +631,9 @@ impl<O: IoObserver> Machine<O> {
     pub(crate) fn release_deferred(&mut self, key: FileKey, now: SimTime) {
         if let Some(waiters) = self.deferred_close.remove(&key) {
             let (volume, node) = key;
-            for (fo, fcb, process, cleaned) in waiters {
+            for (fo, fcb, fcb_slot, process, cleaned) in waiters {
                 let at = now.max(cleaned + self.config.cache.clean_close_delay);
-                self.emit_close_irp(fo, fcb, volume, node, process, at);
+                self.emit_close_irp(fo, fcb, fcb_slot, volume, node, process, at);
             }
         }
     }
@@ -660,7 +671,7 @@ impl<O: IoObserver> Machine<O> {
     }
 
     pub(crate) fn advance_offset(&mut self, handle: HandleId, new_offset: u64) {
-        if let Some(h) = self.handles.get_mut(&handle.0) {
+        if let Some(h) = self.handles.get_raw_mut(handle.0) {
             h.byte_offset = new_offset;
         }
     }

@@ -20,11 +20,12 @@ impl<O: IoObserver> Machine<O> {
     }
 
     fn close_fsd(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        let Some(h) = self.handles.remove(&handle.0) else {
+        let Some(h) = self.handles.remove_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
-        let (fo, fcb, volume, node, process, options) =
-            (h.fo, h.fcb, h.volume, h.node, h.process, h.options);
+        let (fo, fcb, fcb_slot, volume, node, process, options) = (
+            h.fo, h.fcb, h.fcb_slot, h.volume, h.node, h.process, h.options,
+        );
         if h.mapped {
             self.vm.unmap(&(volume, node));
         }
@@ -69,8 +70,7 @@ impl<O: IoObserver> Machine<O> {
 
         // Release byte-range locks and the share registration with the
         // cleanup, as NT does; held locks produce an UnlockAll call.
-        let share_key = Self::share_key(volume, node);
-        let dropped = self.shares.locks_mut(share_key).unlock_all(handle);
+        let dropped = self.shares.locks_mut(fcb_slot).unlock_all(handle);
         if dropped > 0 {
             emit_event!(
                 self,
@@ -99,9 +99,9 @@ impl<O: IoObserver> Machine<O> {
                 }
             );
         }
-        self.shares.close(share_key, handle);
+        self.shares.close(fcb_slot, handle);
 
-        let last_handle = self.fcbs.cleanup(fcb);
+        let last_handle = self.fcbs.cleanup(fcb_slot);
         if !last_handle {
             // Other handles remain: the file object closes quickly, the
             // FCB stays.
@@ -110,6 +110,7 @@ impl<O: IoObserver> Machine<O> {
                 Pending::CloseIrp {
                     fo,
                     fcb,
+                    fcb_slot,
                     volume,
                     node,
                     process,
@@ -122,7 +123,7 @@ impl<O: IoObserver> Machine<O> {
             || options.temporary
             || self
                 .fcbs
-                .get(fcb)
+                .get(fcb_slot)
                 .map(|f| f.delete_pending)
                 .unwrap_or(false);
 
@@ -146,6 +147,7 @@ impl<O: IoObserver> Machine<O> {
                 Pending::CloseIrp {
                     fo,
                     fcb,
+                    fcb_slot,
                     volume,
                     node,
                     process,
@@ -194,6 +196,7 @@ impl<O: IoObserver> Machine<O> {
                     Pending::CloseIrp {
                         fo,
                         fcb,
+                        fcb_slot,
                         volume,
                         node,
                         process,
@@ -205,7 +208,7 @@ impl<O: IoObserver> Machine<O> {
                 self.deferred_close
                     .entry(key)
                     .or_default()
-                    .push((fo, fcb, process, end));
+                    .push((fo, fcb, fcb_slot, process, end));
             }
         }
         OpReply::at(NtStatus::Success, end)
@@ -243,11 +246,12 @@ impl<O: IoObserver> Machine<O> {
                 .disk_io(volume.0 as usize, action.io.len, now, &mut self.rng);
             self.metrics.paging_writes += 1;
             self.metrics.paging_write_bytes += action.io.len;
-            let (fo, fcb, process, _) = self
+            let (fo, fcb, process) = self
                 .deferred_close
                 .get(&action.key)
                 .and_then(|v| v.last().copied())
-                .unwrap_or((FileObjectId(0), FcbId(u64::MAX), ProcessId(4), now));
+                .map(|(fo, fcb, _, process, _)| (fo, fcb, process))
+                .unwrap_or((FileObjectId(0), FcbId(u64::MAX), ProcessId(4)));
             let file_size = self
                 .ns
                 .volume(volume)
@@ -273,12 +277,12 @@ impl<O: IoObserver> Machine<O> {
         for key in closable {
             if let Some(waiters) = self.deferred_close.remove(&key) {
                 let (volume, node) = key;
-                for (fo, fcb, process, cleaned) in waiters {
+                for (fo, fcb, fcb_slot, process, cleaned) in waiters {
                     // Catch-up scans may run with a timestamp before the
                     // cleanup that registered this close; the close IRP
                     // never precedes its cleanup.
                     let at = now.max(cleaned + self.config.cache.clean_close_delay);
-                    self.emit_close_irp(fo, fcb, volume, node, process, at);
+                    self.emit_close_irp(fo, fcb, fcb_slot, volume, node, process, at);
                 }
             }
         }

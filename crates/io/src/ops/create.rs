@@ -111,8 +111,11 @@ impl<O: IoObserver> Machine<O> {
         // open (in particular before a truncating disposition destroys
         // data).
         if let Ok(node) = self.ns.volume(volume).and_then(|v| v.lookup(path)) {
-            let share_key = Self::share_key(volume, node);
-            if !self.shares.compatible(share_key, access, options.share) {
+            let live_fcb = self.fcbs.find(volume, node);
+            let compatible = live_fcb
+                .map(|slot| self.shares.compatible(slot, access, options.share))
+                .unwrap_or(true);
+            if !compatible {
                 let end = now + self.latency.metadata_op();
                 self.metrics.open_failures += 1;
                 self.metrics.sharing_violations += 1;
@@ -179,7 +182,7 @@ impl<O: IoObserver> Machine<O> {
                 (OpReply::at(status, end), None)
             }
             Ok((node, truncated, created)) => {
-                let fcb = self.fcbs.open(volume, node);
+                let (fcb_slot, fcb) = self.fcbs.open(volume, node);
                 if truncated {
                     // §6.3: an overwrite may find unwritten dirty pages in
                     // the cache; they are purged, never written — and any
@@ -210,30 +213,27 @@ impl<O: IoObserver> Machine<O> {
                         self.fire_watches(volume, parent, now);
                     }
                 }
-                let handle = HandleId(self.next_handle);
-                self.next_handle += 1;
-                let registered = self.shares.try_open(
-                    Self::share_key(volume, node),
-                    handle,
-                    access,
-                    options.share,
+                let handle = HandleId(
+                    self.handles
+                        .insert(OpenHandle {
+                            fo,
+                            fcb,
+                            fcb_slot,
+                            volume,
+                            node,
+                            process,
+                            access,
+                            options,
+                            byte_offset: 0,
+                            dir_cursor: 0,
+                            mapped: false,
+                        })
+                        .pack(),
                 );
+                let registered = self
+                    .shares
+                    .try_open(fcb_slot, handle, access, options.share);
                 debug_assert!(registered, "compatibility was checked above");
-                self.handles.insert(
-                    handle.0,
-                    OpenHandle {
-                        fo,
-                        fcb,
-                        volume,
-                        node,
-                        process,
-                        access,
-                        options,
-                        byte_offset: 0,
-                        dir_cursor: 0,
-                        mapped: false,
-                    },
-                );
                 self.metrics.opens += 1;
                 emit_event!(
                     self,

@@ -25,7 +25,7 @@ impl<O: IoObserver> Machine<O> {
     }
 
     fn query_directory_fsd(&mut self, handle: HandleId, batch: usize, now: SimTime) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         let (fo, fcb, volume, node, process, cursor) =
@@ -50,7 +50,7 @@ impl<O: IoObserver> Machine<O> {
         } else {
             NtStatus::Success
         };
-        if let Some(h) = self.handles.get_mut(&handle.0) {
+        if let Some(h) = self.handles.get_raw_mut(handle.0) {
             h.dir_cursor += returned;
         }
         let end = now + self.latency.metadata_op();
@@ -103,7 +103,7 @@ impl<O: IoObserver> Machine<O> {
         );
         self.dispatch(frame, |m, f| {
             let now = f.now;
-            let Some(h) = m.handles.get(&handle.0) else {
+            let Some(h) = m.handles.get_raw(handle.0) else {
                 return OpReply::at(NtStatus::InvalidHandle, now);
             };
             let is_dir =

@@ -24,7 +24,7 @@ impl<O: IoObserver> Machine<O> {
         now: SimTime,
     ) -> OpReply {
         self.pump(now);
-        let (fo, fcb, volume, process) = match handle.and_then(|h| self.handles.get(&h.0)) {
+        let (fo, fcb, volume, process) = match handle.and_then(|h| self.handles.get_raw(h.0)) {
             Some(h) => (h.fo, h.fcb, h.volume, h.process),
             None => (FileObjectId(0), FcbId(u64::MAX), VolumeId(0), ProcessId(0)),
         };
@@ -75,7 +75,7 @@ impl<O: IoObserver> Machine<O> {
             major: Some(major),
             label,
             handle: Some(handle),
-            process: self.handles.get(&handle.0).map(|h| h.process),
+            process: self.handles.get_raw(handle.0).map(|h| h.process),
             offset: 0,
             length: 0,
             now,
@@ -91,7 +91,7 @@ impl<O: IoObserver> Machine<O> {
             now,
         );
         self.dispatch(frame, |m, f| {
-            let ok = m.handles.contains_key(&handle.0);
+            let ok = m.handles.contains_raw(handle.0);
             m.metadata_irp(
                 EventKind::Irp(MajorFunction::QueryInformation),
                 ok.then_some(handle),
@@ -127,7 +127,7 @@ impl<O: IoObserver> Machine<O> {
     }
 
     fn fast_query_basic_fsd(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         let (fo, fcb, volume, process) = (h.fo, h.fcb, h.volume, h.process);
@@ -312,7 +312,7 @@ impl<O: IoObserver> Machine<O> {
         );
         self.dispatch(frame, |m, f| {
             let now = f.now;
-            let Some(h) = m.handles.get(&handle.0) else {
+            let Some(h) = m.handles.get_raw(handle.0) else {
                 return OpReply::at(NtStatus::InvalidHandle, now);
             };
             let (volume, node) = (h.volume, h.node);
@@ -346,17 +346,17 @@ impl<O: IoObserver> Machine<O> {
         );
         self.dispatch(frame, |m, f| {
             let now = f.now;
-            let Some(h) = m.handles.get(&handle.0) else {
+            let Some(h) = m.handles.get_raw(handle.0) else {
                 return OpReply::at(NtStatus::InvalidHandle, now);
             };
-            let (volume, node, fcb) = (h.volume, h.node, h.fcb);
+            let (volume, node, fcb_slot) = (h.volume, h.node, h.fcb_slot);
             let status = match m
                 .ns
                 .volume_mut(volume)
                 .and_then(|v| v.set_delete_pending(node, true))
             {
                 Ok(()) => {
-                    if let Some(fc) = m.fcbs.get_mut(fcb) {
+                    if let Some(fc) = m.fcbs.get_mut(fcb_slot) {
                         fc.delete_pending = true;
                     }
                     NtStatus::Success
@@ -379,7 +379,7 @@ impl<O: IoObserver> Machine<O> {
         let frame = self.info_frame(MajorFunction::SetInformation, "rename", handle, now);
         self.dispatch(frame, |m, f| {
             let now = f.now;
-            let Some(h) = m.handles.get(&handle.0) else {
+            let Some(h) = m.handles.get_raw(handle.0) else {
                 return OpReply::at(NtStatus::InvalidHandle, now);
             };
             let (volume, node) = (h.volume, h.node);
@@ -433,7 +433,7 @@ impl<O: IoObserver> Machine<O> {
         );
         self.dispatch(frame, |m, f| {
             let now = f.now;
-            let Some(h) = m.handles.get(&handle.0) else {
+            let Some(h) = m.handles.get_raw(handle.0) else {
                 return OpReply::at(NtStatus::InvalidHandle, now);
             };
             let (volume, node) = (h.volume, h.node);

@@ -19,7 +19,7 @@ impl<O: IoObserver> Machine<O> {
         status: NtStatus,
         now: SimTime,
     ) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         let (fo, fcb, volume, process) = (h.fo, h.fcb, h.volume, h.process);
@@ -62,10 +62,10 @@ impl<O: IoObserver> Machine<O> {
         exclusive: bool,
         now: SimTime,
     ) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
-        let key = Self::share_key(h.volume, h.node);
+        let key = h.fcb_slot;
         let granted = self
             .shares
             .locks_mut(key)
@@ -107,10 +107,10 @@ impl<O: IoObserver> Machine<O> {
     }
 
     fn unlock_fsd(&mut self, handle: HandleId, offset: u64, len: u64, now: SimTime) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
-        let key = Self::share_key(h.volume, h.node);
+        let key = h.fcb_slot;
         let ok = self.shares.locks_mut(key).unlock(handle, offset, len);
         let status = if ok {
             NtStatus::Success

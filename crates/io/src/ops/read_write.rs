@@ -13,6 +13,7 @@
 use nt_fs::{NodeId, VolumeId};
 use nt_sim::SimTime;
 
+use crate::arena::ArenaHandle;
 use crate::machine::{emit_event, FileKey, Machine, OpReply};
 use crate::observer::IoObserver;
 use crate::request::{EventKind, FastIoKind, IoEvent, MajorFunction};
@@ -33,6 +34,7 @@ pub(crate) enum DataDir {
 pub(crate) struct DataOp {
     pub(crate) fo: FileObjectId,
     pub(crate) fcb: FcbId,
+    pub(crate) fcb_slot: ArenaHandle,
     pub(crate) volume: VolumeId,
     pub(crate) node: NodeId,
     pub(crate) process: ProcessId,
@@ -55,7 +57,7 @@ impl<O: IoObserver> Machine<O> {
         dir: DataDir,
         now: SimTime,
     ) -> Result<DataOp, OpReply> {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return Err(OpReply::at(NtStatus::InvalidHandle, now));
         };
         let allowed = match dir {
@@ -68,6 +70,7 @@ impl<O: IoObserver> Machine<O> {
         Ok(DataOp {
             fo: h.fo,
             fcb: h.fcb,
+            fcb_slot: h.fcb_slot,
             volume: h.volume,
             node: h.node,
             process: h.process,
@@ -143,8 +146,7 @@ impl<O: IoObserver> Machine<O> {
         len: u64,
         now: SimTime,
     ) -> Option<OpReply> {
-        let share_key = Self::share_key(d.volume, d.node);
-        let t = self.shares.locks(share_key)?;
+        let t = self.shares.locks(d.fcb_slot)?;
         let allowed = match dir {
             DataDir::Read => t.read_allowed(handle, d.offset, len),
             DataDir::Write => t.write_allowed(handle, d.offset, len),
@@ -318,10 +320,12 @@ impl<O: IoObserver> Machine<O> {
             };
         }
 
-        let was_cached = self.cache.is_cached(&d.key);
         let outcome = self
             .cache
             .read(&d.key, d.offset, len, file_size, Self::hints_for(d.options));
+        // The map existed before this request exactly when the read did
+        // not have to initiate caching — saves a second map walk.
+        let was_cached = !outcome.initiated_caching;
         self.metrics.cached_read_requested_bytes += transferred;
 
         // NTFS compression: half the bytes move on the disk, and every
@@ -455,7 +459,7 @@ impl<O: IoObserver> Machine<O> {
             let end = now + self.latency.irp_cached(0);
             return OpReply::at(NtStatus::from(e), end);
         }
-        if let Some(fcb_entry) = self.fcbs.get_mut(d.fcb) {
+        if let Some(fcb_entry) = self.fcbs.get_mut(d.fcb_slot) {
             fcb_entry.written = true;
         }
         let file_size = self
@@ -494,10 +498,10 @@ impl<O: IoObserver> Machine<O> {
             };
         }
 
-        let was_cached = self.cache.is_cached(&d.key);
         let outcome =
             self.cache
                 .write(&d.key, d.offset, len, file_size, Self::hints_for(d.options));
+        let was_cached = !outcome.initiated_caching;
 
         // Write-through paging writes go to disk now; the request waits.
         let mut forced_done = now;
@@ -562,7 +566,7 @@ impl<O: IoObserver> Machine<O> {
     /// dominant explicit strategy was flushing after every write).
     pub fn flush(&mut self, handle: HandleId, now: SimTime) -> OpReply {
         self.pump(now);
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         let process = h.process;
@@ -579,7 +583,7 @@ impl<O: IoObserver> Machine<O> {
     }
 
     fn flush_fsd(&mut self, handle: HandleId, now: SimTime) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         let (fo, fcb, volume, node, process) = (h.fo, h.fcb, h.volume, h.node, h.process);

@@ -59,7 +59,7 @@ impl<O: IoObserver> Machine<O> {
         let Some(handle) = handle else {
             return reply;
         };
-        let h = self.handles.get(&handle.0).expect("just created");
+        let h = self.handles.get_raw(handle.0).expect("just created");
         let (fo, fcb, node) = (h.fo, h.fcb, h.node);
         let local = self.ns.is_local(volume);
         let key: FileKey = (volume, node);
@@ -171,7 +171,7 @@ impl<O: IoObserver> Machine<O> {
     /// Maps an open file as a data section (scientific codes, §6.1).
     pub fn map_file(&mut self, handle: HandleId, now: SimTime) -> OpReply {
         self.pump(now);
-        let Some(h) = self.handles.get_mut(&handle.0) else {
+        let Some(h) = self.handles.get_raw_mut(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         h.mapped = true;
@@ -199,7 +199,7 @@ impl<O: IoObserver> Machine<O> {
             major: None,
             label: "mapped_read",
             handle: Some(handle),
-            process: self.handles.get(&handle.0).map(|h| h.process),
+            process: self.handles.get_raw(handle.0).map(|h| h.process),
             offset,
             length: len,
             now,
@@ -214,7 +214,7 @@ impl<O: IoObserver> Machine<O> {
         len: u64,
         now: SimTime,
     ) -> OpReply {
-        let Some(h) = self.handles.get(&handle.0) else {
+        let Some(h) = self.handles.get_raw(handle.0) else {
             return OpReply::at(NtStatus::InvalidHandle, now);
         };
         let (fo, fcb, volume, node, process) = (h.fo, h.fcb, h.volume, h.node, h.process);
@@ -435,7 +435,7 @@ impl<O: IoObserver> Machine<O> {
         {
             return OpReply::at(NtStatus::from(e), now);
         }
-        if let Some(f) = self.fcbs.get_mut(d.fcb) {
+        if let Some(f) = self.fcbs.get_mut(d.fcb_slot) {
             f.written = true;
         }
         self.metrics.write_dispatches += 1;

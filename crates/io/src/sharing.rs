@@ -8,8 +8,7 @@
 //! and database-style applications issue lock traffic — so the model
 //! implements both.
 
-use std::collections::HashMap;
-
+use crate::arena::ArenaHandle;
 use crate::types::{AccessMode, HandleId, ShareMode};
 
 /// One opener's contribution to the share state of a file.
@@ -158,11 +157,27 @@ impl LockTable {
     }
 }
 
-/// The per-machine registry of share states, keyed by FCB id.
+/// Share state of one file, living in the slot of the file's FCB.
+#[derive(Clone, Debug, Default)]
+struct ShareState {
+    /// Generation of the FCB slot the state belongs to; a mismatch means
+    /// the slot was reclaimed and reused by another file, so whatever is
+    /// stored here is dead (it should already be empty — entries and
+    /// locks are dropped with the last cleanup, before FCB reclaim).
+    generation: u32,
+    entries: Vec<(HandleId, ShareEntry)>,
+    locks: LockTable,
+}
+
+/// The per-machine registry of share states, keyed by FCB slot.
+///
+/// The registry is a plain vector indexed by the FCB's arena slot —
+/// no hashing on the data hot path (byte-range lock arbitration runs on
+/// every read and write). Slot generations guard against reuse: a state
+/// stamped with an older generation reads as empty.
 #[derive(Default)]
 pub struct ShareRegistry {
-    entries: HashMap<u64, Vec<(HandleId, ShareEntry)>>,
-    locks: HashMap<u64, LockTable>,
+    states: Vec<ShareState>,
 }
 
 impl ShareRegistry {
@@ -171,12 +186,39 @@ impl ShareRegistry {
         ShareRegistry::default()
     }
 
+    /// The live state for `fcb`, if its slot holds one.
+    fn state(&self, fcb: ArenaHandle) -> Option<&ShareState> {
+        self.states
+            .get(fcb.index())
+            .filter(|s| s.generation == fcb.generation())
+    }
+
+    /// Mutable state for `fcb`, growing the vector and resetting any
+    /// stale previous occupant of the slot.
+    fn state_mut(&mut self, fcb: ArenaHandle) -> &mut ShareState {
+        if fcb.index() >= self.states.len() {
+            self.states
+                .resize_with(fcb.index() + 1, ShareState::default);
+        }
+        let state = &mut self.states[fcb.index()];
+        if state.generation != fcb.generation() {
+            debug_assert!(
+                state.entries.is_empty() && state.locks.is_empty(),
+                "share state must drain before its FCB slot is reused"
+            );
+            state.entries.clear();
+            state.locks = LockTable::new();
+            state.generation = fcb.generation();
+        }
+        state
+    }
+
     /// Read-only compatibility check (used before any side effects of
     /// the open are applied).
-    pub fn compatible(&self, fcb: u64, access: AccessMode, share: ShareMode) -> bool {
-        match self.entries.get(&fcb) {
-            Some(entries) => {
-                let existing: Vec<ShareEntry> = entries.iter().map(|(_, e)| *e).collect();
+    pub fn compatible(&self, fcb: ArenaHandle, access: AccessMode, share: ShareMode) -> bool {
+        match self.state(fcb) {
+            Some(state) => {
+                let existing: Vec<ShareEntry> = state.entries.iter().map(|(_, e)| *e).collect();
                 share_compatible(&existing, access, share)
             }
             None => true,
@@ -187,47 +229,49 @@ impl ShareRegistry {
     /// violation.
     pub fn try_open(
         &mut self,
-        fcb: u64,
+        fcb: ArenaHandle,
         handle: HandleId,
         access: AccessMode,
         share: ShareMode,
     ) -> bool {
-        let entries = self.entries.entry(fcb).or_default();
-        let existing: Vec<ShareEntry> = entries.iter().map(|(_, e)| *e).collect();
+        let state = self.state_mut(fcb);
+        let existing: Vec<ShareEntry> = state.entries.iter().map(|(_, e)| *e).collect();
         if !share_compatible(&existing, access, share) {
             return false;
         }
-        entries.push((handle, ShareEntry { access, share }));
+        state.entries.push((handle, ShareEntry { access, share }));
         true
     }
 
     /// Removes a handle's registration and drops its locks.
-    pub fn close(&mut self, fcb: u64, handle: HandleId) {
-        if let Some(entries) = self.entries.get_mut(&fcb) {
-            entries.retain(|(h, _)| *h != handle);
-            if entries.is_empty() {
-                self.entries.remove(&fcb);
-                self.locks.remove(&fcb);
-            }
+    pub fn close(&mut self, fcb: ArenaHandle, handle: HandleId) {
+        let Some(state) = self.states.get_mut(fcb.index()) else {
+            return;
+        };
+        if state.generation != fcb.generation() {
+            return;
         }
-        if let Some(table) = self.locks.get_mut(&fcb) {
-            table.unlock_all(handle);
+        state.entries.retain(|(h, _)| *h != handle);
+        state.locks.unlock_all(handle);
+        if state.entries.is_empty() {
+            // Keep the allocation; the slot's next occupant reuses it.
+            state.locks = LockTable::new();
         }
     }
 
     /// The lock table of a file.
-    pub fn locks_mut(&mut self, fcb: u64) -> &mut LockTable {
-        self.locks.entry(fcb).or_default()
+    pub fn locks_mut(&mut self, fcb: ArenaHandle) -> &mut LockTable {
+        &mut self.state_mut(fcb).locks
     }
 
     /// Read-only view of a file's locks.
-    pub fn locks(&self, fcb: u64) -> Option<&LockTable> {
-        self.locks.get(&fcb)
+    pub fn locks(&self, fcb: ArenaHandle) -> Option<&LockTable> {
+        self.state(fcb).map(|s| &s.locks)
     }
 
     /// Openers currently registered on a file.
-    pub fn openers(&self, fcb: u64) -> usize {
-        self.entries.get(&fcb).map_or(0, |v| v.len())
+    pub fn openers(&self, fcb: ArenaHandle) -> usize {
+        self.state(fcb).map_or(0, |s| s.entries.len())
     }
 }
 
@@ -305,8 +349,9 @@ mod tests {
     #[test]
     fn registry_round_trip() {
         let mut reg = ShareRegistry::new();
+        let fcb = ArenaHandle::from_parts(9, 1);
         assert!(reg.try_open(
-            9,
+            fcb,
             H1,
             AccessMode::Read,
             ShareMode {
@@ -315,10 +360,26 @@ mod tests {
                 delete: false
             }
         ));
-        assert!(!reg.try_open(9, H2, AccessMode::Write, ShareMode::all()));
-        assert_eq!(reg.openers(9), 1);
-        reg.close(9, H1);
-        assert!(reg.try_open(9, H2, AccessMode::Write, ShareMode::all()));
+        assert!(!reg.try_open(fcb, H2, AccessMode::Write, ShareMode::all()));
+        assert_eq!(reg.openers(fcb), 1);
+        reg.close(fcb, H1);
+        assert!(reg.try_open(fcb, H2, AccessMode::Write, ShareMode::all()));
+    }
+
+    #[test]
+    fn stale_slot_generation_reads_as_empty() {
+        let mut reg = ShareRegistry::new();
+        let old = ArenaHandle::from_parts(3, 1);
+        assert!(reg.try_open(old, H1, AccessMode::Read, ShareMode::all()));
+        reg.close(old, H1);
+        // The slot is reused by a different file (generation bumped).
+        let new = ArenaHandle::from_parts(3, 2);
+        assert!(reg.compatible(new, AccessMode::Write, ShareMode::default()));
+        assert_eq!(reg.openers(new), 0);
+        assert!(reg.locks(new).is_none());
+        assert!(reg.try_open(new, H2, AccessMode::Write, ShareMode::default()));
+        // The old handle's view is dead too.
+        assert_eq!(reg.openers(old), 0);
     }
 
     #[test]

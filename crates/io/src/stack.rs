@@ -151,6 +151,13 @@ pub struct DriverStack {
     /// Cached intersection of the layers' FastIO tables (the FSD's own
     /// table is full).
     fastio: FastIoDispatch,
+    /// Pooled per-layer frame records — the stack's `IO_STACK_LOCATION`
+    /// array. The descent pushes the packet as each layer passed it down;
+    /// the ascent hands every layer back its own view. Mark/truncate
+    /// discipline keeps nested dispatches (image load issuing a create)
+    /// correct, and the Vec's capacity survives across requests, so the
+    /// warm dispatch path allocates nothing.
+    frames: Vec<IrpFrame>,
 }
 
 impl DriverStack {
@@ -163,6 +170,7 @@ impl DriverStack {
             events_wanted: false,
             intercepting: false,
             fastio: FastIoDispatch::full(),
+            frames: Vec::new(),
         }
     }
 
@@ -250,6 +258,26 @@ impl DriverStack {
     /// Runs layer `i`'s completion hook.
     pub(crate) fn post(&mut self, i: usize, frame: &IrpFrame, reply: &mut OpReply) {
         self.filters[i].post(frame, reply);
+    }
+
+    /// Start of this dispatch's frame records in the pooled array.
+    pub(crate) fn frames_mark(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Records the packet as one layer passed it down.
+    pub(crate) fn push_frame(&mut self, frame: IrpFrame) {
+        self.frames.push(frame);
+    }
+
+    /// The recorded frame at absolute position `at`.
+    pub(crate) fn frame_at(&self, at: usize) -> IrpFrame {
+        self.frames[at]
+    }
+
+    /// Releases this dispatch's frame records back to the pool.
+    pub(crate) fn truncate_frames(&mut self, mark: usize) {
+        self.frames.truncate(mark);
     }
 
     /// Records a packet that the FSD completed.

@@ -41,7 +41,7 @@ pub mod series;
 pub mod sparkline;
 
 pub use export::{write_timeseries_jsonl, SeriesRow};
-pub use profile::{PhaseStat, RuntimeProfile};
+pub use profile::{PhaseBudget, PhaseStat, RuntimeProfile};
 pub use series::{SeriesData, SeriesKind, SeriesRegistry};
 
 /// A subsystem phase, the unit of wall-clock attribution.

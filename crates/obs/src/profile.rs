@@ -68,6 +68,53 @@ impl RuntimeProfile {
     }
 }
 
+/// One row of the per-layer ns/op budget table: how much host wall-clock
+/// one span (one operation) of the phase costs on average. Published in
+/// `StudyData` so perf regressions show up as budget drift, the same way
+/// determinism drift shows up in the digest suite.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseBudget {
+    /// The driver layer / subsystem phase.
+    pub phase: Phase,
+    /// Operations (closed spans) attributed to the phase.
+    pub spans: u64,
+    /// Exclusive nanoseconds spent in the phase.
+    pub self_ns: u64,
+    /// Average exclusive nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+impl RuntimeProfile {
+    /// The per-layer ns/op budget: one row per phase that recorded at
+    /// least one span, in [`Phase::ALL`] order. Empty with telemetry off.
+    pub fn layer_budget(&self) -> Vec<PhaseBudget> {
+        Phase::ALL
+            .iter()
+            .map(|&phase| (phase, self.phase(phase)))
+            .filter(|(_, s)| s.spans > 0)
+            .map(|(phase, s)| PhaseBudget {
+                phase,
+                spans: s.spans,
+                self_ns: s.self_ns,
+                ns_per_op: s.self_ns as f64 / s.spans as f64,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PhaseBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:>10} ops {:>12} {:>10.1} ns/op",
+            self.phase.name(),
+            self.spans,
+            fmt_ns(self.self_ns),
+            self.ns_per_op
+        )
+    }
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
@@ -137,6 +184,23 @@ mod tests {
         assert_eq!(a.total_spans(), 4);
         assert!(!a.is_empty());
         assert!(RuntimeProfile::default().is_empty());
+    }
+
+    #[test]
+    fn layer_budget_averages_self_time() {
+        let mut p = RuntimeProfile::default();
+        p.record(Phase::Dispatch, 100, 120);
+        p.record(Phase::Dispatch, 50, 60);
+        p.record(Phase::Trace, 30, 30);
+        let budget = p.layer_budget();
+        assert_eq!(budget.len(), 2, "only phases with spans appear");
+        assert_eq!(budget[0].phase, Phase::Dispatch);
+        assert_eq!(budget[0].spans, 2);
+        assert_eq!(budget[0].self_ns, 150);
+        assert!((budget[0].ns_per_op - 75.0).abs() < f64::EPSILON);
+        assert_eq!(budget[1].phase, Phase::Trace);
+        assert!(budget[1].to_string().contains("ns/op"));
+        assert!(RuntimeProfile::default().layer_budget().is_empty());
     }
 
     #[test]

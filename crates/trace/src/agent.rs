@@ -184,7 +184,11 @@ impl TraceFilter {
             }
             self.delivered += batch.len() as u64;
             self.batches_shipped += 1;
-            self.pending.pop_front();
+            if let Some((_, batch)) = self.pending.pop_front() {
+                // The sink copied the records; hand the storage back to
+                // the triple buffer so the next fill reuses it.
+                self.buffer.recycle(batch);
+            }
         }
         while let Some((seq, name)) = self.pending_names.front() {
             if !sink.ingest_name_at(self.machine, *seq, name.clone(), now_ticks) {
@@ -258,6 +262,19 @@ impl IoObserver for TraceFilter {
         if self.buffer.push(TraceRecord::from_event(event)) {
             self.fills += 1;
         }
+    }
+}
+
+impl TraceFilter {
+    /// Records a whole batch in one call — the shipment path for callers
+    /// that accumulate records outside the filter (replayers, importers)
+    /// instead of one [`IoObserver::event`] per request.
+    pub fn record_batch(&mut self, records: &[TraceRecord]) {
+        if self.state == AgentState::Suspended {
+            self.dropped_suspended += records.len() as u64;
+            return;
+        }
+        self.fills += self.buffer.push_batch(records);
     }
 }
 

@@ -37,6 +37,10 @@ pub struct TripleBuffer {
     recorded: u64,
     /// Total records dropped to overflow.
     dropped: u64,
+    /// Recycled record storage: delivered batches come back here via
+    /// [`TripleBuffer::recycle`], so steady-state shipping reuses the
+    /// same three allocations instead of growing a fresh `Vec` per fill.
+    spare: Vec<Vec<TraceRecord>>,
 }
 
 impl Default for TripleBuffer {
@@ -61,6 +65,7 @@ impl TripleBuffer {
             overflowed: false,
             recorded: 0,
             dropped: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -100,13 +105,57 @@ impl TripleBuffer {
         // next push overflows.
     }
 
-    /// Takes every queued (full) buffer's records, oldest first.
+    /// Appends a whole batch of records — the shipment path used when a
+    /// machine's dispatch loop hands over accumulated events in one call
+    /// rather than one push per event. Returns how many buffers filled
+    /// (each fill is a flush opportunity); overflowed records are counted
+    /// and dropped exactly as [`TripleBuffer::push`] would.
+    pub fn push_batch(&mut self, records: &[TraceRecord]) -> u64 {
+        let mut fills = 0;
+        let mut rest = records;
+        while !rest.is_empty() {
+            let buf = &mut self.buffers[self.filling];
+            let room = self.capacity.saturating_sub(buf.records.len());
+            if room == 0 {
+                // No rotation possible earlier: the remainder overflows.
+                self.overflowed = true;
+                self.dropped += rest.len() as u64;
+                return fills + 1;
+            }
+            let take = room.min(rest.len());
+            buf.records.extend_from_slice(&rest[..take]);
+            self.recorded += take as u64;
+            rest = &rest[take..];
+            if self.buffers[self.filling].records.len() >= self.capacity {
+                self.rotate();
+                fills += 1;
+            }
+        }
+        fills
+    }
+
+    /// Takes every queued (full) buffer's records, oldest first. Each
+    /// taken buffer is re-armed with recycled storage when any is
+    /// available, so the fill path keeps its warmed-up capacity.
     pub fn take_queued(&mut self) -> Vec<Vec<TraceRecord>> {
         let mut out = Vec::new();
         for idx in std::mem::take(&mut self.queued) {
-            out.push(std::mem::take(&mut self.buffers[idx].records));
+            let replacement = self.spare.pop().unwrap_or_default();
+            out.push(std::mem::replace(
+                &mut self.buffers[idx].records,
+                replacement,
+            ));
         }
         out
+    }
+
+    /// Returns a delivered batch's storage for reuse. The pool keeps at
+    /// most three spares — one per storage buffer.
+    pub fn recycle(&mut self, mut batch: Vec<TraceRecord>) {
+        if self.spare.len() < 3 {
+            batch.clear();
+            self.spare.push(batch);
+        }
     }
 
     /// Takes everything, including the partially-filled active buffer
@@ -228,6 +277,56 @@ mod tests {
         assert!(tb.overflowed());
         assert_eq!(tb.dropped(), 1);
         assert_eq!(tb.recorded(), 30);
+    }
+
+    #[test]
+    fn push_batch_matches_per_record_pushes() {
+        let mut a = TripleBuffer::with_capacity(10);
+        let mut b = TripleBuffer::with_capacity(10);
+        let records: Vec<TraceRecord> = (0..27u64).map(rec).collect();
+        let mut fills_a = 0u64;
+        for r in &records {
+            if a.push(*r) {
+                fills_a += 1;
+            }
+        }
+        let fills_b = b.push_batch(&records);
+        assert_eq!(fills_b, fills_a);
+        assert_eq!(b.recorded(), a.recorded());
+        assert_eq!(b.pending(), a.pending());
+        assert_eq!(a.drain_all(), b.drain_all());
+    }
+
+    #[test]
+    fn push_batch_overflow_drops_the_remainder() {
+        let mut tb = TripleBuffer::with_capacity(10);
+        let records: Vec<TraceRecord> = (0..35u64).map(rec).collect();
+        tb.push_batch(&records);
+        assert!(tb.overflowed(), "three buffers hold 30 of 35");
+        assert_eq!(tb.recorded(), 30);
+        assert_eq!(tb.dropped(), 5);
+    }
+
+    #[test]
+    fn recycled_storage_rearms_taken_buffers() {
+        let mut tb = TripleBuffer::with_capacity(100);
+        for i in 0..100u64 {
+            tb.push(rec(i));
+        }
+        let mut batches = tb.take_queued();
+        assert_eq!(batches.len(), 1);
+        let cap = batches[0].capacity();
+        tb.recycle(batches.pop().unwrap());
+        for i in 0..100u64 {
+            tb.push(rec(i));
+        }
+        let again = tb.take_queued();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].len(), 100);
+        assert!(
+            again[0].capacity() >= cap.min(100),
+            "the refill reused warmed storage"
+        );
     }
 
     #[test]

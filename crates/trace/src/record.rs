@@ -15,10 +15,10 @@ use nt_sim::SimTime;
 /// Size of one encoded record in bytes.
 pub const RECORD_SIZE: usize = 88;
 
-const FLAG_PAGING: u8 = 1 << 0;
-const FLAG_READAHEAD: u8 = 1 << 1;
-const FLAG_LOCAL: u8 = 1 << 2;
-const FLAG_CREATED: u8 = 1 << 3;
+const FLAG_PAGING: u8 = TraceRecord::FLAG_PAGING;
+const FLAG_READAHEAD: u8 = TraceRecord::FLAG_READAHEAD;
+const FLAG_LOCAL: u8 = TraceRecord::FLAG_LOCAL;
+const FLAG_CREATED: u8 = TraceRecord::FLAG_CREATED;
 
 /// A fixed-size trace record; the in-memory twin of the wire format.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +62,17 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
+    /// The PagingIO header bit in [`TraceRecord::flags`]. Public so
+    /// columnar scans over a flags column can test bits without
+    /// reconstructing whole records.
+    pub const FLAG_PAGING: u8 = 1 << 0;
+    /// The read-ahead header bit.
+    pub const FLAG_READAHEAD: u8 = 1 << 1;
+    /// The local-volume header bit.
+    pub const FLAG_LOCAL: u8 = 1 << 2;
+    /// The file-was-created header bit.
+    pub const FLAG_CREATED: u8 = 1 << 3;
+
     /// Builds a record from a live I/O event.
     pub fn from_event(ev: &IoEvent) -> Self {
         let mut flags = 0;

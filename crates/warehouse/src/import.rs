@@ -130,12 +130,17 @@ pub fn import_strace(input: &[u8], machine: u32) -> StraceImport {
                 ledger.imported += 1;
                 pending.extend(out.records);
                 if let Some(name) = out.name {
-                    writer.push_name(&name);
+                    // Unreachable by construction: the string table can
+                    // only outgrow its 4-byte offsets if the in-memory
+                    // input itself held >4 GiB of distinct paths.
+                    writer.push_name(&name).expect("import paths fit u32");
                     names += 1;
                 }
                 while pending.len() >= IMPORT_BATCH {
                     let rest = pending.split_off(IMPORT_BATCH);
-                    writer.push_batch(&pending);
+                    writer
+                        .push_batch(&pending)
+                        .expect("IMPORT_BATCH-sized batches fit u32");
                     pending = rest;
                 }
             }
@@ -146,7 +151,9 @@ pub fn import_strace(input: &[u8], machine: u32) -> StraceImport {
         }
     }
     if !pending.is_empty() {
-        writer.push_batch(&pending);
+        writer
+            .push_batch(&pending)
+            .expect("IMPORT_BATCH-sized batches fit u32");
     }
     debug_assert!(ledger.reconciles(), "every line accounted for");
     let records = writer.records();

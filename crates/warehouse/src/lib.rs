@@ -96,6 +96,18 @@ pub enum NttError {
         /// Zero-based name index within the segment.
         index: u64,
     },
+    /// A value exceeds the format's fixed-width field for it — a batch
+    /// of more than `u32::MAX` records, or a string table past 4 GiB.
+    /// Writing it with a narrowing `as` cast would silently corrupt the
+    /// segment; the writer refuses instead.
+    TooLarge {
+        /// The field that overflowed.
+        what: &'static str,
+        /// The field's maximum encodable value.
+        max: u64,
+        /// The value that did not fit.
+        got: u64,
+    },
 }
 
 impl fmt::Display for NttError {
@@ -115,6 +127,9 @@ impl fmt::Display for NttError {
             NttError::BadLayout(rule) => write!(f, "inconsistent NTT section table: {rule}"),
             NttError::BadRecord { index } => write!(f, "malformed record at index {index}"),
             NttError::BadString { index } => write!(f, "malformed name string at index {index}"),
+            NttError::TooLarge { what, max, got } => {
+                write!(f, "{what} {got} exceeds the format limit of {max}")
+            }
         }
     }
 }

@@ -415,7 +415,7 @@ mod tests {
             vec![rec(18, 1, 300), rec(2, 1, 400), rec(31, 2, 500)],
         ];
         for b in &batches {
-            w.push_batch(b);
+            w.push_batch(b).unwrap();
         }
         w.push_name(&NameRecord {
             file_object: 1,
@@ -423,14 +423,16 @@ mod tests {
             process: 7,
             path: r"\winnt\notepad.exe".into(),
             at_ticks: 100,
-        });
+        })
+        .unwrap();
         w.push_name(&NameRecord {
             file_object: 2,
             volume: 0,
             process: 7,
             path: r"\winnt\notepad.exe".into(),
             at_ticks: 500,
-        });
+        })
+        .unwrap();
         let seg = Segment::parse(w.finish()).expect("valid segment");
         assert_eq!(seg.machine(), 3);
         let r = seg.reader();
@@ -467,14 +469,15 @@ mod tests {
     #[test]
     fn any_single_byte_corruption_is_rejected() {
         let mut w = SegmentWriter::new(1);
-        w.push_batch(&[rec(0, 1, 10), rec(3, 1, 20)]);
+        w.push_batch(&[rec(0, 1, 10), rec(3, 1, 20)]).unwrap();
         w.push_name(&NameRecord {
             file_object: 1,
             volume: 0,
             process: 1,
             path: r"\x.dat".into(),
             at_ticks: 10,
-        });
+        })
+        .unwrap();
         let good = w.finish();
         assert!(Segment::parse(good.clone()).is_ok());
         for at in 0..good.len() {

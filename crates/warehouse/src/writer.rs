@@ -68,8 +68,15 @@ impl SegmentWriter {
 
     /// Appends one shipped batch, preserving its boundary. Empty batches
     /// are preserved too — the live sinks see them as batches.
-    pub fn push_batch(&mut self, records: &[TraceRecord]) {
-        self.batch_lens.push(records.len() as u32);
+    ///
+    /// Fails with [`NttError::TooLarge`] when the batch holds more
+    /// records than the format's 4-byte batch-length entry can encode —
+    /// refusing up front instead of truncating the length with an `as`
+    /// cast and writing a segment whose batch table no longer sums to
+    /// its record count.
+    pub fn push_batch(&mut self, records: &[TraceRecord]) -> Result<(), NttError> {
+        self.batch_lens
+            .push(fits_u32("batch length", records.len())?);
         for rec in records {
             self.scratch.clear();
             rec.encode(&mut self.scratch);
@@ -82,15 +89,21 @@ impl SegmentWriter {
             self.max_ticks = self.max_ticks.max(rec.end_ticks);
         }
         self.record_count += records.len() as u64;
+        Ok(())
     }
 
     /// Appends one name record, interning its path.
-    pub fn push_name(&mut self, name: &NameRecord) {
+    ///
+    /// Fails with [`NttError::TooLarge`] when the path is longer than
+    /// the 4-byte length field, or when interning it would push the
+    /// string table past the 4-byte offset field (4 GiB) — either cast
+    /// would alias the entry onto unrelated string bytes.
+    pub fn push_name(&mut self, name: &NameRecord) -> Result<(), NttError> {
         let (off, len) = match self.interned.get(&name.path) {
             Some(&span) => span,
             None => {
-                let off = self.strings.len() as u32;
-                let len = name.path.len() as u32;
+                let off = fits_u32("string table offset", self.strings.len())?;
+                let len = fits_u32("name path length", name.path.len())?;
                 self.strings.extend_from_slice(name.path.as_bytes());
                 self.interned.insert(name.path.clone(), (off, len));
                 (off, len)
@@ -104,6 +117,7 @@ impl SegmentWriter {
         self.names.extend_from_slice(&off.to_le_bytes());
         self.names.extend_from_slice(&len.to_le_bytes());
         self.name_count += 1;
+        Ok(())
     }
 
     /// Records written so far.
@@ -182,6 +196,16 @@ impl SegmentWriter {
     }
 }
 
+/// Checked narrowing into the format's 4-byte fields: the exact value
+/// `u32::MAX` still encodes, one past it is a typed refusal.
+fn fits_u32(what: &'static str, n: usize) -> Result<u32, NttError> {
+    u32::try_from(n).map_err(|_| NttError::TooLarge {
+        what,
+        max: u64::from(u32::MAX),
+        got: n as u64,
+    })
+}
+
 /// Canonical segment file name for a machine.
 pub fn segment_file_name(machine: u32) -> String {
     format!("machine-{machine:05}.ntt")
@@ -196,6 +220,10 @@ struct MachineExport {
     /// keys from `u64::MAX / 2`, mirroring the analysis sinks).
     names: Vec<(u64, NameRecord)>,
     name_arrival: u64,
+    /// First write refusal, if any. [`ShipmentConsumer::batch`] returns
+    /// nothing — the collection threads cannot unwind an export error —
+    /// so it parks here and [`WarehouseSink::finish`] surfaces it.
+    error: Option<NttError>,
 }
 
 impl MachineExport {
@@ -206,6 +234,15 @@ impl MachineExport {
             parked: BTreeMap::new(),
             names: Vec::new(),
             name_arrival: u64::MAX / 2,
+            error: None,
+        }
+    }
+
+    /// Stashes the first write refusal; later ones keep the original
+    /// cause.
+    fn note(&mut self, result: Result<(), NttError>) {
+        if let Err(e) = result {
+            self.error.get_or_insert(e);
         }
     }
 
@@ -218,28 +255,36 @@ impl MachineExport {
                 self.parked.insert(s, records);
             }
             Some(s) if s == self.next_seq => {
-                self.writer.push_batch(&records);
+                let pushed = self.writer.push_batch(&records);
+                self.note(pushed);
                 self.next_seq += 1;
                 while let Some(parked) = self.parked.remove(&self.next_seq) {
-                    self.writer.push_batch(&parked);
+                    let pushed = self.writer.push_batch(&parked);
+                    self.note(pushed);
                     self.next_seq += 1;
                 }
             }
-            _ => self.writer.push_batch(&records),
+            _ => {
+                let pushed = self.writer.push_batch(&records);
+                self.note(pushed);
+            }
         }
     }
 
-    fn finish(mut self) -> SegmentWriter {
+    fn finish(mut self) -> Result<SegmentWriter, NttError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
         let parked: Vec<Vec<TraceRecord>> =
             std::mem::take(&mut self.parked).into_values().collect();
         for records in parked {
-            self.writer.push_batch(&records);
+            self.writer.push_batch(&records)?;
         }
         self.names.sort_by_key(|(k, _)| *k);
         for (_, name) in &self.names {
-            self.writer.push_name(name);
+            self.writer.push_name(name)?;
         }
-        self.writer
+        Ok(self.writer)
     }
 }
 
@@ -295,7 +340,7 @@ impl WarehouseSink {
         for (machine, i) in order {
             let export = exports[i].take().expect("each export finishes once");
             let path = self.dir.join(segment_file_name(machine));
-            stats.push(export.finish().write_to(&path)?);
+            stats.push(export.finish()?.write_to(&path)?);
         }
         Ok(stats)
     }
@@ -318,5 +363,57 @@ impl ShipmentConsumer for WarehouseSink {
             });
             export.names.push((key, name));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact boundary: `u32::MAX` encodes, `u32::MAX + 1` is a typed
+    /// refusal carrying the limit and the offending value — never a
+    /// silent wrap. (Exercised on the helper: materializing 2^32 records
+    /// or a 4 GiB string table to hit it end-to-end is not a unit test.)
+    #[test]
+    fn narrowing_refuses_exactly_past_u32_max() {
+        assert_eq!(fits_u32("x", 0).unwrap(), 0);
+        assert_eq!(fits_u32("x", u32::MAX as usize).unwrap(), u32::MAX);
+        match fits_u32("batch length", u32::MAX as usize + 1) {
+            Err(NttError::TooLarge { what, max, got }) => {
+                assert_eq!(what, "batch length");
+                assert_eq!(max, u64::from(u32::MAX));
+                assert_eq!(got, u64::from(u32::MAX) + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_large_display_names_the_field() {
+        let e = NttError::TooLarge {
+            what: "name path length",
+            max: u64::from(u32::MAX),
+            got: 5_000_000_000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("name path length"), "{msg}");
+        assert!(msg.contains("5000000000"), "{msg}");
+    }
+
+    /// In-bounds pushes keep succeeding after the API grew its error
+    /// path — the common case is untouched.
+    #[test]
+    fn in_bounds_pushes_succeed() {
+        let mut w = SegmentWriter::new(0);
+        w.push_batch(&[]).expect("empty batch fits");
+        w.push_name(&NameRecord {
+            file_object: 1,
+            volume: 0,
+            process: 1,
+            path: r"\a.dat".into(),
+            at_ticks: 1,
+        })
+        .expect("short path fits");
+        assert_eq!(w.records(), 0);
     }
 }

@@ -12,8 +12,8 @@ use nt_trace::{CollectionServer, MachineId};
 
 fn per_machine_counts(data: &nt_study::StudyData) -> HashMap<u32, usize> {
     let mut counts: HashMap<u32, usize> = HashMap::new();
-    for (m, _) in &data.trace_set.records {
-        *counts.entry(*m).or_default() += 1;
+    for (m, _) in data.trace_set.records.iter() {
+        *counts.entry(m).or_default() += 1;
     }
     counts
 }
@@ -93,7 +93,7 @@ fn zero_fault_plan_is_byte_identical_to_the_direct_pipeline() {
             .records
             .iter()
             .filter(|(m, _)| *m == id.0)
-            .map(|(_, r)| *r)
+            .map(|(_, r)| r)
             .collect();
         let mut sorted = direct_records.clone();
         sorted.sort_by_key(|r| (r.start_ticks, r.file_object));
@@ -236,7 +236,7 @@ fn fnv1a(digest: &mut u64, text: &str) {
 fn digest_trace_set(set: &nt_analysis::TraceSet) -> [u64; 3] {
     let seed = 0xcbf2_9ce4_8422_2325u64;
     let mut records = seed;
-    for (m, r) in &set.records {
+    for (m, r) in set.records.iter() {
         fnv1a(&mut records, &format!("{m}:{r:?}"));
     }
     let mut instances = seed;
@@ -433,4 +433,116 @@ fn paper_shaped_streaming_run_stays_under_the_memory_ceiling() {
         data.summary.peak_state_bytes,
         STREAMING_STATE_CEILING_BYTES >> 20
     );
+}
+
+/// One pass of a watch-heavy, deferred-close-heavy scenario on a bare
+/// machine, returning the observer's record streams as rendered lines.
+fn watched_machine_run() -> (Vec<String>, Vec<String>) {
+    use nt_fs::{NtPath, VolumeConfig};
+    use nt_io::{
+        AccessMode, CreateOptions, DiskParams, Disposition, Machine, MachineConfig, ProcessId,
+        VecObserver,
+    };
+    use nt_sim::{SimDuration, SimTime};
+
+    let mut m = Machine::new(MachineConfig::default(), VecObserver::default());
+    let vol = m.add_local_volume(
+        'C',
+        VolumeConfig::local_ntfs(1 << 30),
+        DiskParams::local_ide(),
+    );
+    let p = ProcessId(7);
+    let dir_opts = CreateOptions {
+        directory: true,
+        ..CreateOptions::default()
+    };
+    let mut at = SimTime::from_secs(1);
+
+    // Arm change-notification watches on several directories at once.
+    for d in 0..4 {
+        let (reply, h) = m.create(
+            p,
+            vol,
+            &NtPath::parse(&format!(r"\watched-{d}")),
+            AccessMode::ReadWrite,
+            Disposition::OpenIf,
+            dir_opts,
+            at,
+        );
+        assert!(reply.status.is_success());
+        at = m.watch_directory(h.expect("dir opened"), at).end;
+    }
+
+    // Dirty several files per watched directory (each create fires that
+    // directory's pending notification), then close them all while the
+    // lazy writer still holds their data — a pile of deferred closes.
+    let mut files = Vec::new();
+    for d in 0..4 {
+        for f in 0..3 {
+            let path = format!(r"\watched-{d}\f{f}.dat");
+            let (reply, h) = m.create(
+                p,
+                vol,
+                &NtPath::parse(&path),
+                AccessMode::ReadWrite,
+                Disposition::OpenIf,
+                CreateOptions::default(),
+                at,
+            );
+            assert!(reply.status.is_success());
+            let h = h.expect("file opened");
+            at = m.write(h, Some(0), 48 * 1024, at).end;
+            files.push((h, path));
+        }
+    }
+    for (h, _) in &files {
+        at = m.close(*h, at).end;
+    }
+
+    // Truncating reopens purge the cache map and release the deferred
+    // closes queued behind the lazy writer; interleave with background
+    // pumping so pending completions drain between requests.
+    for (_, path) in &files {
+        let (reply, h) = m.create(
+            p,
+            vol,
+            &NtPath::parse(path),
+            AccessMode::ReadWrite,
+            Disposition::OverwriteIf,
+            CreateOptions::default(),
+            at,
+        );
+        assert!(reply.status.is_success());
+        at = m.close(h.expect("reopened"), at).end;
+        m.pump(at);
+    }
+    m.pump(at + SimDuration::from_secs(600));
+
+    let events = m
+        .observer()
+        .events
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let objects = m
+        .observer()
+        .objects
+        .iter()
+        .map(|o| format!("{o:?}"))
+        .collect();
+    (events, objects)
+}
+
+#[test]
+fn machine_record_stream_is_identical_across_runs_in_one_process() {
+    // Two full machines in the same process: any per-instance hash-map
+    // RandomState deciding watch, deferred-close or pending-completion
+    // order would make the second stream diverge from the first. The
+    // kernel maps are BTreeMaps and the pending queue is an arena-backed
+    // binary heap precisely so this holds.
+    let (events_a, objects_a) = watched_machine_run();
+    let (events_b, objects_b) = watched_machine_run();
+    assert!(!events_a.is_empty());
+    assert_eq!(events_a, events_b, "event streams identical run-to-run");
+    assert_eq!(objects_a, objects_b, "name records identical run-to-run");
 }

@@ -46,7 +46,7 @@ fn paging_accounting_balances() {
     let data = study();
     // Every paging record belongs to a read or a write.
     let mut paging = 0u64;
-    for (_, rec) in &data.trace_set.records {
+    for (_, rec) in data.trace_set.records.iter() {
         if rec.is_paging() {
             paging += 1;
             assert!(
@@ -62,7 +62,7 @@ fn paging_accounting_balances() {
     assert!(paging > 0, "the VM manager produced paging traffic");
     // The §3.3 duplicate filter removes some but never all paging
     // records (image loads must survive).
-    let records: Vec<_> = data.trace_set.records.iter().map(|(_, r)| *r).collect();
+    let records: Vec<_> = data.trace_set.records.iter().map(|(_, r)| r).collect();
     let kept = filter_paging_duplicates(&records);
     let kept_paging = kept.iter().filter(|r| r.is_paging()).count() as u64;
     assert!(
@@ -142,7 +142,7 @@ fn fact_tables_rebuild_deterministically() {
     // Spot-check a structural digest: per-kind record counts.
     let digest = |ts: &TraceSet| {
         let mut counts = [0u64; 54];
-        for (_, r) in &ts.records {
+        for (_, r) in ts.records.iter() {
             counts[r.code as usize] += 1;
         }
         counts

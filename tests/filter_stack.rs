@@ -103,14 +103,15 @@ fn forced_irp_fallback_matches_the_baseline_modulo_event_kind() {
         .trace_set
         .records
         .iter()
-        .map(|(m, r)| (*m, to_irp_vocabulary(*r)))
+        .map(|(m, r)| (m, to_irp_vocabulary(r)))
         .collect();
+    let vetoed_rows: Vec<(u32, TraceRecord)> = vetoed.trace_set.records.iter().collect();
     assert!(
-        remapped == vetoed.trace_set.records,
+        remapped == vetoed_rows,
         "record tables diverge beyond the EventKind relabelling \
          ({} baseline vs {} vetoed rows)",
         remapped.len(),
-        vetoed.trace_set.records.len()
+        vetoed_rows.len()
     );
     assert_eq!(
         baseline.trace_set.names, vetoed.trace_set.names,
@@ -121,7 +122,7 @@ fn forced_irp_fallback_matches_the_baseline_modulo_event_kind() {
     // friends), so rebuild both sides from their IRP-vocabulary records
     // with the same procedure before comparing.
     let base_rebuilt = rebuild(&remapped, &baseline.trace_set.names);
-    let veto_rebuilt = rebuild(&vetoed.trace_set.records, &vetoed.trace_set.names);
+    let veto_rebuilt = rebuild(&vetoed_rows, &vetoed.trace_set.names);
     assert!(
         base_rebuilt.instances == veto_rebuilt.instances,
         "instance tables diverge ({} baseline vs {} vetoed rows)",

@@ -131,6 +131,22 @@ fn telemetry_does_not_perturb_the_study() {
     }
     assert!(profile.total_self_ns() > 0);
 
+    // The published per-layer ns/op budget: the silent run has no rows,
+    // the watched run prices every phase that ran, dispatch included.
+    assert!(silent.layer_budget().is_empty());
+    let budget = watched.layer_budget();
+    assert!(!budget.is_empty());
+    let dispatch = budget
+        .iter()
+        .find(|b| b.phase == nt_study::Phase::Dispatch)
+        .expect("dispatch layer priced");
+    assert!(dispatch.spans > 0);
+    assert!(dispatch.ns_per_op > 0.0);
+    assert_eq!(
+        dispatch.ns_per_op,
+        dispatch.self_ns as f64 / dispatch.spans as f64
+    );
+
     // Span logs: one per machine, well-formed JSONL, monotone sim stamps.
     for m in &watched.machines {
         let telemetry = m.telemetry.as_ref().expect("telemetry report present");

@@ -274,10 +274,10 @@ proptest! {
             .collect();
         let mut w = SegmentWriter::new(machine);
         for b in &batches {
-            w.push_batch(b);
+            w.push_batch(b).unwrap();
         }
         for name in &names {
-            w.push_name(name);
+            w.push_name(name).unwrap();
         }
         let seg = Segment::parse(w.finish()).expect("fresh segment is valid");
         prop_assert_eq!(seg.machine(), machine);
@@ -311,7 +311,7 @@ proptest! {
         use nt_warehouse::{Segment, SegmentWriter};
         let mut w = SegmentWriter::new(1);
         for b in ntt_random_batches(&batch_lens, seed) {
-            w.push_batch(&b);
+            w.push_batch(&b).unwrap();
         }
         let good = w.finish();
         prop_assert!(Segment::parse(good.clone()).is_ok());
@@ -502,7 +502,7 @@ proptest! {
         seq in prop::collection::vec((0u8..3, 0u8..8), 1..20)
     ) {
         use nt_io::sharing::ShareRegistry;
-        use nt_io::{AccessMode, HandleId, ShareMode};
+        use nt_io::{AccessMode, ArenaHandle, HandleId, ShareMode};
         let decode_access = |a: u8| match a {
             0 => AccessMode::Read,
             1 => AccessMode::Write,
@@ -514,13 +514,14 @@ proptest! {
             delete: s & 4 != 0,
         };
         let mut reg = ShareRegistry::new();
+        let fcb = ArenaHandle::from_parts(1, 1);
         let mut granted: Vec<(HandleId, AccessMode, ShareMode)> = Vec::new();
         for (i, (a, sh)) in seq.iter().enumerate() {
             let access = decode_access(*a);
             let share = decode_share(*sh);
             let h = HandleId(i as u64);
-            let compatible = reg.compatible(1, access, share);
-            let opened = reg.try_open(1, h, access, share);
+            let compatible = reg.compatible(fcb, access, share);
+            let opened = reg.try_open(fcb, h, access, share);
             prop_assert_eq!(compatible, opened, "check and open agree");
             if opened {
                 // The grant must be pairwise consistent with every
@@ -536,9 +537,9 @@ proptest! {
         }
         // Closing everything resets arbitration.
         for (h, _, _) in &granted {
-            reg.close(1, *h);
+            reg.close(fcb, *h);
         }
-        prop_assert!(reg.try_open(1, HandleId(999), AccessMode::ReadWrite, ShareMode::default()));
+        prop_assert!(reg.try_open(fcb, HandleId(999), AccessMode::ReadWrite, ShareMode::default()));
     }
 }
 
@@ -1004,5 +1005,89 @@ proptest! {
             shuffled.swap(i, j);
         }
         prop_assert_eq!(build(&forward), build(&shuffled));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generational arena vs a naive live/retired model: ABA safety.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    /// Insert a fresh value.
+    Insert(u32),
+    /// Remove one of the currently live handles (chosen by modulo).
+    Remove(usize),
+    /// Probe one of the retired handles (chosen by modulo) through every
+    /// accessor — the ABA attack surface.
+    ProbeStale(usize),
+}
+
+fn arena_ops() -> impl Strategy<Value = Vec<ArenaOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u32>().prop_map(ArenaOp::Insert),
+            any::<usize>().prop_map(ArenaOp::Remove),
+            any::<usize>().prop_map(ArenaOp::ProbeStale),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    // The dispatch arena's whole reason to exist: a handle freed and
+    // its slot reused — any number of times — must never resolve to
+    // the slot's new occupant. The model keeps every retired handle
+    // forever and re-probes them all at the end, so reuse at any depth
+    // is exercised, not just the first generation bump.
+    #[test]
+    fn arena_stale_handles_never_resolve(ops in arena_ops()) {
+        use nt_io::{Arena, ArenaHandle};
+
+        let mut arena: Arena<u32> = Arena::new();
+        let mut live: Vec<(ArenaHandle, u32)> = Vec::new();
+        let mut retired: Vec<ArenaHandle> = Vec::new();
+        for op in &ops {
+            match *op {
+                ArenaOp::Insert(v) => {
+                    let h = arena.insert(v);
+                    prop_assert_ne!(h.pack(), 0);
+                    prop_assert_eq!(ArenaHandle::unpack(h.pack()), h);
+                    live.push((h, v));
+                }
+                ArenaOp::Remove(pick) if !live.is_empty() => {
+                    let (h, v) = live.swap_remove(pick % live.len());
+                    prop_assert_eq!(arena.remove(h), Some(v));
+                    retired.push(h);
+                }
+                ArenaOp::ProbeStale(pick) if !retired.is_empty() => {
+                    let h = retired[pick % retired.len()];
+                    prop_assert!(!arena.contains(h));
+                    prop_assert_eq!(arena.get(h), None);
+                    prop_assert_eq!(arena.get_mut(h), None);
+                    prop_assert_eq!(arena.remove(h), None);
+                    prop_assert!(!arena.contains_raw(h.pack()));
+                    prop_assert_eq!(arena.get_raw(h.pack()), None);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(arena.len(), live.len());
+        }
+        // Every live handle still resolves to exactly its value...
+        for &(h, v) in &live {
+            prop_assert_eq!(arena.get(h).copied(), Some(v));
+        }
+        // ...iteration shows precisely the live set, slot-ordered...
+        let mut expected: Vec<(ArenaHandle, u32)> = live.clone();
+        expected.sort_by_key(|(h, _)| h.index());
+        let seen: Vec<(ArenaHandle, u32)> =
+            arena.iter().map(|(h, v)| (h, *v)).collect();
+        prop_assert_eq!(seen, expected);
+        // ...and no retired handle ever came back to life, no matter
+        // how many times its slot was recycled since.
+        for &h in &retired {
+            prop_assert!(!arena.contains(h), "stale handle {h:?} resolved");
+            prop_assert_eq!(arena.get_raw(h.pack()), None);
+        }
     }
 }

@@ -102,7 +102,7 @@ fn digest_tables(data: &nt_study::StreamedStudyData) -> [u64; 4] {
     let seed = 0xcbf2_9ce4_8422_2325u64;
     let ts = data.trace_set.as_ref().expect("retain keeps the tables");
     let mut records = seed;
-    for (m, r) in &ts.records {
+    for (m, r) in ts.records.iter() {
         fnv1a(&mut records, &format!("{m}:{r:?}"));
     }
     let mut instances = seed;

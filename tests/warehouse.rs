@@ -118,10 +118,10 @@ fn fixture_names() -> Vec<NameRecord> {
 fn fixture_segment() -> Vec<u8> {
     let mut w = SegmentWriter::new(7);
     for batch in fixture_batches() {
-        w.push_batch(&batch);
+        w.push_batch(&batch).unwrap();
     }
     for name in fixture_names() {
-        w.push_name(&name);
+        w.push_name(&name).unwrap();
     }
     w.finish()
 }
