@@ -64,6 +64,9 @@ step "trace warehouse (golden segment, corruption rejection, import, export pari
 cargo test -q --offline --test warehouse
 cargo test -q --offline --release --test determinism warehouse_reimport
 
+step "causal shipment tracing (faulted sharded smoke: Chrome trace validates, dump reconciles with LossLedger)"
+cargo test -q --offline --test shipment_trace
+
 step "cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
 

@@ -24,8 +24,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use nt_obs::{Phase, Telemetry};
-use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
+use nt_obs::{Hop, Phase, ShipmentTracer, Telemetry};
+use nt_trace::{BatchMeta, MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
 
 use crate::arrivals::ArrivalAccumulator;
 use crate::latency::LatencyAccumulator;
@@ -54,6 +54,10 @@ pub struct StreamConfig {
     /// whole streaming fleet shares one handle (the ingest phase has no
     /// machine identity), so the study-side profiler sees every batch.
     pub telemetry: Telemetry,
+    /// Shipment tracer for causal `analysis.ingest` spans; off by
+    /// default. Sinks parent-link each stamped batch to the collector
+    /// hop carried in its [`BatchMeta`].
+    pub tracer: ShipmentTracer,
 }
 
 impl Default for StreamConfig {
@@ -63,6 +67,7 @@ impl Default for StreamConfig {
             spill_dir: None,
             spill_buffer: 65_536,
             telemetry: Telemetry::off(),
+            tracer: ShipmentTracer::off(),
         }
     }
 }
@@ -105,6 +110,7 @@ pub struct MachineSink {
     peak_parked_records: usize,
     peak_state_bytes: usize,
     telemetry: Telemetry,
+    tracer: ShipmentTracer,
 }
 
 impl MachineSink {
@@ -140,14 +146,33 @@ impl MachineSink {
             peak_parked_records: 0,
             peak_state_bytes: 0,
             telemetry: config.telemetry.clone(),
+            tracer: config.tracer.clone(),
         }
     }
 
     /// Consumes one shipped buffer. Batches at the expected stamp (or
     /// unstamped ones) are processed immediately; future stamps park
     /// until the gap closes.
-    pub fn on_batch(&mut self, seq: Option<u64>, records: Vec<TraceRecord>) {
+    pub fn on_batch(
+        &mut self,
+        seq: Option<u64>,
+        records: Vec<TraceRecord>,
+        meta: Option<BatchMeta>,
+    ) {
         let _span = self.telemetry.span_child(Phase::Analysis, "analysis.batch");
+        // The ingest hop marks *arrival* at the analysis tier; parked
+        // batches still arrived now, so the span precedes the parking
+        // discipline.
+        if let (Some(meta), Some(seq)) = (meta, seq) {
+            self.tracer.downstream(
+                Hop::Analyze,
+                meta.ctx,
+                self.machine,
+                seq,
+                meta.deliver_ticks,
+                records.len() as u64,
+            );
+        }
         match seq {
             Some(s) if s > self.next_seq => {
                 self.parked_records += records.len();
@@ -563,13 +588,19 @@ impl AnalysisSet {
 }
 
 impl ShipmentConsumer for AnalysisSet {
-    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>) {
+    fn batch(
+        &self,
+        machine: MachineId,
+        seq: Option<u64>,
+        records: Vec<TraceRecord>,
+        meta: Option<BatchMeta>,
+    ) {
         debug_assert!(
             self.index.contains_key(&machine.0),
             "shipment from unregistered machine {machine:?}"
         );
         if let Some(&i) = self.index.get(&machine.0) {
-            self.lock_sink(i).on_batch(seq, records);
+            self.lock_sink(i).on_batch(seq, records, meta);
         }
     }
 
@@ -623,10 +654,10 @@ mod tests {
             .map(|(i, c)| (i as u64, c.clone()))
             .collect();
         for (i, c) in chunks.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
-            set.batch(MachineId(0), Some(i as u64), c.clone());
+            set.batch(MachineId(0), Some(i as u64), c.clone(), None);
         }
         for (i, c) in late {
-            set.batch(MachineId(0), Some(i), c);
+            set.batch(MachineId(0), Some(i), c, None);
         }
         for (i, n) in names.iter().enumerate() {
             set.name(MachineId(0), Some(i as u64), n.clone());
@@ -646,7 +677,7 @@ mod tests {
         let (records, names) = raw_streams(&ts);
         let set = AnalysisSet::new(&[0], &StreamConfig::default());
         for (i, c) in records.chunks(128).enumerate() {
-            set.batch(MachineId(0), Some(i as u64), c.to_vec());
+            set.batch(MachineId(0), Some(i as u64), c.to_vec(), None);
         }
         for (i, n) in names.into_iter().enumerate() {
             set.name(MachineId(0), Some(i as u64), n);
@@ -679,12 +710,12 @@ mod tests {
                 // Reverse within blocks of 5 — heavy local reordering.
                 for block in chunks.chunks(5) {
                     for (i, c) in block.iter().rev() {
-                        set.batch(MachineId(0), Some(*i), c.clone());
+                        set.batch(MachineId(0), Some(*i), c.clone(), None);
                     }
                 }
             } else {
                 for (i, c) in chunks {
-                    set.batch(MachineId(0), Some(i), c);
+                    set.batch(MachineId(0), Some(i), c, None);
                 }
             }
             set.finish().summary
@@ -709,7 +740,7 @@ mod tests {
         let set = AnalysisSet::new(&[0], &StreamConfig::default());
         let before = set.memory_estimate_bytes();
         for (i, c) in records.chunks(256).enumerate() {
-            set.batch(MachineId(0), Some(i as u64), c.to_vec());
+            set.batch(MachineId(0), Some(i as u64), c.to_vec(), None);
         }
         assert!(set.memory_estimate_bytes() > before);
     }

@@ -569,7 +569,7 @@ fn main() {
             run: Box::new(move || {
                 let mut sink = MachineSink::new(0, &StreamConfig::default());
                 for (seq, chunk) in records.chunks(3_000).enumerate() {
-                    sink.on_batch(Some(seq as u64), chunk.to_vec());
+                    sink.on_batch(Some(seq as u64), chunk.to_vec(), None);
                 }
                 for name in &names {
                     sink.on_name(None, name.clone());

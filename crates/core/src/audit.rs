@@ -134,6 +134,9 @@ impl Study {
         let (ledgers, fleet) = build_ledgers(&data);
         for ledger in ledgers.iter().chain(std::iter::once(&fleet)) {
             if let Err(imbalance) = ledger.reconcile() {
+                // Drift is a pipeline bug: capture the black box before
+                // surfacing it (a no-op if a loss dump already fired).
+                data.dump_flight_recorder(&format!("conservation-drift: {imbalance}"));
                 return Err(AuditFailure::Drift {
                     imbalance,
                     report: ledger.report(),
@@ -212,6 +215,8 @@ impl Study {
             .chain(std::iter::once(&fleet))
         {
             if let Err(imbalance) = ledger.reconcile() {
+                data.data
+                    .dump_flight_recorder(&format!("conservation-drift: {imbalance}"));
                 return Err(AuditFailure::Drift {
                     imbalance,
                     report: ledger.report(),

@@ -38,7 +38,9 @@ pub use audit::{
 pub use config::{MachineSpec, StudyConfig};
 pub use fault::{FaultPlan, FaultSchedule, MachineFaults};
 pub use nt_obs::{
-    MachineTelemetry, Phase, RuntimeProfile, Telemetry, TelemetryConfig, TelemetryOptions,
+    write_chrome_trace, FlightEvent, FlightRecorder, HealthFinding, Hop, HopSpan, MachineTelemetry,
+    Phase, RecorderScope, RuntimeProfile, ShipmentTracer, Telemetry, TelemetryConfig,
+    TelemetryOptions, TraceContext, Watchdog,
 };
 pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
 pub use run::MachineRun;

@@ -2,7 +2,9 @@
 
 use nt_fs::VolumeConfig;
 use nt_io::{DiskParams, FastIoVeto, Machine, MachineConfig, ProcessId, SpanFilter};
-use nt_obs::Telemetry;
+use nt_obs::{
+    FlightEvent, FlightRecorder, HealthFinding, RecorderScope, ShipmentTracer, Telemetry, Watchdog,
+};
 use nt_sim::{rng_for, Engine, SimDuration, SimRng, SimTime};
 use nt_trace::{MachineId, RecordSink, Snapshot, SnapshotWalker, TraceFilter};
 use nt_workload::{
@@ -31,6 +33,17 @@ pub struct MachineRun {
     /// Simulated cadence of the gauge/counter sampler; `None` when
     /// telemetry is off (the engine then carries no sampler events).
     sample_interval: Option<SimDuration>,
+    /// Flight-recorder handle; off unless armed via
+    /// [`MachineRun::set_instruments`].
+    recorder: FlightRecorder,
+    /// Health watchdog; `None` unless armed (findings then ride the
+    /// telemetry sampler cadence).
+    watchdog: Option<Watchdog>,
+    /// Findings the watchdog raised during the run, in sample order.
+    health: Vec<HealthFinding>,
+    /// The fault plan's squeezed buffer capacity, remembered so arming
+    /// the recorder can log the squeeze it missed at build time.
+    squeezed_capacity: Option<usize>,
 }
 
 impl MachineRun {
@@ -163,7 +176,50 @@ impl MachineRun {
                 .options()
                 .map(|o| o.sample_interval)
                 .filter(|d| *d > SimDuration::ZERO && *d < SimDuration::MAX),
+            recorder: FlightRecorder::off(),
+            watchdog: None,
+            health: Vec::new(),
+            squeezed_capacity: faults.buffer_capacity,
         }
+    }
+
+    /// Arms the observability instruments on this machine: the shipment
+    /// tracer and flight recorder hook into the agent's delivery path,
+    /// and (when `watchdogs` is set) health findings are evaluated on
+    /// the telemetry sampler cadence. Off handles make this a no-op, so
+    /// the study drivers call it unconditionally after build.
+    pub fn set_instruments(
+        &mut self,
+        tracer: &ShipmentTracer,
+        recorder: &FlightRecorder,
+        watchdogs: bool,
+    ) {
+        self.machine
+            .observer_mut()
+            .set_shipment_hooks(tracer.clone(), recorder.clone());
+        self.recorder = recorder.clone();
+        if watchdogs {
+            self.watchdog = Some(Watchdog::new());
+        }
+        if let Some(capacity) = self.squeezed_capacity {
+            self.recorder.record(
+                RecorderScope::Machine(self.id.0),
+                FlightEvent::BufferSqueezed {
+                    capacity: capacity as u64,
+                },
+            );
+        }
+    }
+
+    /// Drains the findings the watchdog raised during the run.
+    pub fn take_health(&mut self) -> Vec<HealthFinding> {
+        std::mem::take(&mut self.health)
+    }
+
+    /// Latest simulated tick a shipment delivery succeeded at (0 when
+    /// none did) — feeds the post-run shard-stall check.
+    pub fn last_delivery_ticks(&self) -> u64 {
+        self.machine.observer().last_delivery_ticks()
     }
 
     /// Takes a §3.1 snapshot of every volume.
@@ -298,6 +354,34 @@ impl MachineRun {
                     ("trace.lost_records", Counter, lost as f64),
                 ],
             );
+            // Health watchdogs ride the same deterministic cadence. The
+            // inputs are all simulated quantities (ledger counters and
+            // taken-but-undelivered batches), never live channel depths.
+            let (recorded, pending_batches, pending_records) = {
+                let agent = w.run.machine.observer();
+                (
+                    agent.ledger().recorded,
+                    agent.pending_batches() as u64,
+                    agent.pending_records() as u64,
+                )
+            };
+            let (machine_id, ticks) = (w.run.id.0, eng.now().ticks());
+            if let Some(wd) = w.run.watchdog.as_mut() {
+                for f in wd.sample(
+                    machine_id,
+                    ticks,
+                    recorded,
+                    lost,
+                    pending_batches,
+                    pending_records,
+                ) {
+                    w.run.recorder.record(
+                        RecorderScope::Machine(machine_id),
+                        FlightEvent::Finding(f.clone()),
+                    );
+                    w.run.health.push(f);
+                }
+            }
             if let Some(d) = w.sample_every {
                 if eng.now() < w.end {
                     eng.schedule_at(eng.now() + d, sample);

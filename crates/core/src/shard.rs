@@ -27,13 +27,16 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use nt_analysis::stream::{AnalysisSet, ShardSummary, StreamConfig};
-use nt_obs::{MachineTelemetry, Telemetry};
+use nt_obs::{FlightEvent, HealthFinding, MachineTelemetry, RecorderScope, Telemetry, Watchdog};
 use nt_trace::{ShipmentConsumer, StreamingPool};
 
 use crate::config::StudyConfig;
 use crate::fault::FaultSchedule;
 use crate::run::MachineRun;
-use crate::study::{MachineOutput, StreamedStudyData, Study, StudyFault};
+use crate::study::{
+    dump_flight_recorder, write_trace_artefact, Instruments, MachineOutput, StreamedStudyData,
+    Study, StudyFault,
+};
 
 /// Knobs of the sharded driver. The defaults reproduce the flat
 /// topology (one shard, auto-sized workers).
@@ -87,6 +90,9 @@ pub struct ShardReport {
     /// Peak live analysis state across the shard's sinks, bytes — the
     /// quantity the per-shard memory budget bounds.
     pub peak_state_bytes: usize,
+    /// Shard-level health findings (currently the post-run stall check);
+    /// empty with watchdogs off.
+    pub findings: Vec<HealthFinding>,
 }
 
 /// A sharded streaming run: the fleet-level data (same shape as the
@@ -129,6 +135,30 @@ impl Study {
         config: &StudyConfig,
         options: &ShardOptions,
     ) -> Result<ShardedStudyData, StudyFault> {
+        let instruments = Instruments::for_config(config);
+        let result = Self::sharded_run_inner(config, options, &instruments);
+        match &result {
+            Err(fault) => dump_flight_recorder(
+                &instruments.recorder,
+                config,
+                &format!("study-fault: {fault}"),
+            ),
+            Ok(sharded) if instruments.dump_on_loss && sharded.data.total_lost() > 0 => {
+                sharded.data.dump_flight_recorder(&format!(
+                    "loss-on-shutdown: {} records lost",
+                    sharded.data.total_lost()
+                ));
+            }
+            Ok(_) => {}
+        }
+        result
+    }
+
+    fn sharded_run_inner(
+        config: &StudyConfig,
+        options: &ShardOptions,
+        instruments: &Instruments,
+    ) -> Result<ShardedStudyData, StudyFault> {
         let n = config.machines.len();
         let workers = options
             .workers
@@ -151,7 +181,8 @@ impl Study {
         };
         let consumers: Vec<Arc<AnalysisSet>> = ranges
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(s, r)| {
                 let ids: Vec<u32> = (r.start as u32..r.end as u32).collect();
                 Arc::new(AnalysisSet::new(
                     &ids,
@@ -159,6 +190,7 @@ impl Study {
                         retain: options.retain,
                         spill_dir: options.spill_dir.clone(),
                         telemetry: analysis_telemetry.clone(),
+                        tracer: instruments.tracer.for_shard(s as u32),
                         ..StreamConfig::default()
                     },
                 ))
@@ -178,15 +210,24 @@ impl Study {
         let pools: Vec<StreamingPool> = consumers
             .iter()
             .zip(&warehouse_sinks)
-            .map(|(c, w)| {
+            .enumerate()
+            .map(|(s, (c, w))| {
+                let shard_tracer = instruments.tracer.for_shard(s as u32);
                 let consumer: Arc<dyn ShipmentConsumer> = match w {
                     Some(sink) => Arc::new(crate::warehouse::Tee {
                         analysis: Arc::clone(c),
                         warehouse: Arc::clone(sink),
+                        tracer: shard_tracer.clone(),
                     }),
                     None => Arc::clone(c) as Arc<dyn ShipmentConsumer>,
                 };
-                StreamingPool::start_with_outages(3, schedule.collectors.clone(), consumer)
+                StreamingPool::start_traced(
+                    3,
+                    schedule.collectors.clone(),
+                    consumer,
+                    shard_tracer,
+                    instruments.recorder.clone(),
+                )
             })
             .collect();
 
@@ -204,6 +245,11 @@ impl Study {
             let spec = &config.machines[index];
             let faults = schedule.for_machine(index);
             let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
+            run.set_instruments(
+                &instruments.tracer.for_shard(shard_of[index] as u32),
+                &instruments.recorder,
+                instruments.watchdogs,
+            );
             let mut sink = pools[shard_of[index]].handle_for(run.id);
             run.simulate_with_faults(config, &faults, &mut sink);
             MachineOutput {
@@ -216,6 +262,8 @@ impl Study {
                 loss: run.loss_ledger(),
                 residual_dirty_bytes: run.residual_dirty_bytes(),
                 telemetry: run.telemetry_report(),
+                health: run.take_health(),
+                last_delivery_ticks: run.last_delivery_ticks(),
             }
         });
 
@@ -246,10 +294,37 @@ impl Study {
         // Shard tier: close each shard's sinks into a mergeable partial.
         let mut shard_summaries: Vec<ShardSummary> = Vec::with_capacity(consumers.len());
         let mut shards = Vec::with_capacity(consumers.len());
+        let end_ticks = config.duration.ticks();
         for (s, consumer) in consumers.into_iter().enumerate() {
             let consumer = Arc::try_unwrap(consumer)
                 .unwrap_or_else(|_| panic!("server threads still hold shard {s} after finish"));
             let partial = consumer.finish_shard();
+            // Shard boundary crossed: note what this collector merged
+            // away, then run the post-run stall check over its machines'
+            // last successful deliveries.
+            instruments.recorder.record(
+                RecorderScope::Shard(s as u32),
+                FlightEvent::MergeBoundary {
+                    shard: s as u32,
+                    machines: ranges[s].len() as u64,
+                    records: partial.summary.records,
+                },
+            );
+            let mut findings = Vec::new();
+            if instruments.watchdogs {
+                let last = machines[ranges[s].clone()]
+                    .iter()
+                    .map(|m| m.last_delivery_ticks)
+                    .max()
+                    .unwrap_or(0);
+                if let Some(f) = Watchdog::stalled_shard(s as u32, last, end_ticks) {
+                    instruments.recorder.record(
+                        RecorderScope::Shard(s as u32),
+                        FlightEvent::Finding(f.clone()),
+                    );
+                    findings.push(f);
+                }
+            }
             shards.push(ShardReport {
                 shard: s,
                 machines: ranges[s].clone(),
@@ -257,6 +332,7 @@ impl Study {
                 total_records: totals[s].total_records,
                 stored_bytes: totals[s].stored_bytes,
                 peak_state_bytes: partial.summary.peak_state_bytes,
+                findings,
             });
             shard_summaries.push(partial);
         }
@@ -306,6 +382,15 @@ impl Study {
         write_sharded_telemetry(config, &machines, &shard_of);
         let total_records = shards.iter().map(|s| s.total_records).sum();
         let stored_bytes = shards.iter().map(|s| s.stored_bytes).sum();
+        // Every shard tracer shares the root tracer's span store, so one
+        // drain collects the whole tree.
+        let shipment_spans = instruments.tracer.take_sorted();
+        write_trace_artefact(config, &instruments.tracer, &shipment_spans);
+        let health: Vec<HealthFinding> = machines
+            .iter()
+            .flat_map(|m| m.health.iter().cloned())
+            .chain(shards.iter().flat_map(|s| s.findings.iter().cloned()))
+            .collect();
         Ok(ShardedStudyData {
             data: StreamedStudyData {
                 config: config.clone(),
@@ -316,6 +401,9 @@ impl Study {
                 stored_bytes,
                 profile,
                 warehouse: warehouse_stats,
+                shipment_spans,
+                health,
+                flight_recorder: instruments.recorder.clone(),
             },
             shards,
             aggregators,

@@ -6,7 +6,11 @@ use std::fmt;
 
 use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
 use nt_analysis::TraceSet;
-use nt_obs::{MachineTelemetry, Phase, RuntimeProfile, Telemetry};
+use nt_obs::{
+    FlightRecorder, HealthFinding, HopSpan, MachineTelemetry, Phase, RuntimeProfile,
+    ShipmentTracer, Telemetry,
+};
+use nt_sim::SimDuration;
 use nt_trace::{
     CollectionFault, CollectorPool, LossLedger, MachineId, ShipmentConsumer, Snapshot,
     StreamingPool,
@@ -40,6 +44,12 @@ pub struct MachineOutput {
     /// Telemetry snapshot (profile, ring series, span-log line count);
     /// `None` when the study runs with telemetry off.
     pub telemetry: Option<MachineTelemetry>,
+    /// Health findings the machine's watchdog raised, in sample order;
+    /// empty with watchdogs off.
+    pub health: Vec<HealthFinding>,
+    /// Latest simulated tick a shipment delivery succeeded at (0 when
+    /// none did) — feeds the post-run shard-stall check.
+    pub last_delivery_ticks: u64,
 }
 
 /// Why a study run could not complete cleanly. Collection faults carry
@@ -76,6 +86,97 @@ impl From<CollectionFault> for StudyFault {
 impl From<nt_warehouse::NttError> for StudyFault {
     fn from(e: nt_warehouse::NttError) -> Self {
         StudyFault::Warehouse(e)
+    }
+}
+
+/// The per-run observability instruments, built once from the study
+/// configuration and shared (by cheap handle clones) across every tier:
+/// agents, collector pools, analysis sinks, and the export tee.
+pub(crate) struct Instruments {
+    /// Causal shipment tracer; off unless
+    /// [`nt_obs::TelemetryOptions::trace_shipments`] is set.
+    pub(crate) tracer: ShipmentTracer,
+    /// Fleet flight recorder; off unless
+    /// [`nt_obs::TelemetryOptions::flight_recorder`] is set.
+    pub(crate) recorder: FlightRecorder,
+    /// Evaluate health watchdogs on the telemetry sampler cadence.
+    pub(crate) watchdogs: bool,
+    /// Dump the flight recorder at end of run when records were lost.
+    pub(crate) dump_on_loss: bool,
+}
+
+impl Instruments {
+    /// Tick horizon the tracer clamps final-flush spans to: the study
+    /// period plus a bound on the shutdown drain (up to 2,000 one-second
+    /// lazy-writer catch-up scans plus the closing pump).
+    pub(crate) fn horizon_ticks(config: &StudyConfig) -> u64 {
+        (config.duration + SimDuration::from_secs(2_100)).ticks()
+    }
+
+    /// Instruments for a study configuration; everything off when the
+    /// corresponding telemetry knob is.
+    pub(crate) fn for_config(config: &StudyConfig) -> Self {
+        let Some(opts) = config.telemetry.options() else {
+            return Instruments::off();
+        };
+        Instruments {
+            tracer: match opts.trace_shipments {
+                true => ShipmentTracer::new(config.seed, Self::horizon_ticks(config)),
+                false => ShipmentTracer::off(),
+            },
+            recorder: match opts.flight_recorder {
+                true => FlightRecorder::new(opts.flight_recorder_capacity),
+                false => FlightRecorder::off(),
+            },
+            watchdogs: opts.watchdogs,
+            dump_on_loss: opts.dump_on_loss,
+        }
+    }
+
+    /// Fully disabled instruments.
+    pub(crate) fn off() -> Self {
+        Instruments {
+            tracer: ShipmentTracer::off(),
+            recorder: FlightRecorder::off(),
+            watchdogs: false,
+            dump_on_loss: false,
+        }
+    }
+}
+
+/// Dumps `recorder` into the telemetry artefact directory (exactly once
+/// per run — later triggers are no-ops). A dump must never fail the
+/// study; write errors are reported and swallowed.
+pub(crate) fn dump_flight_recorder(recorder: &FlightRecorder, config: &StudyConfig, reason: &str) {
+    let Some(dir) = config.telemetry.options().and_then(|o| o.dir.clone()) else {
+        return;
+    };
+    let path = dir.join("flight-recorder.jsonl");
+    if let Err(e) = recorder.dump(&path, reason) {
+        eprintln!(
+            "nt-obs: cannot dump flight recorder to {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Writes the Chrome trace-event artefact (`trace.json`) when shipment
+/// tracing is on and an artefact directory is configured. Like the
+/// other telemetry exports, failure is reported, not fatal.
+pub(crate) fn write_trace_artefact(
+    config: &StudyConfig,
+    tracer: &ShipmentTracer,
+    spans: &[HopSpan],
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let Some(dir) = config.telemetry.options().and_then(|o| o.dir.clone()) else {
+        return;
+    };
+    let path = dir.join("trace.json");
+    if let Err(e) = nt_obs::write_chrome_trace(&path, spans) {
+        eprintln!("nt-obs: cannot write {}: {e}", path.display());
     }
 }
 
@@ -162,11 +263,34 @@ impl Study {
         config: &StudyConfig,
         workers: usize,
     ) -> Result<StudyData, StudyFault> {
+        // The legacy batch path stores shipments instead of forwarding
+        // them, so there is no causal chain to trace — but the flight
+        // recorder and watchdogs are agent-side and work the same.
+        let mut instruments = Instruments::for_config(config);
+        instruments.tracer = ShipmentTracer::off();
+        let result = Self::batch_run_inner(config, workers, &instruments);
+        if let Err(fault) = &result {
+            dump_flight_recorder(
+                &instruments.recorder,
+                config,
+                &format!("study-fault: {fault}"),
+            );
+        }
+        result
+    }
+
+    fn batch_run_inner(
+        config: &StudyConfig,
+        workers: usize,
+        instruments: &Instruments,
+    ) -> Result<StudyData, StudyFault> {
         let schedule = FaultSchedule::materialize(config, 3);
         let pool = CollectorPool::start_with_outages(3, schedule.collectors.clone());
 
         let (mut machines, worker_fault) =
-            run_machines(config, workers, &schedule, |id| pool.handle_for(id));
+            run_machines(config, workers, &schedule, instruments, |id| {
+                pool.handle_for(id)
+            });
         machines.sort_by_key(|m| m.id);
 
         // Always join the servers, even after a worker fault: the fault
@@ -258,6 +382,7 @@ fn run_machines<S, F>(
     config: &StudyConfig,
     workers: usize,
     schedule: &FaultSchedule,
+    instruments: &Instruments,
     handle_for: F,
 ) -> (Vec<MachineOutput>, Option<StudyFault>)
 where
@@ -271,12 +396,18 @@ where
         for chunk in partition(n, workers) {
             let handle_for = &handle_for;
             let schedule = &*schedule;
+            let instruments = &*instruments;
             handles.push(scope.spawn(move || {
                 let mut out = Vec::new();
                 for index in chunk {
                     let spec = &config.machines[index];
                     let faults = schedule.for_machine(index);
                     let mut run = MachineRun::build_with_faults(config, index, spec, &faults);
+                    run.set_instruments(
+                        &instruments.tracer,
+                        &instruments.recorder,
+                        instruments.watchdogs,
+                    );
                     let mut sink = handle_for(run.id);
                     run.simulate_with_faults(config, &faults, &mut sink);
                     out.push(MachineOutput {
@@ -289,6 +420,8 @@ where
                         loss: run.loss_ledger(),
                         residual_dirty_bytes: run.residual_dirty_bytes(),
                         telemetry: run.telemetry_report(),
+                        health: run.take_health(),
+                        last_delivery_ticks: run.last_delivery_ticks(),
                     });
                 }
                 out
@@ -360,12 +493,31 @@ pub struct StreamedStudyData {
     /// Per-segment export stats, when [`StreamOptions::warehouse`] (or
     /// the sharded twin) was set; in machine order.
     pub warehouse: Option<Vec<nt_warehouse::SegmentStats>>,
+    /// Every causal hop span the shipment tracer captured, sorted by
+    /// (machine, batch, hop); empty with tracing off. The same spans are
+    /// written to `trace.json` (Chrome trace-event format) when a
+    /// telemetry artefact directory is configured.
+    pub shipment_spans: Vec<HopSpan>,
+    /// Fleet-wide health findings — every machine's watchdog findings in
+    /// machine order, plus shard-level findings on the sharded path.
+    pub health: Vec<HealthFinding>,
+    /// The run's flight recorder handle, so post-run consumers (the
+    /// conservation audit, diagnostics tooling) can inspect rings or
+    /// trigger the exactly-once dump. Off-handle when disabled.
+    pub flight_recorder: FlightRecorder,
 }
 
 impl StreamedStudyData {
     /// Records lost across the fleet (overflow + suspension).
     pub fn total_lost(&self) -> u64 {
         self.machines.iter().map(|m| m.loss.lost()).sum()
+    }
+
+    /// Dumps the run's flight recorder into the telemetry artefact
+    /// directory (exactly once per run; later calls are no-ops). No-op
+    /// without a directory or with the recorder off.
+    pub fn dump_flight_recorder(&self, reason: &str) {
+        dump_flight_recorder(&self.flight_recorder, &self.config, reason);
     }
 
     /// The per-driver-layer ns/op budget from the self-profiler (see
@@ -397,6 +549,30 @@ impl Study {
         config: &StudyConfig,
         options: &StreamOptions,
     ) -> Result<StreamedStudyData, StudyFault> {
+        let instruments = Instruments::for_config(config);
+        let result = Self::streaming_run_inner(config, options, &instruments);
+        match &result {
+            Err(fault) => dump_flight_recorder(
+                &instruments.recorder,
+                config,
+                &format!("study-fault: {fault}"),
+            ),
+            Ok(data) if instruments.dump_on_loss && data.total_lost() > 0 => {
+                data.dump_flight_recorder(&format!(
+                    "loss-on-shutdown: {} records lost",
+                    data.total_lost()
+                ));
+            }
+            Ok(_) => {}
+        }
+        result
+    }
+
+    fn streaming_run_inner(
+        config: &StudyConfig,
+        options: &StreamOptions,
+        instruments: &Instruments,
+    ) -> Result<StreamedStudyData, StudyFault> {
         let n = config.machines.len();
         let workers = options
             .workers
@@ -418,6 +594,7 @@ impl Study {
                 retain: options.retain,
                 spill_dir: options.spill_dir.clone(),
                 telemetry: analysis_telemetry.clone(),
+                tracer: instruments.tracer.clone(),
                 ..StreamConfig::default()
             },
         ));
@@ -432,13 +609,22 @@ impl Study {
             Some(sink) => Arc::new(crate::warehouse::Tee {
                 analysis: Arc::clone(&consumer),
                 warehouse: Arc::clone(sink),
+                tracer: instruments.tracer.clone(),
             }),
             None => Arc::clone(&consumer) as Arc<dyn ShipmentConsumer>,
         };
-        let pool = StreamingPool::start_with_outages(3, schedule.collectors.clone(), pool_consumer);
+        let pool = StreamingPool::start_traced(
+            3,
+            schedule.collectors.clone(),
+            pool_consumer,
+            instruments.tracer.clone(),
+            instruments.recorder.clone(),
+        );
 
         let (mut machines, worker_fault) =
-            run_machines(config, workers, &schedule, |id| pool.handle_for(id));
+            run_machines(config, workers, &schedule, instruments, |id| {
+                pool.handle_for(id)
+            });
         machines.sort_by_key(|m| m.id);
 
         // Join the servers first regardless of faults — a panicked
@@ -461,6 +647,12 @@ impl Study {
         let analysis = consumer.finish();
         let profile = fleet_profile(&machines, &analysis_telemetry);
         write_telemetry_artefacts(config, &machines);
+        let shipment_spans = instruments.tracer.take_sorted();
+        write_trace_artefact(config, &instruments.tracer, &shipment_spans);
+        let health: Vec<HealthFinding> = machines
+            .iter()
+            .flat_map(|m| m.health.iter().cloned())
+            .collect();
         Ok(StreamedStudyData {
             config: config.clone(),
             summary: analysis.summary,
@@ -470,6 +662,9 @@ impl Study {
             stored_bytes: totals.stored_bytes,
             profile,
             warehouse: warehouse_stats,
+            shipment_spans,
+            health,
+            flight_recorder: instruments.recorder.clone(),
         })
     }
 }

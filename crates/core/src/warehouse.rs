@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
 use nt_analysis::TraceSet;
-use nt_obs::{Phase, RuntimeProfile, Telemetry};
-use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord};
+use nt_obs::{Hop, Phase, RuntimeProfile, ShipmentTracer, Telemetry};
+use nt_trace::{BatchMeta, MachineId, NameRecord, ShipmentConsumer, TraceRecord};
 use nt_warehouse::{NttError, SegmentReader, Warehouse, WarehouseSink};
 
 use crate::study::{StreamOptions, Study};
@@ -29,12 +29,32 @@ use crate::study::{StreamOptions, Study};
 pub(crate) struct Tee {
     pub(crate) analysis: Arc<AnalysisSet>,
     pub(crate) warehouse: Arc<WarehouseSink>,
+    /// Emits the `warehouse.export` hop for each teed batch; the sink
+    /// itself stays tracer-free (nt-warehouse does not depend on
+    /// nt-obs).
+    pub(crate) tracer: ShipmentTracer,
 }
 
 impl ShipmentConsumer for Tee {
-    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>) {
-        self.warehouse.batch(machine, seq, records.clone());
-        self.analysis.batch(machine, seq, records);
+    fn batch(
+        &self,
+        machine: MachineId,
+        seq: Option<u64>,
+        records: Vec<TraceRecord>,
+        meta: Option<BatchMeta>,
+    ) {
+        if let (Some(meta), Some(seq)) = (meta, seq) {
+            self.tracer.downstream(
+                Hop::Export,
+                meta.ctx,
+                machine.0,
+                seq,
+                meta.deliver_ticks,
+                records.len() as u64,
+            );
+        }
+        self.warehouse.batch(machine, seq, records.clone(), None);
+        self.analysis.batch(machine, seq, records, meta);
     }
 
     fn name(&self, machine: MachineId, seq: Option<u64>, name: NameRecord) {
@@ -99,7 +119,7 @@ impl Study {
             for (seq, batch) in reader.batches().enumerate() {
                 let decoded = SegmentReader::decode_batch(batch, first)?;
                 first += decoded.len() as u64;
-                set.batch(machine, Some(seq as u64), decoded);
+                set.batch(machine, Some(seq as u64), decoded, None);
             }
             records += first;
             for (i, name) in reader.names().enumerate() {

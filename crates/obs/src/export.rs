@@ -7,12 +7,106 @@
 //! exact, not an interpolation.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::series::{SeriesData, SeriesKind};
 use crate::MachineTelemetry;
+
+/// Why an artefact export failed. Every exporter in this crate (the
+/// time-series JSONL, the Chrome shipment trace, the flight-recorder
+/// dump) reports failure through this type instead of panicking or
+/// silently clobbering whatever sat at the target path.
+#[derive(Debug)]
+pub enum ExportError {
+    /// A path component that must be a directory exists but is not one
+    /// (e.g. a regular file sitting where the artefact directory should
+    /// be). Nothing is overwritten.
+    NotADirectory {
+        /// The offending pre-existing non-directory path.
+        path: PathBuf,
+    },
+    /// An underlying I/O failure (permission, disk full, ...).
+    Io {
+        /// The path being written or created.
+        path: PathBuf,
+        /// The originating error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::NotADirectory { path } => {
+                write!(
+                    f,
+                    "export path component {} exists and is not a directory",
+                    path.display()
+                )
+            }
+            ExportError::Io { path, source } => {
+                write!(f, "export to {} failed: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::NotADirectory { .. } => None,
+            ExportError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Ensures `path`'s parent chain exists as directories, refusing with a
+/// typed error when a pre-existing non-directory blocks the way.
+pub(crate) fn ensure_parent_dir(path: &Path) -> Result<(), ExportError> {
+    let Some(parent) = path.parent() else {
+        return Ok(());
+    };
+    if parent.as_os_str().is_empty() {
+        return Ok(());
+    }
+    // Name the offending ancestor precisely: `create_dir_all` would fold
+    // "a file is in the way" into an opaque io::Error.
+    for ancestor in parent.ancestors() {
+        if let Ok(meta) = fs::metadata(ancestor) {
+            if !meta.is_dir() {
+                return Err(ExportError::NotADirectory {
+                    path: ancestor.to_path_buf(),
+                });
+            }
+            break;
+        }
+    }
+    fs::create_dir_all(parent).map_err(|source| ExportError::Io {
+        path: parent.to_path_buf(),
+        source,
+    })
+}
+
+/// Opens `path` for writing after validating the parent chain. Refuses
+/// to touch a pre-existing directory at `path` itself.
+pub(crate) fn create_export_file(path: &Path) -> Result<io::BufWriter<fs::File>, ExportError> {
+    ensure_parent_dir(path)?;
+    if let Ok(meta) = fs::metadata(path) {
+        if meta.is_dir() {
+            return Err(ExportError::NotADirectory {
+                path: path.to_path_buf(),
+            });
+        }
+    }
+    let file = fs::File::create(path).map_err(|source| ExportError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    Ok(io::BufWriter::new(file))
+}
 
 /// One exported line: a series under a scope (`fleet`,
 /// `category:<name>` or `machine:<id>`).
@@ -120,7 +214,7 @@ fn sum_scope<'a>(scope: &str, group: impl Iterator<Item = &'a MachineTelemetry>)
         .collect()
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -164,15 +258,18 @@ pub fn row_to_json(row: &SeriesRow) -> String {
 }
 
 /// Writes the rows to `path` as JSONL, creating parent directories.
-pub fn write_timeseries_jsonl(path: &Path, rows: &[SeriesRow]) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
-    let mut out = io::BufWriter::new(fs::File::create(path)?);
+/// Refuses (typed, nothing clobbered) when a pre-existing non-directory
+/// blocks the parent chain or squats on `path` itself.
+pub fn write_timeseries_jsonl(path: &Path, rows: &[SeriesRow]) -> Result<(), ExportError> {
+    let mut out = create_export_file(path)?;
+    let io_err = |source| ExportError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
     for row in rows {
-        writeln!(out, "{}", row_to_json(row))?;
+        writeln!(out, "{}", row_to_json(row)).map_err(io_err)?;
     }
-    out.flush()
+    out.flush().map_err(io_err)
 }
 
 #[cfg(test)]
@@ -191,6 +288,7 @@ mod tests {
                 dropped: 0,
             }],
             spans_logged: 0,
+            log_write_failures: 0,
         }
     }
 
@@ -265,6 +363,47 @@ mod tests {
         let text = fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), rows.len());
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("nt-obs-export-deep-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("a/b/c/timeseries.jsonl");
+        write_timeseries_jsonl(&path, &[]).unwrap();
+        assert!(path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_refuses_file_squatting_on_parent_path() {
+        let dir = std::env::temp_dir().join(format!("nt-obs-export-squat-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // A regular file where the artefact directory should be.
+        let squatter = dir.join("artefacts");
+        fs::write(&squatter, b"not a directory").unwrap();
+        let path = squatter.join("timeseries.jsonl");
+        let err = write_timeseries_jsonl(&path, &[]).unwrap_err();
+        match err {
+            ExportError::NotADirectory { path } => assert_eq!(path, squatter),
+            other => panic!("expected NotADirectory, got {other:?}"),
+        }
+        // The squatter is untouched — nothing silently overwritten.
+        assert_eq!(fs::read(&squatter).unwrap(), b"not a directory");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_refuses_directory_squatting_on_target_path() {
+        let dir = std::env::temp_dir().join(format!("nt-obs-export-dsq-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("timeseries.jsonl");
+        fs::create_dir_all(&path).unwrap();
+        let err = write_timeseries_jsonl(&path, &[]).unwrap_err();
+        assert!(matches!(err, ExportError::NotADirectory { .. }));
+        assert!(path.is_dir(), "the pre-existing directory survives");
         let _ = fs::remove_dir_all(&dir);
     }
 }

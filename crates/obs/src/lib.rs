@@ -37,12 +37,18 @@ use nt_sim::{SimDuration, SimTime};
 
 pub mod export;
 pub mod profile;
+pub mod recorder;
 pub mod series;
+pub mod shipment;
 pub mod sparkline;
+pub mod watchdog;
 
-pub use export::{write_timeseries_jsonl, SeriesRow};
+pub use export::{write_timeseries_jsonl, ExportError, SeriesRow};
 pub use profile::{PhaseBudget, PhaseStat, RuntimeProfile};
+pub use recorder::{FlightEvent, FlightRecorder, RecorderScope};
 pub use series::{SeriesData, SeriesKind, SeriesRegistry};
+pub use shipment::{write_chrome_trace, Hop, HopSpan, ShipmentTracer, TraceContext};
+pub use watchdog::{HealthFinding, Watchdog};
 
 /// A subsystem phase, the unit of wall-clock attribution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -141,6 +147,24 @@ pub struct TelemetryOptions {
     /// Ring capacity per series; the oldest points fall off and are
     /// counted in [`SeriesData::dropped`].
     pub ring_capacity: usize,
+    /// Attach a deterministic [`TraceContext`] to every shipped record
+    /// batch and emit parent-linked hop spans (agent → collector →
+    /// analysis → warehouse), exported as a Chrome trace-event timeline
+    /// (`trace.json` under `dir`).
+    pub trace_shipments: bool,
+    /// Keep a bounded per-machine/per-shard ring of recent pipeline
+    /// events (drops, failovers, suspensions, merge boundaries) for the
+    /// post-mortem dump (`flight-recorder.jsonl` under `dir`).
+    pub flight_recorder: bool,
+    /// Ring capacity per flight-recorder scope; oldest events fall off
+    /// and are counted per scope.
+    pub flight_recorder_capacity: usize,
+    /// Sample the pipeline health watchdogs on the simulated clock and
+    /// surface typed [`HealthFinding`]s in the study output.
+    pub watchdogs: bool,
+    /// Dump the flight recorder at end of run when the fleet lost any
+    /// records, even if the study itself completed without a fault.
+    pub dump_on_loss: bool,
 }
 
 impl Default for TelemetryOptions {
@@ -150,6 +174,11 @@ impl Default for TelemetryOptions {
             log_spans: true,
             sample_interval: SimDuration::from_secs(30),
             ring_capacity: 4_096,
+            trace_shipments: false,
+            flight_recorder: false,
+            flight_recorder_capacity: 256,
+            watchdogs: false,
+            dump_on_loss: false,
         }
     }
 }
@@ -187,6 +216,7 @@ struct Inner {
     /// simulated instant the span covered".
     last_logged_sim: u64,
     spans_logged: u64,
+    log_write_failures: u64,
     log_failed: bool,
 }
 
@@ -249,19 +279,26 @@ impl Inner {
             self_ns,
             self.stack.len(),
         );
-        let ok = {
-            let log = self.log.as_mut().expect("checked by caller");
-            writeln!(log, "{}", self.line).is_ok()
+        // The log can race away between the caller's check and here (a
+        // prior write may have disabled it); treat a missing writer as a
+        // counted failure, never a panic — a full disk must not kill the
+        // study it is observing.
+        let ok = match self.log.as_mut() {
+            Some(log) => writeln!(log, "{}", self.line).is_ok(),
+            None => false,
         };
         if ok {
             self.spans_logged += 1;
-        } else if !self.log_failed {
-            self.log_failed = true;
-            eprintln!(
-                "nt-obs: span log write failed for machine {}; disabling the log",
-                self.machine
-            );
-            self.log = None;
+        } else {
+            self.log_write_failures += 1;
+            if !self.log_failed {
+                self.log_failed = true;
+                eprintln!(
+                    "nt-obs: span log write failed for machine {}; disabling the log",
+                    self.machine
+                );
+                self.log = None;
+            }
         }
     }
 }
@@ -327,6 +364,7 @@ impl Telemetry {
                 last_sim_ticks: 0,
                 last_logged_sim: 0,
                 spans_logged: 0,
+                log_write_failures: 0,
                 log_failed: false,
             }))),
         }
@@ -343,6 +381,7 @@ impl Telemetry {
                 log_spans: false,
                 sample_interval: SimDuration::MAX,
                 ring_capacity: 0,
+                ..TelemetryOptions::default()
             },
         )
     }
@@ -407,6 +446,7 @@ impl Telemetry {
             profile: inner.profile,
             series: inner.series.dump(),
             spans_logged: inner.spans_logged,
+            log_write_failures: inner.log_write_failures,
         })
     }
 }
@@ -436,6 +476,10 @@ pub struct MachineTelemetry {
     pub series: Vec<SeriesData>,
     /// Spans mirrored to the JSONL log (0 when logging is off).
     pub spans_logged: u64,
+    /// Span-log writes that failed (disk full, log torn down mid-run).
+    /// Non-fatal by design: the log is dropped, the study keeps running,
+    /// and the failure count is surfaced here.
+    pub log_write_failures: u64,
 }
 
 impl MachineTelemetry {
@@ -519,6 +563,38 @@ mod tests {
         let c = r.series("io.ops").unwrap();
         assert_eq!(c.kind, SeriesKind::Counter);
         assert_eq!(c.points[1].1, 25.0);
+    }
+
+    /// A full disk (here: the span log symlinked to `/dev/full`) must
+    /// never kill the study — the failed write is counted, the log is
+    /// dropped, and everything else keeps recording.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn span_log_write_failure_is_counted_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("nt-obs-full-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        std::os::unix::fs::symlink("/dev/full", dir.join("spans-m09.jsonl")).unwrap();
+        let t = Telemetry::for_machine(
+            9,
+            &TelemetryOptions {
+                dir: Some(dir.clone()),
+                ..TelemetryOptions::default()
+            },
+        );
+        // Enough spans to overflow the BufWriter and hit ENOSPC.
+        for _ in 0..2_000 {
+            drop(t.span(Phase::Dispatch, "read", SimTime::from_secs(1)));
+        }
+        let r = t.report().unwrap();
+        assert!(r.log_write_failures >= 1, "the failed write was counted");
+        assert!(
+            r.spans_logged < 2_000,
+            "logging stopped once the disk filled"
+        );
+        // The profile kept attributing spans regardless.
+        assert_eq!(r.profile.phase(Phase::Dispatch).spans, 2_000);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -166,6 +166,58 @@ mod tests {
     }
 
     #[test]
+    fn exactly_capacity_points_drop_nothing() {
+        // The boundary itself: `ring_capacity` inserts fill the ring
+        // without evicting, and the dump reports a true zero drop count.
+        let capacity = 4;
+        let mut r = SeriesRegistry::new(capacity);
+        for i in 0..capacity as u64 {
+            r.record("x", SeriesKind::Counter, i * 10, i as f64);
+        }
+        let d = r.dump();
+        assert_eq!(d[0].points.len(), capacity);
+        assert_eq!(d[0].dropped, 0);
+        assert_eq!(d[0].points[0], (0, 0.0), "oldest point intact");
+    }
+
+    #[test]
+    fn capacity_plus_one_evicts_exactly_the_oldest() {
+        let capacity = 4;
+        let mut r = SeriesRegistry::new(capacity);
+        for i in 0..=capacity as u64 {
+            r.record("x", SeriesKind::Gauge, i * 10, i as f64);
+        }
+        let d = r.dump();
+        assert_eq!(d[0].points.len(), capacity);
+        assert_eq!(d[0].dropped, 1, "one insert past capacity, one drop");
+        // Oldest-first drop order: point (0, 0.0) went, the rest slid.
+        assert_eq!(
+            d[0].points,
+            vec![(10, 1.0), (20, 2.0), (30, 3.0), (40, 4.0)]
+        );
+    }
+
+    #[test]
+    fn dropped_count_tracks_every_eviction_across_series() {
+        // Two series in one registry evict independently; each dump row
+        // reports its own true count.
+        let mut r = SeriesRegistry::new(2);
+        for i in 0..7u64 {
+            r.record("a", SeriesKind::Gauge, i, i as f64);
+        }
+        for i in 0..3u64 {
+            r.record("b", SeriesKind::Gauge, i, i as f64);
+        }
+        let d = r.dump();
+        assert_eq!(d[0].name, "a");
+        assert_eq!(d[0].dropped, 5);
+        assert_eq!(d[0].points, vec![(5, 5.0), (6, 6.0)]);
+        assert_eq!(d[1].name, "b");
+        assert_eq!(d[1].dropped, 1);
+        assert_eq!(d[1].points, vec![(1, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
     fn counter_rates_are_deltas() {
         let s = SeriesData {
             name: "ops".into(),

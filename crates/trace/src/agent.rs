@@ -11,13 +11,23 @@ use std::collections::VecDeque;
 
 use nt_io::observer::FileObjectInfo;
 use nt_io::{IoEvent, IoObserver};
-use nt_obs::{Phase, Telemetry};
+use nt_obs::{FlightEvent, FlightRecorder, Phase, RecorderScope, ShipmentTracer, Telemetry};
 
 use crate::buffer::TripleBuffer;
 use crate::collector::MachineId;
 use crate::fault::LossLedger;
 use crate::pool::RecordSink;
 use crate::record::{NameRecord, TraceRecord};
+
+/// A full buffer on the delivery queue, carrying the simulated ticks the
+/// shipment-trace spans are cut from: when its first record was captured
+/// (the batch window opening) and when it was queued for shipment.
+struct PendingBatch {
+    seq: u64,
+    open_ticks: u64,
+    enqueue_ticks: u64,
+    records: Vec<TraceRecord>,
+}
 
 /// Connection state of an agent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,7 +54,7 @@ pub struct TraceFilter {
     /// Buffers filled and awaiting shipping (observable to tests).
     fills: u64,
     /// Full buffers taken out of the triple buffer, awaiting delivery.
-    pending: VecDeque<(u64, Vec<TraceRecord>)>,
+    pending: VecDeque<PendingBatch>,
     /// Name records awaiting delivery.
     pending_names: VecDeque<(u64, NameRecord)>,
     next_batch_seq: u64,
@@ -57,6 +67,17 @@ pub struct TraceFilter {
     /// Tick at which the current suspension began, when suspended.
     suspended_at: Option<u64>,
     telemetry: Telemetry,
+    /// Emits batch/ship hop spans on successful deliveries.
+    tracer: ShipmentTracer,
+    /// Receives this machine's pipeline events (suspensions, drops,
+    /// refusals) for the post-mortem dump.
+    recorder: FlightRecorder,
+    /// Latest finite tick a batch was successfully delivered at.
+    last_delivery_ticks: u64,
+    /// Suspension drops already reported to the flight recorder.
+    reported_suspended: u64,
+    /// Overflow drops already reported to the flight recorder.
+    reported_overflow: u64,
 }
 
 impl TraceFilter {
@@ -85,6 +106,11 @@ impl TraceFilter {
             downtime_ticks: 0,
             suspended_at: None,
             telemetry: Telemetry::off(),
+            tracer: ShipmentTracer::off(),
+            recorder: FlightRecorder::off(),
+            last_delivery_ticks: 0,
+            reported_suspended: 0,
+            reported_overflow: 0,
         }
     }
 
@@ -92,6 +118,14 @@ impl TraceFilter {
     /// simulated clock from the enclosing dispatch span high-water mark.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches the shipment tracer (batch/ship hop spans on delivery)
+    /// and flight recorder (suspensions, drops, refusals into this
+    /// machine's scope). Both default to off and cost nothing then.
+    pub fn set_shipment_hooks(&mut self, tracer: ShipmentTracer, recorder: FlightRecorder) {
+        self.tracer = tracer;
+        self.recorder = recorder;
     }
 
     /// The machine this filter instruments.
@@ -117,11 +151,27 @@ impl TraceFilter {
             return;
         }
         match state {
-            AgentState::Suspended => self.suspended_at = Some(now_ticks),
+            AgentState::Suspended => {
+                self.suspended_at = Some(now_ticks);
+                self.recorder.record(
+                    RecorderScope::Machine(self.machine.0),
+                    FlightEvent::AgentSuspended { ticks: now_ticks },
+                );
+            }
             AgentState::Connected => {
                 if let Some(since) = self.suspended_at.take() {
                     self.downtime_ticks += now_ticks.saturating_sub(since);
                 }
+                self.recorder.record(
+                    RecorderScope::Machine(self.machine.0),
+                    FlightEvent::AgentResumed {
+                        ticks: now_ticks,
+                        downtime_ticks: self.downtime_ticks,
+                    },
+                );
+                // A reconnect is where suspension drops become visible;
+                // report the delta while the window is fresh.
+                self.report_drops(now_ticks);
             }
         }
         self.state = state;
@@ -144,7 +194,48 @@ impl TraceFilter {
 
     /// Records sitting in taken-but-undelivered batches.
     pub fn pending_records(&self) -> usize {
-        self.pending.iter().map(|(_, b)| b.len()).sum()
+        self.pending.iter().map(|b| b.records.len()).sum()
+    }
+
+    /// Taken-but-undelivered batches — the watchdogs' deterministic
+    /// proxy for collector backlog (live channel depths are not a
+    /// simulation quantity).
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Latest finite simulated tick a batch delivery succeeded at
+    /// (0 when none has) — feeds the shard-stall watchdog.
+    pub fn last_delivery_ticks(&self) -> u64 {
+        self.last_delivery_ticks
+    }
+
+    /// Reports any record drops (overflow or suspension) that happened
+    /// since the last report as one aggregated flight-recorder event
+    /// carrying both deltas and cumulative totals.
+    fn report_drops(&mut self, now_ticks: u64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let total_overflow = self.buffer.dropped();
+        let total_suspended = self.dropped_suspended;
+        let overflow_delta = total_overflow - self.reported_overflow;
+        let suspended_delta = total_suspended - self.reported_suspended;
+        if overflow_delta == 0 && suspended_delta == 0 {
+            return;
+        }
+        self.reported_overflow = total_overflow;
+        self.reported_suspended = total_suspended;
+        self.recorder.record(
+            RecorderScope::Machine(self.machine.0),
+            FlightEvent::RecordsDropped {
+                ticks: now_ticks,
+                suspended_delta,
+                overflow_delta,
+                total_suspended,
+                total_overflow,
+            },
+        );
     }
 
     /// End-of-run loss accounting for this agent.
@@ -161,10 +252,18 @@ impl TraceFilter {
     }
 
     /// Moves full buffers and queued names into the pending queue,
-    /// stamping per-machine sequence numbers.
-    fn enqueue_ready(&mut self) {
+    /// stamping per-machine sequence numbers and the enqueue tick.
+    fn enqueue_ready(&mut self, now_ticks: u64) {
         for batch in self.buffer.take_queued() {
-            self.pending.push_back((self.next_batch_seq, batch));
+            // The batch window opened when its first record was captured;
+            // an (impossible) empty batch would open at enqueue time.
+            let open_ticks = batch.first().map_or(now_ticks, |r| r.start_ticks);
+            self.pending.push_back(PendingBatch {
+                seq: self.next_batch_seq,
+                open_ticks,
+                enqueue_ticks: now_ticks,
+                records: batch,
+            });
             self.next_batch_seq += 1;
         }
         for name in self.names.drain(..) {
@@ -177,17 +276,36 @@ impl TraceFilter {
     /// (no reachable server) and counts it as a retried attempt; the
     /// refused batch stays queued. Returns `true` when nothing is left.
     fn deliver_pending<S: RecordSink>(&mut self, sink: &mut S, now_ticks: u64) -> bool {
-        while let Some((seq, batch)) = self.pending.front() {
-            if !sink.ingest_at(self.machine, *seq, batch, now_ticks) {
+        while let Some(batch) = self.pending.front() {
+            if !sink.ingest_at(self.machine, batch.seq, &batch.records, now_ticks) {
                 self.batches_retried += 1;
+                self.recorder.record(
+                    RecorderScope::Machine(self.machine.0),
+                    FlightEvent::ShipmentRefused {
+                        ticks: now_ticks,
+                        seq: batch.seq,
+                        pending_records: self.pending_records() as u64,
+                    },
+                );
                 return false;
             }
-            self.delivered += batch.len() as u64;
+            self.delivered += batch.records.len() as u64;
             self.batches_shipped += 1;
-            if let Some((_, batch)) = self.pending.pop_front() {
+            if let Some(batch) = self.pending.pop_front() {
+                self.tracer.agent_delivery(
+                    self.machine.0,
+                    batch.seq,
+                    batch.open_ticks,
+                    batch.enqueue_ticks,
+                    now_ticks,
+                    batch.records.len() as u64,
+                );
+                if now_ticks != u64::MAX && !batch.records.is_empty() {
+                    self.last_delivery_ticks = self.last_delivery_ticks.max(now_ticks);
+                }
                 // The sink copied the records; hand the storage back to
                 // the triple buffer so the next fill reuses it.
-                self.buffer.recycle(batch);
+                self.buffer.recycle(batch.records);
             }
         }
         while let Some((seq, name)) = self.pending_names.front() {
@@ -215,7 +333,8 @@ impl TraceFilter {
         // span_child, not span: `ship` passes u64::MAX for "no outage",
         // which must not poison the simulated high-water mark.
         let _span = self.telemetry.span_child(Phase::Trace, "trace.ship");
-        self.enqueue_ready();
+        self.enqueue_ready(now_ticks);
+        self.report_drops(now_ticks);
         self.deliver_pending(sink, now_ticks)
     }
 
@@ -228,15 +347,27 @@ impl TraceFilter {
         let rest = self.buffer.drain_all();
         let seq = self.next_batch_seq;
         self.next_batch_seq += 1;
+        let open_ticks = rest.first().map_or(u64::MAX, |r| r.start_ticks);
         if sink.ingest_at(self.machine, seq, &rest, u64::MAX) {
             self.delivered += rest.len() as u64;
             self.batches_shipped += 1;
+            self.tracer.agent_delivery(
+                self.machine.0,
+                seq,
+                open_ticks,
+                u64::MAX,
+                u64::MAX,
+                rest.len() as u64,
+            );
         }
         for name in self.names.drain(..) {
             let seq = self.next_name_seq;
             self.next_name_seq += 1;
             let _ = sink.ingest_name_at(self.machine, seq, name, u64::MAX);
         }
+        // The tail of the drop accounting: anything dropped since the
+        // last shipment lands in the dump before the run closes.
+        self.report_drops(u64::MAX);
     }
 }
 

@@ -16,9 +16,26 @@ use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use nt_obs::{FlightEvent, FlightRecorder, RecorderScope, ShipmentTracer, TraceContext};
+
 use crate::collector::{CollectionServer, MachineId, RecordBatch};
 use crate::fault::{any_contains, TickWindow};
 use crate::record::{NameRecord, TraceRecord};
+
+/// The causal baggage a record batch carries across the collector
+/// channel: the collect-hop [`TraceContext`] (for downstream tiers to
+/// parent-link their spans to), the simulated delivery tick, and the
+/// server that accepted it. Attached by the [`CollectorHandle`] when
+/// shipment tracing is on; `None` otherwise.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchMeta {
+    /// The collect-hop context; downstream hops are its children.
+    pub ctx: TraceContext,
+    /// Simulated tick the collector accepted the batch.
+    pub deliver_ticks: u64,
+    /// Index of the accepting collection server.
+    pub server: u32,
+}
 
 /// A destination for shipments on the collection-server threads — the
 /// streaming alternative to [`CollectionServer`]'s store-then-retrieve.
@@ -28,8 +45,15 @@ use crate::record::{NameRecord, TraceRecord};
 /// several servers, carrying the agent's sequence stamp for reassembly).
 pub trait ShipmentConsumer: Send + Sync {
     /// Consumes one shipped buffer. `seq` is the agent's own sequence
-    /// stamp (`None` = plain arrival-order shipping).
-    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>);
+    /// stamp (`None` = plain arrival-order shipping); `meta` is the
+    /// batch's causal trace baggage when shipment tracing is on.
+    fn batch(
+        &self,
+        machine: MachineId,
+        seq: Option<u64>,
+        records: Vec<TraceRecord>,
+        meta: Option<BatchMeta>,
+    );
 
     /// Consumes one file-object name record.
     fn name(&self, machine: MachineId, seq: Option<u64>, name: NameRecord);
@@ -107,8 +131,9 @@ impl RecordSink for CollectionServer {
 }
 
 enum Shipment {
-    /// `(machine, agent sequence, records)`; `None` = arrival order.
-    Batch(MachineId, Option<u64>, Vec<TraceRecord>),
+    /// `(machine, agent sequence, records, trace baggage)`; a `None`
+    /// sequence means arrival order.
+    Batch(MachineId, Option<u64>, Vec<TraceRecord>, Option<BatchMeta>),
     Name(MachineId, Option<u64>, NameRecord),
 }
 
@@ -157,6 +182,10 @@ pub struct CollectorHandle {
     outages: Arc<Vec<Vec<TickWindow>>>,
     /// Shipments that landed on a non-primary server.
     failovers: u64,
+    /// Emits the collect-hop span and stamps [`BatchMeta`] on batches.
+    tracer: ShipmentTracer,
+    /// Receives failover events for this machine's scope.
+    recorder: FlightRecorder,
 }
 
 impl CollectorHandle {
@@ -180,8 +209,12 @@ impl RecordSink for CollectorHandle {
         if !records.is_empty() {
             // A closed pool drops the shipment, like an agent whose
             // server went away (§3: the agent would suspend).
-            let _ =
-                self.senders[self.primary].send(Shipment::Batch(machine, None, records.to_vec()));
+            let _ = self.senders[self.primary].send(Shipment::Batch(
+                machine,
+                None,
+                records.to_vec(),
+                None,
+            ));
         }
     }
 
@@ -201,10 +234,40 @@ impl RecordSink for CollectorHandle {
         };
         if server != self.primary {
             self.failovers += 1;
+            self.recorder.record(
+                RecorderScope::Machine(machine.0),
+                FlightEvent::Failover {
+                    ticks: now_ticks,
+                    seq,
+                    from_server: self.primary as u32,
+                    to_server: server as u32,
+                },
+            );
         }
         if !records.is_empty() {
-            let _ =
-                self.senders[server].send(Shipment::Batch(machine, Some(seq), records.to_vec()));
+            // The collect hop: span emitted here (server and shard are
+            // known), context attached to the shipment so downstream
+            // tiers parent-link to it across the channel.
+            let meta = self
+                .tracer
+                .collect(
+                    machine.0,
+                    seq,
+                    now_ticks,
+                    records.len() as u64,
+                    server as u32,
+                )
+                .map(|ctx| BatchMeta {
+                    ctx,
+                    deliver_ticks: now_ticks,
+                    server: server as u32,
+                });
+            let _ = self.senders[server].send(Shipment::Batch(
+                machine,
+                Some(seq),
+                records.to_vec(),
+                meta,
+            ));
         }
         true
     }
@@ -255,10 +318,10 @@ impl CollectorPool {
                 let mut store = CollectionServer::new();
                 while let Ok(shipment) = rx.recv() {
                     match shipment {
-                        Shipment::Batch(m, Some(seq), records) => {
+                        Shipment::Batch(m, Some(seq), records, _) => {
                             store.ingest_seq(m, seq, &records)
                         }
-                        Shipment::Batch(m, None, records) => store.ingest(m, &records),
+                        Shipment::Batch(m, None, records, _) => store.ingest(m, &records),
                         Shipment::Name(m, Some(seq), name) => store.ingest_name_seq(m, seq, name),
                         Shipment::Name(m, None, name) => store.ingest_name(m, name),
                     }
@@ -281,6 +344,8 @@ impl CollectorPool {
             primary: machine.0 as usize % self.senders.len(),
             outages: Arc::clone(&self.outages),
             failovers: 0,
+            tracer: ShipmentTracer::off(),
+            recorder: FlightRecorder::off(),
         }
     }
 
@@ -339,6 +404,8 @@ pub struct StreamingPool {
     senders: Vec<Sender<Shipment>>,
     handles: Vec<JoinHandle<StreamingTotals>>,
     outages: Arc<Vec<Vec<TickWindow>>>,
+    tracer: ShipmentTracer,
+    recorder: FlightRecorder,
 }
 
 impl StreamingPool {
@@ -351,8 +418,28 @@ impl StreamingPool {
     /// [`CollectorPool::start_with_outages`]).
     pub fn start_with_outages(
         servers: usize,
+        outages: Vec<Vec<TickWindow>>,
+        consumer: Arc<dyn ShipmentConsumer>,
+    ) -> Self {
+        Self::start_traced(
+            servers,
+            outages,
+            consumer,
+            ShipmentTracer::off(),
+            FlightRecorder::off(),
+        )
+    }
+
+    /// [`Self::start_with_outages`] with shipment tracing: the handles
+    /// this pool hands out emit collect-hop spans through `tracer`
+    /// (shard-stamped when the tracer is), attach [`BatchMeta`] to every
+    /// accepted batch, and record failovers into `recorder`.
+    pub fn start_traced(
+        servers: usize,
         mut outages: Vec<Vec<TickWindow>>,
         consumer: Arc<dyn ShipmentConsumer>,
+        tracer: ShipmentTracer,
+        recorder: FlightRecorder,
     ) -> Self {
         let servers = servers.max(1);
         outages.resize(servers, Vec::new());
@@ -366,14 +453,14 @@ impl StreamingPool {
                 let mut totals = StreamingTotals::default();
                 while let Ok(shipment) = rx.recv() {
                     match shipment {
-                        Shipment::Batch(m, seq, records) => {
+                        Shipment::Batch(m, seq, records, meta) => {
                             if records.is_empty() {
                                 continue;
                             }
                             totals.total_records += records.len();
                             totals.stored_bytes +=
                                 RecordBatch::compress(&records).compressed_bytes();
-                            consumer.batch(m, seq, records);
+                            consumer.batch(m, seq, records, meta);
                         }
                         Shipment::Name(m, seq, name) => consumer.name(m, seq, name),
                     }
@@ -385,6 +472,8 @@ impl StreamingPool {
             senders,
             handles,
             outages: Arc::new(outages),
+            tracer,
+            recorder,
         }
     }
 
@@ -396,6 +485,8 @@ impl StreamingPool {
             primary: machine.0 as usize % self.senders.len(),
             outages: Arc::clone(&self.outages),
             failovers: 0,
+            tracer: self.tracer.clone(),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -551,7 +642,14 @@ mod tests {
             names: Mutex<usize>,
         }
         impl ShipmentConsumer for Counter {
-            fn batch(&self, _m: MachineId, _seq: Option<u64>, records: Vec<TraceRecord>) {
+            fn batch(
+                &self,
+                _m: MachineId,
+                _seq: Option<u64>,
+                records: Vec<TraceRecord>,
+                meta: Option<BatchMeta>,
+            ) {
+                assert!(meta.is_none(), "untraced pool attaches no baggage");
                 *self.records.lock().unwrap() += records.len();
             }
             fn name(&self, _m: MachineId, _seq: Option<u64>, _name: NameRecord) {
@@ -603,7 +701,13 @@ mod tests {
     fn panicking_consumer_is_a_collection_fault_not_an_abort() {
         struct Bomb;
         impl ShipmentConsumer for Bomb {
-            fn batch(&self, _m: MachineId, _seq: Option<u64>, _records: Vec<TraceRecord>) {
+            fn batch(
+                &self,
+                _m: MachineId,
+                _seq: Option<u64>,
+                _records: Vec<TraceRecord>,
+                _meta: Option<BatchMeta>,
+            ) {
                 panic!("consumer exploded");
             }
             fn name(&self, _m: MachineId, _seq: Option<u64>, _name: NameRecord) {}
@@ -619,6 +723,83 @@ mod tests {
         assert_eq!(fault.server, 0);
         assert!(fault.message.contains("consumer exploded"), "{fault}");
         assert!(fault.to_string().contains("collection server 0"));
+    }
+
+    #[test]
+    fn traced_pool_stamps_meta_and_records_failovers() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct MetaLog {
+            seen: Mutex<Vec<(u64, BatchMeta)>>,
+        }
+        impl ShipmentConsumer for MetaLog {
+            fn batch(
+                &self,
+                _m: MachineId,
+                seq: Option<u64>,
+                _records: Vec<TraceRecord>,
+                meta: Option<BatchMeta>,
+            ) {
+                self.seen
+                    .lock()
+                    .unwrap()
+                    .push((seq.unwrap(), meta.expect("traced pool attaches baggage")));
+            }
+            fn name(&self, _m: MachineId, _seq: Option<u64>, _name: NameRecord) {}
+        }
+
+        let tracer = ShipmentTracer::new(11, 10_000);
+        let recorder = FlightRecorder::new(16);
+        // Primary (server 0) down in [100, 200): batch 1 fails over.
+        let outages = vec![vec![TickWindow::new(100, 200)], Vec::new()];
+        let consumer = Arc::new(MetaLog::default());
+        let pool = StreamingPool::start_traced(
+            2,
+            outages,
+            consumer.clone() as Arc<dyn ShipmentConsumer>,
+            tracer.clone().for_shard(3),
+            recorder.clone(),
+        );
+        let mut h = pool.handle_for(MachineId(0));
+        let records: Vec<TraceRecord> = (0..5).map(rec).collect();
+        assert!(h.ingest_at(MachineId(0), 0, &records, 50));
+        assert!(h.ingest_at(MachineId(0), 1, &records, 150), "failover");
+        drop(h);
+        pool.finish().expect("no server died");
+
+        let mut seen = consumer.seen.lock().unwrap().clone();
+        seen.sort_by_key(|&(seq, _)| seq);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].1.server, 0);
+        assert_eq!(seen[0].1.deliver_ticks, 50);
+        assert_eq!(seen[1].1.server, 1, "batch 1 landed on the secondary");
+        // The carried context is the collect hop of the derived chain.
+        let expect = TraceContext::root(11, 0, 0)
+            .child(nt_obs::Hop::Ship)
+            .child(nt_obs::Hop::Collect);
+        assert_eq!(seen[0].1.ctx, expect);
+
+        // Collect spans were emitted with server + shard attribution.
+        let spans = tracer.take_sorted();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.hop == nt_obs::Hop::Collect));
+        assert_eq!(spans[1].server, Some(1));
+        assert_eq!(spans[1].shard, Some(3));
+
+        // The failover landed in the machine's flight-recorder scope.
+        let snap = recorder.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, RecorderScope::Machine(0));
+        assert_eq!(
+            snap[0].1,
+            vec![FlightEvent::Failover {
+                ticks: 150,
+                seq: 1,
+                from_server: 0,
+                to_server: 1,
+            }]
+        );
     }
 
     #[test]

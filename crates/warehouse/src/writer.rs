@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use bytes::BytesMut;
-use nt_trace::{MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
+use nt_trace::{BatchMeta, MachineId, NameRecord, ShipmentConsumer, TraceRecord, RECORD_SIZE};
 
 use crate::format::{encode_header, xxh64, Footer, KIND_SLOTS};
 use crate::NttError;
@@ -347,7 +347,13 @@ impl WarehouseSink {
 }
 
 impl ShipmentConsumer for WarehouseSink {
-    fn batch(&self, machine: MachineId, seq: Option<u64>, records: Vec<TraceRecord>) {
+    fn batch(
+        &self,
+        machine: MachineId,
+        seq: Option<u64>,
+        records: Vec<TraceRecord>,
+        _meta: Option<BatchMeta>,
+    ) {
         if let Some(&i) = self.index.get(&machine.0) {
             self.lock(i).on_batch(seq, records);
         }

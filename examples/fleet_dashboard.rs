@@ -1,10 +1,15 @@
 //! Watching the fleet run: the `nt-obs` telemetry layer end to end.
 //!
-//! Runs the faulted 45-machine deployment with telemetry on, then renders
-//! what the layer captured — the wall-clock attribution table
-//! ([`nt_study::RuntimeProfile`]), terminal sparklines over the fleet
-//! time-series, per-category operation rates, and the artefact paths
-//! (`spans-mNN.jsonl` per machine, `timeseries.jsonl` for the fleet).
+//! Runs the faulted 45-machine deployment over the sharded collection
+//! tree with the whole observability stack on — span profiler, gauge
+//! sampler, causal shipment tracer, flight recorder and health
+//! watchdogs — then renders what the layer captured: the wall-clock
+//! attribution table ([`nt_study::RuntimeProfile`]), terminal
+//! sparklines over the fleet time-series, per-category operation rates,
+//! per-hop shipment latency off the causal spans, the watchdog
+//! findings, the flight-recorder rings, and the artefact paths
+//! (`spans-mNN.jsonl` per machine, `timeseries.jsonl`, the Chrome
+//! `trace.json` timeline and the `flight-recorder.jsonl` post-mortem).
 //!
 //! ```bash
 //! cargo run --release --example fleet_dashboard
@@ -13,11 +18,13 @@
 use std::path::PathBuf;
 
 use nt_obs::sparkline::sparkline;
-use nt_obs::SeriesData;
+use nt_obs::{Hop, RecorderScope, SeriesData};
 use nt_sim::SimDuration;
-use nt_study::{FaultPlan, Study, StudyConfig, StudyData, TelemetryConfig, TelemetryOptions};
+use nt_study::{
+    FaultPlan, MachineOutput, ShardOptions, Study, StudyConfig, TelemetryConfig, TelemetryOptions,
+};
 
-/// The faulted paper-shaped fleet at smoke duration, watched.
+/// The faulted paper-shaped fleet at smoke duration, fully watched.
 fn config(dir: PathBuf) -> StudyConfig {
     let mut c = StudyConfig::paper_scale(7);
     c.duration = SimDuration::from_secs(900);
@@ -28,6 +35,10 @@ fn config(dir: PathBuf) -> StudyConfig {
     c.telemetry = TelemetryConfig::On(TelemetryOptions {
         dir: Some(dir),
         sample_interval: SimDuration::from_secs(30),
+        trace_shipments: true,
+        flight_recorder: true,
+        watchdogs: true,
+        dump_on_loss: true,
         ..TelemetryOptions::default()
     });
     c
@@ -48,9 +59,9 @@ fn strip(label: &str, series: &SeriesData) {
 }
 
 /// Sums one series across a set of machines at aligned sample stamps.
-fn fleet_series(data: &StudyData, name: &str) -> Option<SeriesData> {
+fn fleet_series(machines: &[MachineOutput], name: &str) -> Option<SeriesData> {
     let mut merged: Option<SeriesData> = None;
-    for m in &data.machines {
+    for m in machines {
         let series = m.telemetry.as_ref()?.series(name)?;
         match merged.as_mut() {
             None => merged = Some(series.clone()),
@@ -68,8 +79,16 @@ fn fleet_series(data: &StudyData, name: &str) -> Option<SeriesData> {
 fn main() {
     let dir = std::env::temp_dir().join("nt-fleet-dashboard");
     let _ = std::fs::remove_dir_all(&dir);
-    println!("running the faulted 45-machine fleet with telemetry on …");
-    let data = Study::run(&config(dir.clone()));
+    println!("running the faulted 45-machine sharded fleet with the observability stack on …");
+    let run = Study::run_sharded(
+        &config(dir.clone()),
+        &ShardOptions {
+            shards: 4,
+            warehouse: Some(dir.join("warehouse")),
+            ..ShardOptions::default()
+        },
+    );
+    let data = &run.data;
 
     println!();
     println!("== runtime profile (host wall-clock per subsystem phase) ==");
@@ -87,7 +106,7 @@ fn main() {
         "io.bytes_written",
         "trace.lost_records",
     ] {
-        match fleet_series(&data, name) {
+        match fleet_series(&data.machines, name) {
             Some(series) => strip(name, &series),
             None => println!("  {name:<22} (no samples)"),
         }
@@ -126,24 +145,63 @@ fn main() {
     }
 
     println!();
-    println!("== per-layer view (FastIO short-circuit vs IRP descent) ==");
-    let (mut fastio, mut irp) = (0u64, 0u64);
-    for m in &data.machines {
-        fastio += m.io.fastio_reads + m.io.fastio_writes;
-        irp += m.io.irp_reads + m.io.irp_writes;
+    println!("== causal shipment tracing (agent → collector → aggregators) ==");
+    let spans = &data.shipment_spans;
+    let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.ctx.trace_id).collect();
+    println!(
+        "  batch journeys traced: {}   hop spans: {}",
+        traces.len(),
+        spans.len()
+    );
+    for hop in Hop::ALL {
+        let mut count = 0u64;
+        let (mut sum, mut max) = (0u64, 0u64);
+        for s in spans.iter().filter(|s| s.hop == hop) {
+            let ticks = s.end_ticks - s.begin_ticks;
+            sum += ticks;
+            max = max.max(ticks);
+            count += 1;
+        }
+        let mean_s = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64 / 10_000_000.0
+        };
+        println!(
+            "  {:<18} spans {:>6}   mean {:>8.2} s   max {:>8.2} s  (simulated)",
+            hop.name(),
+            count,
+            mean_s,
+            max as f64 / 10_000_000.0,
+        );
     }
-    let total = (fastio + irp).max(1);
+
+    println!();
+    println!("== pipeline health (watchdog findings) ==");
+    if data.health.is_empty() {
+        println!("  (no findings — the fleet stayed inside its loss and backlog budgets)");
+    }
+    for finding in &data.health {
+        println!("  {finding}");
+    }
+
+    println!();
+    println!("== flight recorder (bounded per-scope event rings) ==");
+    for (scope, events, evicted) in data.flight_recorder.snapshot() {
+        let label = match scope {
+            RecorderScope::Machine(m) => format!("machine:{m}"),
+            RecorderScope::Shard(s) => format!("shard:{s}"),
+            RecorderScope::Fleet => "fleet".to_string(),
+        };
+        let newest = events.last().map(|e| e.kind()).unwrap_or("-");
+        println!(
+            "  {label:<12} {:>4} events ({evicted} evicted)   newest: {newest}",
+            events.len(),
+        );
+    }
     println!(
-        "  data ops served procedurally (no IRP built):   {fastio:>10}  ({:.1}%)",
-        100.0 * fastio as f64 / total as f64
-    );
-    println!(
-        "  data ops that descended the driver stack:      {irp:>10}  ({:.1}%)",
-        100.0 * irp as f64 / total as f64
-    );
-    println!(
-        "  each descending packet passed the span layer and the trace agent\n\
-         \x20 (dispatch spans above are those descents, bracketed per layer)"
+        "  dumped post-mortem: {} (dump_on_loss under the lossy fault plan)",
+        data.flight_recorder.dumped(),
     );
 
     println!();
@@ -154,13 +212,13 @@ fn main() {
         data.stored_bytes,
         data.total_lost(),
     );
-    let spans: u64 = data
+    let logged: u64 = data
         .machines
         .iter()
         .filter_map(|m| m.telemetry.as_ref())
         .map(|t| t.spans_logged)
         .sum();
-    println!("  spans logged across the fleet: {spans}");
+    println!("  profiler spans logged across the fleet: {logged}");
 
     println!();
     println!("== artefacts ==");
@@ -168,5 +226,13 @@ fn main() {
     println!(
         "  {}  (one per machine, 45 files)",
         dir.join("spans-m00.jsonl").display()
+    );
+    println!(
+        "  {}  (Chrome trace-event timeline — load in chrome://tracing or Perfetto)",
+        dir.join("trace.json").display()
+    );
+    println!(
+        "  {}  (exactly-once post-mortem dump)",
+        dir.join("flight-recorder.jsonl").display()
     );
 }

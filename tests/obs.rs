@@ -11,7 +11,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use nt_study::{FaultPlan, Study, StudyConfig, TelemetryConfig, TelemetryOptions};
+use nt_study::{FaultPlan, ShardOptions, Study, StudyConfig, TelemetryConfig, TelemetryOptions};
 
 /// The faulted 45-machine smoke fleet: paper topology, short period.
 fn faulted_fleet(seed: u64) -> StudyConfig {
@@ -178,6 +178,106 @@ fn telemetry_does_not_perturb_the_study() {
     assert!(
         text.lines().any(|l| l.contains("\"scope\":\"category:")),
         "per-category rollups exported"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The causal shipment tracer, flight recorder and watchdogs all ride
+/// the sharded pipeline without perturbing it: the faulted 45-machine
+/// fleet produces bit-identical fact tables, ledgers and aggregates
+/// whether the whole observability stack is on or off, while the traced
+/// run additionally leaves behind `trace.json`, the exactly-once
+/// `flight-recorder.jsonl` (via `dump_on_loss` under the lossy plan),
+/// causal hop spans and typed health findings.
+#[test]
+fn shipment_tracing_does_not_perturb_the_sharded_study() {
+    let dir = artefact_dir("trace-fleet");
+    let _ = fs::remove_dir_all(&dir);
+
+    let options = ShardOptions {
+        shards: 4,
+        retain: true,
+        ..ShardOptions::default()
+    };
+    let silent = Study::run_sharded(&faulted_fleet(5_050), &options);
+
+    let mut traced_config = faulted_fleet(5_050);
+    traced_config.telemetry = TelemetryConfig::On(TelemetryOptions {
+        dir: Some(dir.clone()),
+        sample_interval: nt_sim::SimDuration::from_secs(30),
+        trace_shipments: true,
+        flight_recorder: true,
+        watchdogs: true,
+        dump_on_loss: true,
+        ..TelemetryOptions::default()
+    });
+    let traced = Study::run_sharded(&traced_config, &options);
+
+    // Fact tables: bit-identical (retain rebuilt the exact tables).
+    let s = silent.data.trace_set.as_ref().expect("silent retained");
+    let t = traced.data.trace_set.as_ref().expect("traced retained");
+    assert!(
+        s.records == t.records,
+        "record streams are bit-identical with tracing on"
+    );
+    assert!(
+        s.instances == t.instances,
+        "instance tables are bit-identical with tracing on"
+    );
+    assert!(s.names == t.names, "name tables are bit-identical");
+
+    assert_eq!(silent.data.total_records, traced.data.total_records);
+    assert_eq!(silent.data.stored_bytes, traced.data.stored_bytes);
+    assert!(
+        traced.data.total_lost() > 0,
+        "the lossy plan visibly dropped records"
+    );
+    for (a, b) in silent.data.machines.iter().zip(traced.data.machines.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.loss, b.loss, "machine {:?} ledger unchanged", a.id);
+        assert_eq!(a.io, b.io, "machine {:?} io counters unchanged", a.id);
+        assert_eq!(a.cache, b.cache, "machine {:?} cache counters", a.id);
+        assert_eq!(a.vm, b.vm, "machine {:?} vm counters", a.id);
+    }
+    for (a, b) in silent.shards.iter().zip(traced.shards.iter()) {
+        assert_eq!(a.records, b.records, "shard {} head-count", a.shard);
+        assert_eq!(a.machines, b.machines, "shard {} machine range", a.shard);
+    }
+
+    // Aggregates: identical up to the operational peaks, which depend on
+    // thread interleaving (out-of-order failover delivery), not facts.
+    let mut a = silent.data.summary;
+    let mut b = traced.data.summary;
+    a.peak_parked_records = 0;
+    b.peak_parked_records = 0;
+    a.peak_state_bytes = 0;
+    b.peak_state_bytes = 0;
+    assert!(a == b, "streaming aggregates unchanged by tracing");
+
+    // The silent run carried no observability state at all.
+    assert!(silent.data.shipment_spans.is_empty());
+    assert!(silent.data.health.is_empty());
+    assert!(!silent.data.flight_recorder.is_enabled());
+    assert!(silent.shards.iter().all(|s| s.findings.is_empty()));
+
+    // The traced run left the causal timeline and the post-mortem dump.
+    assert!(
+        !traced.data.shipment_spans.is_empty(),
+        "tracing captured hop spans"
+    );
+    assert!(
+        dir.join("trace.json").exists(),
+        "Chrome trace artefact written"
+    );
+    assert!(
+        traced.data.flight_recorder.dumped(),
+        "dump_on_loss fired the exactly-once flight-recorder dump"
+    );
+    assert!(dir.join("flight-recorder.jsonl").exists());
+    assert!(
+        !traced.data.health.is_empty(),
+        "watchdogs surfaced findings under the lossy plan"
     );
 
     let _ = fs::remove_dir_all(&dir);
