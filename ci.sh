@@ -67,6 +67,9 @@ cargo test -q --offline --release --test determinism warehouse_reimport
 step "causal shipment tracing (faulted sharded smoke: Chrome trace validates, dump reconciles with LossLedger)"
 cargo test -q --offline --test shipment_trace
 
+step "what-if replay (matrix bit-identity across workers/sources, variant audit, golden deltas)"
+cargo test -q --offline --test whatif
+
 step "cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
 

@@ -36,6 +36,8 @@
 //! * [`processes`] — §7's per-process activity characteristics.
 //! * [`profile`] — benchmark-configuration fitting (the §1 goal of
 //!   feeding realistic file-system benchmarks).
+//! * [`whatif`] — differential fact tables and §9-style delta summaries
+//!   for the what-if replay studies in `nt-study`.
 
 pub mod activity;
 pub mod arrivals;
@@ -61,6 +63,7 @@ pub mod sketch;
 pub mod stats;
 pub mod stream;
 pub mod tails;
+pub mod whatif;
 
 pub use cdf::Cdf;
 pub use facts::FactTable;
@@ -68,3 +71,4 @@ pub use schema::{Instance, InstanceBuilder, TraceSet, UsageClass};
 pub use sketch::{HistogramSketch, SpillRuns};
 pub use stats::{correlation, describe, Descriptives};
 pub use stream::{AnalysisSet, MachineSink, ShardSummary, StreamConfig, StudySummary};
+pub use whatif::{DeltaSummary, DifferentialTable, FactsDelta, ReplayFacts};

@@ -73,6 +73,9 @@ pub mod accounts {
     /// Fleet root of the sharded roll-up: per-shard pool totals vs the
     /// fleet-merged total.
     pub const FLEET_ROLLUP_RECORDS: &str = "fleet.rollup-records";
+    /// What-if replay: source records fed to a machine's replay vs their
+    /// fate in the replayed stack (replayed + skipped + control).
+    pub const REPLAY_RECORDS: &str = "replay.records";
 }
 
 /// One account's running debit and credit totals.

@@ -58,9 +58,9 @@ use std::time::Instant;
 use nt_analysis::stream::{MachineSink, StreamConfig};
 use nt_analysis::{HistogramSketch, TraceSet};
 use nt_bench::{check_min_ns, Baseline, Verdict};
-use nt_cache::RangeSet;
+use nt_cache::{CacheConfig, RangeSet};
 use nt_sim::{Engine, SimDuration, SimTime};
-use nt_study::{MachineRun, StreamOptions, Study, StudyConfig};
+use nt_study::{MachineRun, ReplayConfig, StreamOptions, Study, StudyConfig, WhatIfStudy};
 use nt_trace::{CollectionServer, MachineId};
 
 /// One measurement: median-free, warm-up-free wall clock per iteration —
@@ -656,6 +656,51 @@ fn main() {
                     .data
                     .total_records,
                 );
+            }),
+        });
+    }
+
+    // What-if matrix replay: a smoke-scale trace answered under a
+    // 3-variant policy matrix (plus baseline) — stream extraction, the
+    // (variant × machine) grid on the work-stealing pool, per-variant
+    // conservation audit, and the differential tables. Every trace
+    // record is replayed once per matrix row.
+    {
+        let trace = Study::run(&config).trace_set;
+        let replays = trace.records.len() as u64 * 4;
+        benches.push(Bench {
+            name: "whatif_matrix_smoke",
+            elements: replays,
+            run: Box::new(move || {
+                use nt_io::DiskParams;
+                let report = WhatIfStudy::new(ReplayConfig::default())
+                    .variant(
+                        "no-read-ahead",
+                        ReplayConfig {
+                            cache: CacheConfig {
+                                readahead_enabled: false,
+                                ..CacheConfig::default()
+                            },
+                            ..ReplayConfig::default()
+                        },
+                    )
+                    .variant(
+                        "irp-only",
+                        ReplayConfig {
+                            disable_fastio: true,
+                            ..ReplayConfig::default()
+                        },
+                    )
+                    .variant(
+                        "ssd-class-disk",
+                        ReplayConfig {
+                            disk: DiskParams::ssd_class(),
+                            ..ReplayConfig::default()
+                        },
+                    )
+                    .run_trace_set(&trace)
+                    .expect("smoke variants reconcile");
+                std::hint::black_box(report.tables.len());
             }),
         });
     }

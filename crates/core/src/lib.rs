@@ -30,6 +30,7 @@ pub mod shard;
 pub mod study;
 pub mod synthetic;
 pub mod warehouse;
+pub mod whatif;
 
 pub use audit::{
     differential_check, sharded_ledgers, AuditFailure, AuditedStudy, DifferentialReport,
@@ -42,7 +43,10 @@ pub use nt_obs::{
     Phase, RecorderScope, RuntimeProfile, ShipmentTracer, Telemetry, TelemetryConfig,
     TelemetryOptions, TraceContext, Watchdog,
 };
-pub use replay::{compare_policies, replay, ReplayConfig, ReplayReport};
+pub use replay::{
+    compare_policies, replay, replay_stream, MachineVariantOutcome, ReplayConfig, ReplayReport,
+    ReplayStream,
+};
 pub use run::MachineRun;
 pub use shard::{ShardOptions, ShardReport, ShardedStudyData};
 pub use study::{
@@ -50,3 +54,7 @@ pub use study::{
 };
 pub use synthetic::SyntheticBench;
 pub use warehouse::WarehouseIngest;
+pub use whatif::{
+    audit_variant, extract_streams, variant_ledgers, LiveSource, VariantRun, WhatIfError,
+    WhatIfReport, WhatIfStudy,
+};

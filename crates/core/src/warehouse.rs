@@ -19,7 +19,7 @@ use nt_analysis::stream::{AnalysisSet, StreamConfig, StudySummary};
 use nt_analysis::TraceSet;
 use nt_obs::{Hop, Phase, RuntimeProfile, ShipmentTracer, Telemetry};
 use nt_trace::{BatchMeta, MachineId, NameRecord, ShipmentConsumer, TraceRecord};
-use nt_warehouse::{NttError, SegmentReader, Warehouse, WarehouseSink};
+use nt_warehouse::{NttError, TraceSource, Warehouse, WarehouseSink};
 
 use crate::study::{StreamOptions, Study};
 
@@ -83,11 +83,13 @@ pub struct WarehouseIngest {
 impl Study {
     /// Re-runs the analysis stage over a stored warehouse.
     ///
-    /// Each segment's batches are fed to the sinks with ascending
-    /// sequence stamps in stored order — which *is* the canonical stamp
-    /// order the live `MachineSink`s processed, because the export sink
-    /// reassembles with the same discipline. `options.retain` and
-    /// `options.spill_dir` mean what they do for
+    /// Ingest goes through the [`TraceSource`] abstraction — the same
+    /// seam the what-if replay engine consumes traces through — so both
+    /// subsystems see machines ascending and each machine's batches
+    /// with ascending sequence stamps in stored order, which *is* the
+    /// canonical stamp order the live `MachineSink`s processed (the
+    /// export sink reassembles with the same discipline).
+    /// `options.retain` and `options.spill_dir` mean what they do for
     /// [`Study::run_streaming`]; `workers` and `warehouse` are ignored
     /// (ingest is sequential and re-exporting what was just read would
     /// be a copy).
@@ -111,20 +113,16 @@ impl Study {
             },
         );
         let mut records = 0u64;
-        for segment in warehouse.segments() {
+        for &machine in &machines {
             let _span = telemetry.span_child(Phase::Warehouse, "warehouse.ingest_segment");
-            let reader = segment.reader();
-            let machine = MachineId(segment.machine());
-            let mut first = 0u64;
-            for (seq, batch) in reader.batches().enumerate() {
-                let decoded = SegmentReader::decode_batch(batch, first)?;
-                first += decoded.len() as u64;
-                set.batch(machine, Some(seq as u64), decoded, None);
-            }
-            records += first;
-            for (i, name) in reader.names().enumerate() {
-                set.name(machine, Some(i as u64), name.to_name()?);
-            }
+            let id = MachineId(machine);
+            warehouse.visit_batches(machine, &mut |seq, decoded| {
+                records += decoded.len() as u64;
+                set.batch(id, Some(seq), decoded, None);
+            })?;
+            warehouse.visit_names(machine, &mut |seq, name| {
+                set.name(id, Some(seq), name);
+            })?;
         }
         let analysis = set.finish();
         let mut profile = RuntimeProfile::default();

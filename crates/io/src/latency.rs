@@ -49,6 +49,20 @@ impl DiskParams {
         }
     }
 
+    /// An SSD-class device — an anachronism for the 1998 study, but the
+    /// what-if replay axis the §9 simulation studies call for: near-zero
+    /// positioning cost and an order of magnitude more bandwidth, so a
+    /// policy matrix can ask which 1998 cache decisions stop mattering
+    /// once seeks are free.
+    pub fn ssd_class() -> Self {
+        DiskParams {
+            seek_min_us: 40,
+            seek_max_us: 120,
+            transfer_bytes_per_us: 400,
+            network_rtt_us: 0,
+        }
+    }
+
     /// A CIFS share over 100 Mbit switched Ethernet (§2). The server's own
     /// cache absorbs most seeks, so the positioning cost is lower but every
     /// request pays a round trip.
@@ -100,6 +114,10 @@ pub struct LatencyModel {
     disks: Vec<DiskParams>,
     /// Per-volume time at which the disk becomes idle (FIFO queue).
     free_at: Vec<SimTime>,
+    /// Total service ticks across every disk transfer (positioning +
+    /// transfer + RTT, excluding queueing) — how long the disks were
+    /// actually busy, the latency-model axis of the what-if studies.
+    busy_ticks: u64,
 }
 
 impl LatencyModel {
@@ -110,6 +128,7 @@ impl LatencyModel {
             params,
             disks,
             free_at,
+            busy_ticks: 0,
         }
     }
 
@@ -175,12 +194,19 @@ impl LatencyModel {
             self.free_at[volume].max(now + SimDuration::from_ticks(self.params.irp_base_ticks));
         let done = start + service;
         self.free_at[volume] = done;
+        self.busy_ticks += service.ticks();
         done
     }
 
     /// Time at which a volume's disk queue drains (for tests/metrics).
     pub fn queue_free_at(&self, volume: usize) -> SimTime {
         self.free_at[volume]
+    }
+
+    /// Cumulative disk service ticks across all volumes (queueing
+    /// excluded): the disks' busy time under the current [`DiskParams`].
+    pub fn disk_busy_ticks(&self) -> u64 {
+        self.busy_ticks
     }
 }
 

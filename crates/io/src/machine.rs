@@ -443,6 +443,12 @@ impl<O: IoObserver> Machine<O> {
         self.vm.metrics()
     }
 
+    /// Cumulative disk service ticks across the machine's volumes — the
+    /// what-if latency-model axis (§9 simulation studies).
+    pub fn disk_busy_ticks(&self) -> u64 {
+        self.latency.disk_busy_ticks()
+    }
+
     /// Dirty cached bytes that have not reached the disk (yet). At end of
     /// run this is the residual term of the dirty-byte conservation
     /// ledger: bytes dirtied = lazy + flush + purged + residual.

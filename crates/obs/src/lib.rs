@@ -69,11 +69,14 @@ pub enum Phase {
     /// NTT warehouse I/O: segment export at study finish, re-ingest of
     /// stored segments.
     Warehouse,
+    /// What-if replay: trace-driven re-execution of recorded requests
+    /// against variant policy stacks (§9 simulation studies).
+    Replay,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Dispatch,
         Phase::Cache,
         Phase::Vm,
@@ -81,6 +84,7 @@ impl Phase {
         Phase::Analysis,
         Phase::Filter,
         Phase::Warehouse,
+        Phase::Replay,
     ];
 
     /// Stable lower-case name used in span logs and reports.
@@ -93,6 +97,7 @@ impl Phase {
             Phase::Analysis => "analysis",
             Phase::Filter => "filter",
             Phase::Warehouse => "warehouse",
+            Phase::Replay => "replay",
         }
     }
 
@@ -105,6 +110,7 @@ impl Phase {
             Phase::Analysis => 4,
             Phase::Filter => 5,
             Phase::Warehouse => 6,
+            Phase::Replay => 7,
         }
     }
 }

@@ -40,15 +40,21 @@
 //!   wrapper.
 //! * [`import`] — foreign-format importers; today an strace-style text
 //!   importer with a loss ledger for malformed input.
+//! * [`source`] — the [`TraceSource`] abstraction: per-machine batch and
+//!   name visitation shared by analysis re-ingest and what-if replay,
+//!   implemented here for [`Warehouse`] and in `nt-study` for live
+//!   fact tables.
 
 pub mod format;
 pub mod import;
 pub mod reader;
+pub mod source;
 pub mod writer;
 
 pub use format::{Footer, FOOTER_SIZE, HEADER_SIZE, NTT_VERSION};
 pub use import::{import_strace, ImportLedger, StraceImport};
 pub use reader::{NameView, RecordView, Segment, SegmentReader, Warehouse};
+pub use source::TraceSource;
 pub use writer::{SegmentStats, SegmentWriter, WarehouseSink};
 
 use std::fmt;

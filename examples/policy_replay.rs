@@ -3,7 +3,9 @@
 //! as configuration for realistic benchmarks.
 //!
 //! 1. Run a study and collect a trace.
-//! 2. Replay the trace under alternative cache policies (§9 ablations).
+//! 2. Answer a what-if matrix over it: a baseline policy plus named
+//!    variants (§9 ablations and a disk latency-model axis), replayed in
+//!    parallel, audited, and differenced against the baseline.
 //! 3. Fit a workload profile and run a profile-driven synthetic bench.
 //!
 //! ```text
@@ -12,9 +14,9 @@
 
 use nt_analysis::profile::fit_profile;
 use nt_cache::CacheConfig;
-use nt_io::MachineConfig;
+use nt_io::{DiskParams, MachineConfig};
 use nt_sim::SimDuration;
-use nt_study::{compare_policies, ReplayConfig, Study, StudyConfig, SyntheticBench};
+use nt_study::{ReplayConfig, Study, StudyConfig, SyntheticBench, WhatIfStudy};
 
 fn main() {
     // 1. Collect a trace.
@@ -26,63 +28,86 @@ fn main() {
         data.trace_set.instances.len()
     );
 
-    // 2. Replay it under different cache policies.
-    println!("replaying the trace under alternative cache policies:");
-    let rows = compare_policies(
-        &data.trace_set,
-        [
-            ("nt-defaults", ReplayConfig::default()),
-            (
-                "no-read-ahead",
-                ReplayConfig {
-                    cache: CacheConfig {
-                        readahead_enabled: false,
-                        ..CacheConfig::default()
-                    },
-                    ..ReplayConfig::default()
+    // 2. The what-if matrix: every variant replayed over every machine
+    // on the work-stealing pool, reconciled by the conservation ledger,
+    // and differenced against the baseline.
+    println!("what-if study: 5 policy variants vs the NT-defaults baseline");
+    let report = WhatIfStudy::new(ReplayConfig::default())
+        .variant(
+            "no-read-ahead",
+            ReplayConfig {
+                cache: CacheConfig {
+                    readahead_enabled: false,
+                    ..CacheConfig::default()
                 },
-            ),
-            (
-                "write-through",
-                ReplayConfig {
-                    cache: CacheConfig {
-                        force_write_through: true,
-                        ..CacheConfig::default()
-                    },
-                    ..ReplayConfig::default()
+                ..ReplayConfig::default()
+            },
+        )
+        .variant(
+            "lazy-writer-8s",
+            ReplayConfig {
+                cache: CacheConfig {
+                    lazy_write_interval: SimDuration::from_secs(8),
+                    ..CacheConfig::default()
                 },
-            ),
-            (
-                "irp-only",
-                ReplayConfig {
-                    disable_fastio: true,
-                    ..ReplayConfig::default()
-                },
-            ),
-            (
-                "tiny-cache-256k",
-                ReplayConfig {
-                    cache_budget_bytes: 256 << 10,
-                    ..ReplayConfig::default()
-                },
-            ),
-        ],
-    );
-    println!(
-        "  {:<16} {:>9} {:>8} {:>9} {:>10} {:>10}",
-        "policy", "requests", "hit%", "fastio%", "pag.reads", "pag.writes"
-    );
-    for (label, r) in &rows {
+                ..ReplayConfig::default()
+            },
+        )
+        .variant(
+            "irp-only",
+            ReplayConfig {
+                disable_fastio: true,
+                ..ReplayConfig::default()
+            },
+        )
+        .variant(
+            "tiny-cache-256k",
+            ReplayConfig {
+                cache_budget_bytes: 256 << 10,
+                ..ReplayConfig::default()
+            },
+        )
+        .variant(
+            "ssd-class-disk",
+            ReplayConfig {
+                disk: DiskParams::ssd_class(),
+                ..ReplayConfig::default()
+            },
+        )
+        .run_trace_set(&data.trace_set)
+        .expect("every variant reconciles");
+
+    println!("\n{}", report.render_summary());
+
+    // The per-machine differential fact tables behind the summary.
+    println!("per-machine read-hit movement (variant − baseline):");
+    for table in &report.tables {
+        let moved: Vec<String> = table
+            .rows
+            .iter()
+            .filter(|r| r.read_hits != 0)
+            .map(|r| format!("m{}:{:+}", r.machine, r.read_hits))
+            .collect();
         println!(
-            "  {:<16} {:>9} {:>7.0}% {:>8.0}% {:>10} {:>10}",
-            label,
-            r.replayed_requests,
-            100.0 * r.hit_rate(),
-            100.0 * r.fastio_read_fraction(),
-            r.paging_reads,
-            r.paging_writes
+            "  {:<16} {}",
+            table.variant,
+            if moved.is_empty() {
+                "(no movement)".to_string()
+            } else {
+                moved.join(" ")
+            }
         );
     }
+    println!(
+        "\ndisk busy time: baseline {} ms vs ssd-class {} ms",
+        report.baseline.total.disk_busy_ticks / 10_000,
+        report
+            .variants
+            .iter()
+            .find(|v| v.name == "ssd-class-disk")
+            .map(|v| v.total.disk_busy_ticks / 10_000)
+            .unwrap_or(0)
+    );
 
     // 3. Fit a profile and drive a synthetic bench from it.
     println!("\nfitting a workload profile from the trace:");

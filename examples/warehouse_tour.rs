@@ -1,5 +1,7 @@
 //! A tour of the §4 data warehouse: the star schema's fact tables, the
-//! dimension drill-down, and the per-process slice.
+//! dimension drill-down, the per-process slice — and, at the end, the
+//! §9 workflow the warehouse exists for: replaying the *stored* trace
+//! under a what-if policy matrix without the original fleet.
 //!
 //! "We developed a de-normalized star schema for the trace data … an
 //! example of categorization is that a mailbox file with a .mbx type is
@@ -12,12 +14,32 @@
 
 use nt_analysis::dimensions::{type_cube, LeafCategory, TopCategory};
 use nt_analysis::processes::process_analysis;
-use nt_study::{Study, StudyConfig};
+use nt_cache::CacheConfig;
+use nt_io::DiskParams;
+use nt_study::{ReplayConfig, StreamOptions, Study, StudyConfig, WhatIfStudy};
+use nt_warehouse::Warehouse;
 
 fn main() {
-    eprintln!("running a smoke-scale study ...");
-    let data = Study::run(&StudyConfig::smoke_test(21));
-    let ts = &data.trace_set;
+    // Stream the study so every shipment is teed into an NTT warehouse
+    // on disk beside the live analysis.
+    let dir = std::env::temp_dir().join(format!("ntt-tour-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "running a smoke-scale study (warehouse tee -> {}) ...",
+        dir.display()
+    );
+    let data = Study::run_streaming(
+        &StudyConfig::smoke_test(21),
+        &StreamOptions {
+            retain: true,
+            warehouse: Some(dir.clone()),
+            ..StreamOptions::default()
+        },
+    );
+    let ts = data
+        .trace_set
+        .as_ref()
+        .expect("retained under StreamOptions::retain");
     println!(
         "fact tables: {} trace records, {} instance rows, {} name-dimension entries\n",
         ts.records.len(),
@@ -74,4 +96,65 @@ fn main() {
     );
     assert!(cube.consistent(), "roll-up conserves the grand total");
     println!("\nroll-up consistency check passed.");
+
+    // The §9 workflow: the trace at rest is a full simulation input.
+    // Open the exported warehouse and answer a what-if matrix from it —
+    // no live fleet, no retained fact tables needed.
+    println!("\nwhat-if replay from the stored warehouse:");
+    let warehouse = Warehouse::open(&dir).expect("warehouse was just exported");
+    println!(
+        "  {} segments, {} stored records",
+        warehouse.segments().len(),
+        warehouse.total_records()
+    );
+    let report = WhatIfStudy::new(ReplayConfig::default())
+        .variant(
+            "no-read-ahead",
+            ReplayConfig {
+                cache: CacheConfig {
+                    readahead_enabled: false,
+                    ..CacheConfig::default()
+                },
+                ..ReplayConfig::default()
+            },
+        )
+        .variant(
+            "ssd-class-disk",
+            ReplayConfig {
+                disk: DiskParams::ssd_class(),
+                ..ReplayConfig::default()
+            },
+        )
+        .run(&warehouse)
+        .expect("stored variants reconcile");
+    println!("\n{}", report.render_summary());
+
+    // The same matrix from the live fact tables answers identically —
+    // the trace-source abstraction guarantees it.
+    let live = WhatIfStudy::new(ReplayConfig::default())
+        .variant(
+            "no-read-ahead",
+            ReplayConfig {
+                cache: CacheConfig {
+                    readahead_enabled: false,
+                    ..CacheConfig::default()
+                },
+                ..ReplayConfig::default()
+            },
+        )
+        .variant(
+            "ssd-class-disk",
+            ReplayConfig {
+                disk: DiskParams::ssd_class(),
+                ..ReplayConfig::default()
+            },
+        )
+        .run_trace_set(ts)
+        .expect("live variants reconcile");
+    assert_eq!(
+        report.tables, live.tables,
+        "warehouse-sourced and live-sourced differential tables must be bit-identical"
+    );
+    println!("live-vs-warehouse differential tables: bit-identical.");
+    let _ = std::fs::remove_dir_all(&dir);
 }
